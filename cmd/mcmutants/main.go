@@ -1,0 +1,579 @@
+// Command mcmutants is the MC Mutants workbench: it generates the
+// litmus/mutant suite, runs tests in SITE/PTE environments on the
+// simulated device fleet, performs tuning studies, and analyzes the
+// results — mirroring the paper artifact's workflow (tuning runs plus
+// the mutation-score / merge / correlation analyses).
+//
+// Usage:
+//
+//	mcmutants suite [-show name] [-explain] [-templates] [-assignment] [-shader name]
+//	mcmutants devices
+//	mcmutants run -test NAME [-device NAME] [-env pte|site|pte-baseline|site-baseline] [-iters N] [-seed N] [-buggy]
+//	mcmutants conformance [-device NAME] [-iters N] [-seed N] [-fence-bug] [-coherence-bug] [-stale-cache-bug]
+//	mcmutants tune [-out FILE] [-envs N] [-site-iters N] [-pte-iters N] [-paper-scale] [-devices A,B] [-seed N]
+//	mcmutants analyze -action mutation-score|merge|correlation [-stats FILE] [-family NAME] [-rep PCT] [-budget SECONDS] [-envs N] [-iters N]
+//	mcmutants cts -stats FILE [-family NAME] [-rep PCT] [-budget SECONDS]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/confidence"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/harness"
+	"repro/internal/litmus"
+	"repro/internal/mutation"
+	"repro/internal/report"
+	"repro/internal/tuning"
+	"repro/internal/wgsl"
+	"repro/internal/xrand"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mcmutants:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "suite":
+		return cmdSuite(args[1:])
+	case "devices":
+		fmt.Print(report.Table3())
+		return nil
+	case "run":
+		return cmdRun(args[1:])
+	case "conformance":
+		return cmdConformance(args[1:])
+	case "tune":
+		return cmdTune(args[1:])
+	case "analyze":
+		return cmdAnalyze(args[1:])
+	case "cts":
+		return cmdCTS(args[1:])
+	case "optimize":
+		return cmdOptimize(args[1:])
+	case "trace":
+		return cmdTrace(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `mcmutants — MC Mutants for a simulated WebGPU device fleet
+
+subcommands:
+  suite        list or inspect the generated 20+32 test suite
+  devices      print the device fleet (Table 3)
+  run          run one test in one environment on one device
+  conformance  run the conformance suite against a platform
+  tune         run a tuning study and save the dataset (JSON)
+  analyze      mutation-score / merge / correlation analyses
+  cts          curate a conformance-test-suite plan from a dataset
+  optimize     search for a per-test specialized environment
+  trace        run one instance with event tracing and verification`)
+}
+
+func cmdSuite(args []string) error {
+	fs := flag.NewFlagSet("suite", flag.ContinueOnError)
+	show := fs.String("show", "", "print one test's program (comma-separated names allowed)")
+	explain := fs.Bool("explain", false, "print Fig. 2 candidate executions with hb cycles")
+	templates := fs.Bool("templates", false, "print the Fig. 3 mutator templates")
+	assignment := fs.Bool("assignment", false, "print a Fig. 4 PTE assignment example")
+	shader := fs.String("shader", "", "emit the WGSL shader for a test")
+	export := fs.String("export", "", "write every test as a .litmus file into this directory")
+	dot := fs.String("dot", "", "emit a Graphviz DOT graph of a test's target execution")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite, err := mutation.Generate()
+	if err != nil {
+		return err
+	}
+	switch {
+	case *show != "":
+		for _, name := range strings.Split(*show, ",") {
+			t, ok := suite.ByName(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("unknown test %q", name)
+			}
+			fmt.Println(t)
+		}
+	case *explain:
+		out, err := report.Fig2(suite)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	case *templates:
+		fmt.Print(report.Fig3())
+	case *assignment:
+		fmt.Print(report.Fig4(8, 1))
+	case *shader != "":
+		t, ok := suite.ByName(*shader)
+		if !ok {
+			return fmt.Errorf("unknown test %q", *shader)
+		}
+		fmt.Print(wgsl.EmitTestShader(t, wgsl.SourceOptions{Parallel: true, WorkgroupSize: 256}))
+	case *dot != "":
+		t, ok := suite.ByName(*dot)
+		if !ok {
+			return fmt.Errorf("unknown test %q", *dot)
+		}
+		x, err := t.TargetExecution()
+		if err != nil {
+			return err
+		}
+		fmt.Print(x.ToDOT(t.Model, t.Name))
+	case *export != "":
+		if err := os.MkdirAll(*export, 0o755); err != nil {
+			return err
+		}
+		n := 0
+		for _, t := range suite.All() {
+			name := strings.NewReplacer("/", "_", "+", "p").Replace(t.Name)
+			path := filepath.Join(*export, name+".litmus")
+			if err := os.WriteFile(path, []byte(litmus.Format(t)), 0o644); err != nil {
+				return err
+			}
+			n++
+		}
+		fmt.Printf("wrote %d .litmus files to %s\n", n, *export)
+	default:
+		fmt.Print(report.Table2(suite))
+		fmt.Println()
+		fmt.Print(report.SuiteListing(suite))
+	}
+	return nil
+}
+
+// envByName resolves an environment preset.
+func envByName(name string, wgs, wgSize int) (harness.Params, error) {
+	switch name {
+	case "pte":
+		p := harness.PTEBaseline(wgs, wgSize)
+		p.MaxWorkgroups = p.TestingWorkgroups + 4
+		p.MemStressPct = 100
+		p.MemStressIters = 16
+		p.PreStressPct = 80
+		p.PreStressIters = 4
+		p.MemStride = 2
+		p.MemLocOffset = 1
+		return p, nil
+	case "pte-baseline":
+		return harness.PTEBaseline(wgs, wgSize), nil
+	case "site":
+		p := harness.SITEBaseline()
+		p.MaxWorkgroups = 16
+		p.MemStressPct = 100
+		p.MemStressIters = 16
+		p.PreStressPct = 100
+		p.PreStressIters = 4
+		p.MemStride = 2
+		p.MemLocOffset = 1
+		return p, nil
+	case "site-baseline":
+		return harness.SITEBaseline(), nil
+	default:
+		return harness.Params{}, fmt.Errorf("unknown environment %q (pte, pte-baseline, site, site-baseline)", name)
+	}
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	testName := fs.String("test", "MP", "test name from the suite")
+	testFile := fs.String("file", "", "run a test parsed from a .litmus file instead")
+	device := fs.String("device", "AMD", "device short name")
+	envName := fs.String("env", "pte", "environment preset")
+	iters := fs.Int("iters", 20, "kernel launches")
+	seed := fs.Uint64("seed", 1, "random seed")
+	wgs := fs.Int("workgroups", 16, "testing workgroups (PTE)")
+	wgSize := fs.Int("wgsize", 32, "workgroup size (PTE)")
+	fenceBug := fs.Bool("buggy", false, "use the fence-dropping driver")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var test *litmus.Test
+	if *testFile != "" {
+		f, err := os.Open(*testFile)
+		if err != nil {
+			return err
+		}
+		test, err = litmus.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		suite, err := mutation.Generate()
+		if err != nil {
+			return err
+		}
+		t, ok := suite.ByName(*testName)
+		if !ok {
+			return fmt.Errorf("unknown test %q", *testName)
+		}
+		test = t
+	}
+	prof, ok := gpu.ProfileByName(*device)
+	if !ok {
+		return fmt.Errorf("unknown device %q", *device)
+	}
+	env, err := envByName(*envName, *wgs, *wgSize)
+	if err != nil {
+		return err
+	}
+	dev, err := gpu.NewDevice(prof, gpu.Bugs{})
+	if err != nil {
+		return err
+	}
+	runner, err := harness.NewRunner(dev, env)
+	if err != nil {
+		return err
+	}
+	driver := wgsl.DriverConformant
+	if *fenceBug {
+		driver = wgsl.DriverFenceDropping
+	}
+	runner.Lower = wgsl.NewToolchain(prof, driver).LowerFunc()
+	res, err := runner.Run(test, *iters, xrand.New(*seed))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s in %s (%d iterations, %d instances)\n",
+		test.Name, prof.ShortName, *envName, res.Iterations, res.Instances)
+	fmt.Printf("target %s: %d observations (%.4g/s simulated)\n",
+		test.Target, res.TargetCount, res.TargetRate())
+	fmt.Printf("violations: %d (%.4g/s)\n", res.Violations, res.ViolationRate())
+	fmt.Printf("simulated %.6fs, wall %.3fs\n", res.SimSeconds, res.WallSeconds)
+	fmt.Println("outcomes:")
+	fmt.Println(res.Hist)
+	return nil
+}
+
+func cmdConformance(args []string) error {
+	fs := flag.NewFlagSet("conformance", flag.ContinueOnError)
+	device := fs.String("device", "AMD", "device short name")
+	iters := fs.Int("iters", 20, "kernel launches per test")
+	seed := fs.Uint64("seed", 1, "random seed")
+	fenceBug := fs.Bool("fence-bug", false, "inject the AMD Vulkan compiler defect")
+	cohBug := fs.Bool("coherence-bug", false, "inject the Intel load-load defect")
+	staleBug := fs.Bool("stale-cache-bug", false, "inject the Kepler stale-cache defect")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	study, err := core.NewStudy()
+	if err != nil {
+		return err
+	}
+	p := core.Platform{Device: *device}
+	if *fenceBug {
+		p.Driver = wgsl.DriverFenceDropping
+	}
+	if *cohBug {
+		p.Bugs.CoherenceRR = true
+		p.Bugs.CoherenceRRProb = 0.4
+		p.Bugs.CoherenceRRPressure = 2
+	}
+	if *staleBug {
+		p.Bugs.StaleCache = true
+	}
+	env, err := envByName("pte", 16, 32)
+	if err != nil {
+		return err
+	}
+	rep, err := study.CheckConformance(p, env, *iters, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("conformance run on %s (driver: %v)\n\n", *device, p.Driver)
+	for _, f := range rep.Findings {
+		status := "ok"
+		if f.Violations > 0 {
+			status = fmt.Sprintf("VIOLATED %d/%d (%.4g/s)", f.Violations, f.Instances, f.ViolationRate)
+		}
+		fmt.Printf("  %-22s %s\n", f.Test, status)
+		if f.Violations > 0 {
+			fmt.Printf("    outcome: %s\n    cycle:   %s\n", f.Outcome, f.Explanation)
+		}
+	}
+	if buggy := rep.Buggy(); len(buggy) > 0 {
+		fmt.Printf("\n%d conformance test(s) FAILED — the platform violates its MCS\n", len(buggy))
+	} else {
+		fmt.Println("\nall conformance tests passed")
+	}
+	return nil
+}
+
+func cmdTune(args []string) error {
+	fs := flag.NewFlagSet("tune", flag.ContinueOnError)
+	out := fs.String("out", "tuning.json", "output dataset path")
+	envs := fs.Int("envs", 12, "random environments per tuned family")
+	siteIters := fs.Int("site-iters", 50, "SITE iterations per test")
+	pteIters := fs.Int("pte-iters", 8, "PTE iterations per test")
+	paperScale := fs.Bool("paper-scale", false, "use the paper's full environment sizes (slow)")
+	devices := fs.String("devices", "", "comma-separated device names (default: the Table 3 fleet)")
+	seed := fs.Uint64("seed", 2023, "random seed")
+	quiet := fs.Bool("quiet", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite, err := mutation.Generate()
+	if err != nil {
+		return err
+	}
+	cfg := tuning.SmallConfig()
+	cfg.Environments = *envs
+	cfg.SITEIterations = *siteIters
+	cfg.PTEIterations = *pteIters
+	cfg.Seed = *seed
+	if *paperScale {
+		cfg = tuning.PaperConfig()
+		cfg.Seed = *seed
+	}
+	if *devices != "" {
+		cfg.Devices = strings.Split(*devices, ",")
+	}
+	progress := func(line string) { fmt.Fprintln(os.Stderr, line) }
+	if *quiet {
+		progress = nil
+	}
+	ds, err := tuning.Run(cfg, suite.Mutants, progress)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ds.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records to %s\n", len(ds.Records), *out)
+	fmt.Println()
+	fmt.Print(report.Fig5(ds))
+	return nil
+}
+
+func loadDataset(path string) (*tuning.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return tuning.Load(f)
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	action := fs.String("action", "mutation-score", "mutation-score, merge or correlation")
+	statsPath := fs.String("stats", "tuning.json", "dataset path (mutation-score, merge)")
+	family := fs.String("family", "PTE", "environment family")
+	rep := fs.Float64("rep", 95, "reproducibility target in percent")
+	budget := fs.Float64("budget", 1, "per-test time budget in seconds")
+	envs := fs.Int("envs", 24, "environments for the correlation study")
+	iters := fs.Int("iters", 4, "iterations per environment (correlation)")
+	seed := fs.Uint64("seed", 2023, "random seed (correlation)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *action {
+	case "mutation-score":
+		ds, err := loadDataset(*statsPath)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.Fig5(ds))
+		return nil
+	case "merge":
+		ds, err := loadDataset(*statsPath)
+		if err != nil {
+			return err
+		}
+		target := *rep / 100
+		tables := ds.RateTables(*family)
+		points, err := confidence.BudgetSweep(tables, ds.Devices(),
+			[]float64{target}, []float64{*budget})
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.Fig6(points))
+		return nil
+	case "merge-sweep":
+		ds, err := loadDataset(*statsPath)
+		if err != nil {
+			return err
+		}
+		tables := ds.RateTables(*family)
+		points, err := confidence.BudgetSweep(tables, ds.Devices(),
+			[]float64{0.95, 0.99999}, confidence.PowersOfTwoBudgets(-10, 6))
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.Fig6(points))
+		return nil
+	case "correlation":
+		suite, err := mutation.Generate()
+		if err != nil {
+			return err
+		}
+		cfg := tuning.SmallCorrelationConfig()
+		cfg.Environments = *envs
+		cfg.Iterations = *iters
+		cfg.Seed = *seed
+		var results []*tuning.CorrelationResult
+		for _, c := range tuning.PaperBugCases() {
+			fmt.Fprintf(os.Stderr, "correlating %s (%d environments)...\n", c.Name, cfg.Environments)
+			r, err := tuning.Correlate(c, suite, cfg)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+		fmt.Print(report.Table4(results))
+		return nil
+	default:
+		return fmt.Errorf("unknown action %q", *action)
+	}
+}
+
+func cmdCTS(args []string) error {
+	fs := flag.NewFlagSet("cts", flag.ContinueOnError)
+	statsPath := fs.String("stats", "tuning.json", "dataset path")
+	family := fs.String("family", "PTE", "environment family")
+	rep := fs.Float64("rep", 99.999, "reproducibility target in percent")
+	budget := fs.Float64("budget", 1, "per-test time budget in seconds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := loadDataset(*statsPath)
+	if err != nil {
+		return err
+	}
+	plan, err := core.CurateCTS(ds, *family, *rep/100, *budget)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("CTS plan: family=%s target=%.5g%% budget=%.4gs/test\n\n",
+		plan.Family, 100*plan.Target, plan.Budget)
+	for _, e := range plan.Entries {
+		mark := " "
+		if e.Reproducible {
+			mark = "*"
+		}
+		fmt.Printf("  %s %-22s env=%-12s devices=%d/%d min-rate=%.4g/s\n",
+			mark, e.Test, e.Env, e.DevicesMeeting, e.TotalDevices, e.MinPositiveRate)
+	}
+	fmt.Printf("\nmutation score: %.1f%%\n", 100*plan.MutationScore)
+	fmt.Printf("total reproducibility: %.4f%%\n", 100*plan.TotalReproducibility)
+	fmt.Printf("total budget: %.4gs\n", plan.TotalBudgetSeconds)
+	return nil
+}
+
+func cmdOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
+	testName := fs.String("test", "MP", "test name from the suite")
+	device := fs.String("device", "AMD", "device short name")
+	explore := fs.Int("explore", 16, "random exploration rounds")
+	refine := fs.Int("refine", 16, "hill-climbing rounds")
+	iters := fs.Int("iters", 4, "kernel launches per candidate")
+	site := fs.Bool("site", false, "search single-instance environments instead of PTE")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite, err := mutation.Generate()
+	if err != nil {
+		return err
+	}
+	test, ok := suite.ByName(*testName)
+	if !ok {
+		return fmt.Errorf("unknown test %q", *testName)
+	}
+	cfg := tuning.DefaultOptimizeConfig()
+	cfg.ExploreRounds = *explore
+	cfg.RefineRounds = *refine
+	cfg.Iterations = *iters
+	cfg.Parallel = !*site
+	cfg.Seed = *seed
+	best, err := tuning.Optimize(test, *device, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("optimized environment for %s on %s (%d candidates):\n", *testName, *device, best.Evaluated)
+	fmt.Printf("  rate: %.4g kills/s (%d kills during evaluation)\n", best.Rate, best.Kills)
+	fmt.Printf("  env: %+v\n", best.Env)
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	testName := fs.String("test", "MP", "test name from the suite")
+	device := fs.String("device", "AMD", "device short name")
+	seed := fs.Uint64("seed", 1, "random seed")
+	limit := fs.Int("limit", 40, "maximum events to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite, err := mutation.Generate()
+	if err != nil {
+		return err
+	}
+	test, ok := suite.ByName(*testName)
+	if !ok {
+		return fmt.Errorf("unknown test %q", *testName)
+	}
+	prof, ok := gpu.ProfileByName(*device)
+	if !ok {
+		return fmt.Errorf("unknown device %q", *device)
+	}
+	dev, err := gpu.NewDevice(prof, gpu.Bugs{})
+	if err != nil {
+		return err
+	}
+	// A single bare instance: one thread per role, no stress, so the
+	// trace stays readable.
+	roles := len(test.Threads)
+	env := harness.SITEBaseline()
+	env.MaxWorkgroups = roles
+	spec, err := harness.BuildKernel(test, &env, xrand.New(*seed))
+	if err != nil {
+		return err
+	}
+	res, trace, err := dev.RunTraced(*spec, xrand.New(*seed))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("traced %s on %s: %d events over %d ticks\n\n",
+		test.Name, prof.ShortName, len(trace), res.Stats.Ticks)
+	for i, e := range trace {
+		if i == *limit {
+			fmt.Printf("... %d more events\n", len(trace)-*limit)
+			break
+		}
+		fmt.Println(" ", e)
+	}
+	if err := gpu.VerifyTrace(*spec, trace); err != nil {
+		fmt.Printf("\ntrace verification FAILED: %v\n", err)
+	} else {
+		fmt.Println("\ntrace verification passed")
+	}
+	return nil
+}

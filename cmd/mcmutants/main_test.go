@@ -1,0 +1,312 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout around fn and returns what was printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := readAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, runErr
+}
+
+func readAll(f *os.File) (string, error) {
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := f.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			if err.Error() == "EOF" {
+				return sb.String(), nil
+			}
+			return sb.String(), nil
+		}
+	}
+}
+
+func TestNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+func TestHelp(t *testing.T) {
+	if err := run([]string{"help"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuiteDefault(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"suite"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"reversing po-loc", "Combined", "MP-relacq-nofence"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("suite output missing %q", want)
+		}
+	}
+}
+
+func TestSuiteShow(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"suite", "-show", "CoRR,MP-relacq"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "atomicLoad(&x)") || !strings.Contains(out, "fence(release/acquire)") {
+		t.Errorf("show output wrong:\n%s", out)
+	}
+	if err := run([]string{"suite", "-show", "bogus"}); err == nil {
+		t.Error("bogus test name accepted")
+	}
+}
+
+func TestSuiteExplainTemplatesAssignmentShader(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"suite", "-explain"}) })
+	if err != nil || !strings.Contains(out, "hb cycle") {
+		t.Errorf("explain failed: %v\n%s", err, out)
+	}
+	out, err = capture(t, func() error { return run([]string{"suite", "-templates"}) })
+	if err != nil || !strings.Contains(out, "Mutator 1") {
+		t.Errorf("templates failed: %v", err)
+	}
+	out, err = capture(t, func() error { return run([]string{"suite", "-assignment"}) })
+	if err != nil || !strings.Contains(out, "PTE assignment") {
+		t.Errorf("assignment failed: %v", err)
+	}
+	out, err = capture(t, func() error { return run([]string{"suite", "-shader", "MP"}) })
+	if err != nil || !strings.Contains(out, "@compute") {
+		t.Errorf("shader failed: %v\n%s", err, out)
+	}
+	if err := run([]string{"suite", "-shader", "bogus"}); err == nil {
+		t.Error("bogus shader name accepted")
+	}
+}
+
+func TestDevices(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"devices"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "GeForce RTX 2080") {
+		t.Errorf("devices output wrong:\n%s", out)
+	}
+}
+
+func TestRunCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"run", "-test", "MP", "-device", "AMD", "-iters", "3",
+			"-workgroups", "4", "-wgsize", "8"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"MP on AMD", "target", "outcomes:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCommandErrors(t *testing.T) {
+	if err := run([]string{"run", "-test", "bogus"}); err == nil {
+		t.Error("bogus test accepted")
+	}
+	if err := run([]string{"run", "-test", "MP", "-device", "bogus"}); err == nil {
+		t.Error("bogus device accepted")
+	}
+	if err := run([]string{"run", "-test", "MP", "-env", "bogus"}); err == nil {
+		t.Error("bogus env accepted")
+	}
+}
+
+func TestConformanceCommandFindsBug(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"conformance", "-device", "AMD", "-fence-bug", "-iters", "6"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "MP-relacq") || !strings.Contains(out, "VIOLATED") {
+		t.Errorf("conformance did not catch the fence bug:\n%s", out)
+	}
+	if !strings.Contains(out, "FAILED") {
+		t.Errorf("missing failure summary:\n%s", out)
+	}
+}
+
+func TestTuneAnalyzeCTSPipeline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tuning.json")
+	out, err := capture(t, func() error {
+		return run([]string{"tune", "-out", path, "-envs", "2",
+			"-site-iters", "4", "-pte-iters", "2",
+			"-devices", "AMD,Intel", "-quiet"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrote") || !strings.Contains(out, "all mutators") {
+		t.Errorf("tune output wrong:\n%s", out)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err = capture(t, func() error {
+		return run([]string{"analyze", "-action", "mutation-score", "-stats", path})
+	})
+	if err != nil || !strings.Contains(out, "SITE-Baseline") {
+		t.Errorf("mutation-score failed: %v", err)
+	}
+
+	out, err = capture(t, func() error {
+		return run([]string{"analyze", "-action", "merge", "-stats", path,
+			"-rep", "95", "-budget", "0.25"})
+	})
+	if err != nil || !strings.Contains(out, "mutation score") {
+		t.Errorf("merge failed: %v\n%s", err, out)
+	}
+
+	out, err = capture(t, func() error {
+		return run([]string{"analyze", "-action", "merge-sweep", "-stats", path})
+	})
+	if err != nil || !strings.Contains(out, "99.999%") {
+		t.Errorf("merge-sweep failed: %v", err)
+	}
+
+	out, err = capture(t, func() error {
+		return run([]string{"cts", "-stats", path, "-rep", "95", "-budget", "0.125"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CTS plan", "total reproducibility", "mutation score"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cts output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeCorrelation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("correlation analysis is slow")
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"analyze", "-action", "correlation", "-envs", "6", "-iters", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Intel/CoRR", "AMD/MP-relacq", "NVIDIA/MP-CO", "PCC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("correlation output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if err := run([]string{"analyze", "-action", "bogus"}); err == nil {
+		t.Error("bogus action accepted")
+	}
+	if err := run([]string{"analyze", "-action", "mutation-score", "-stats", "/no/such/file.json"}); err == nil {
+		t.Error("missing dataset accepted")
+	}
+	if err := run([]string{"cts", "-stats", "/no/such/file.json"}); err == nil {
+		t.Error("missing dataset accepted by cts")
+	}
+}
+
+func TestSuiteExportAndRunFile(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, func() error { return run([]string{"suite", "-export", dir}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrote 52 .litmus files") {
+		t.Fatalf("export output: %s", out)
+	}
+	// Run one exported file end to end.
+	out, err = capture(t, func() error {
+		return run([]string{"run", "-file", filepath.Join(dir, "MP.litmus"),
+			"-device", "AMD", "-iters", "3", "-workgroups", "4", "-wgsize", "8"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "MP on AMD") {
+		t.Fatalf("run -file output: %s", out)
+	}
+	if err := run([]string{"run", "-file", "/no/such/file.litmus"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestOptimizeCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"optimize", "-test", "MP", "-device", "AMD",
+			"-explore", "3", "-refine", "2", "-iters", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "optimized environment") || !strings.Contains(out, "kills/s") {
+		t.Fatalf("optimize output: %s", out)
+	}
+	if err := run([]string{"optimize", "-test", "bogus"}); err == nil {
+		t.Error("bogus test accepted")
+	}
+}
+
+func TestTraceCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"trace", "-test", "MP-relacq", "-device", "AMD", "-limit", "10"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"traced MP-relacq", "issue", "complete", "trace verification passed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+	if err := run([]string{"trace", "-test", "bogus"}); err == nil {
+		t.Error("bogus test accepted")
+	}
+}
+
+func TestSuiteDotCommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"suite", "-dot", "MP-relacq"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "po;sw;po") {
+		t.Errorf("dot output wrong:\n%s", out)
+	}
+	if err := run([]string{"suite", "-dot", "bogus"}); err == nil {
+		t.Error("bogus dot name accepted")
+	}
+}

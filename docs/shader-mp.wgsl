@@ -1,0 +1,25 @@
+// MP — generated litmus shader (mutant of MP-CO, weakening po-loc)
+struct TestLocations { value: array<atomic<u32>> }
+struct ReadResults { value: array<u32> }
+struct TestParams { num_instances: u32, perm_p: u32, perm_q: u32, stride: u32, loc_offset: u32 }
+
+@group(0) @binding(0) var<storage, read_write> test_locations : TestLocations;
+@group(0) @binding(1) var<storage, read_write> read_results : ReadResults;
+@group(0) @binding(2) var<uniform> params : TestParams;
+
+fn permute(v : u32) -> u32 {
+  // co-prime modular permutation: no divergence, no simple v+1 pattern
+  return (v * params.perm_p + params.perm_q) % params.num_instances;
+}
+
+@compute @workgroup_size(256)
+fn main(@builtin(global_invocation_id) gid : vec3<u32>) {
+  var inst = gid.x;
+  // thread 0
+  atomicStore(&test_locations.value[inst * params.stride], 1u);
+  atomicStore(&test_locations.value[params.num_instances * params.stride + permute(inst) * params.stride + params.loc_offset], 2u);
+  // thread 1
+  inst = permute(inst);
+  read_results.value[0] = atomicLoad(&test_locations.value[params.num_instances * params.stride + permute(inst) * params.stride + params.loc_offset]);
+  read_results.value[1] = atomicLoad(&test_locations.value[inst * params.stride]);
+}

@@ -1,0 +1,196 @@
+// Package confidence implements MCS Test Confidence (Sec. 4.2 of the
+// paper): statistical reproducibility scores for testing environments,
+// and Algorithm 1 (MergeEnvironments), which curates one environment
+// per test that works across devices — the machinery behind the
+// WebGPU conformance test suite's time budget.
+//
+// The key identity, due to prior work: if a behavior was observed x
+// times in a testing window, the probability that an identical
+// subsequent window observes it at least once is 1 - e^-x, the
+// reproducibility score.
+package confidence
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Score returns the reproducibility score for x observations per
+// budget window: 1 - e^-x. Three observations give ~95%.
+func Score(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-x)
+}
+
+// RequiredObservations inverts Score: the (integer) number of
+// observations per window needed for a reproducibility target r in
+// (0, 1): ceil(-ln(1-r)).
+func RequiredObservations(r float64) (float64, error) {
+	if r <= 0 || r >= 1 {
+		return 0, fmt.Errorf("confidence: target %v outside (0,1)", r)
+	}
+	return math.Ceil(-math.Log(1 - r)), nil
+}
+
+// CeilingRate is line 7 of Algorithm 1: the mutant death rate (per
+// second) an environment must sustain so that a run of length budget
+// seconds meets the reproducibility target r.
+func CeilingRate(r, budget float64) (float64, error) {
+	if budget <= 0 {
+		return 0, fmt.Errorf("confidence: budget %v must be positive", budget)
+	}
+	obs, err := RequiredObservations(r)
+	if err != nil {
+		return 0, err
+	}
+	return obs / budget, nil
+}
+
+// TotalScore returns the probability that a suite of n tests, each
+// individually reproducible with score r, all reproduce in one run:
+// r^n. (Sec. 4.2: twenty 95% tests give only 35.8%; twenty 99.999%
+// tests give 99.98%.)
+func TotalScore(r float64, n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return math.Pow(r, float64(n))
+}
+
+// RateTable holds a mutant's death rates: environment -> device ->
+// rate (observations per second).
+type RateTable map[string]map[string]float64
+
+// Merged is the result of MergeEnvironments for one mutant.
+type Merged struct {
+	// Env is the chosen environment's key; empty when the table is
+	// empty.
+	Env string
+	// DevicesMeeting is how many devices met the ceiling rate under
+	// the chosen environment.
+	DevicesMeeting int
+	// TotalDevices is the device count evaluated.
+	TotalDevices int
+	// MinPositiveRate is the smallest nonzero rate of the chosen
+	// environment across devices (+Inf if all rates are zero),
+	// Algorithm 1's tie-breaker.
+	MinPositiveRate float64
+}
+
+// ReproducibleEverywhere reports whether the chosen environment met
+// the ceiling on every device.
+func (m Merged) ReproducibleEverywhere() bool {
+	return m.TotalDevices > 0 && m.DevicesMeeting == m.TotalDevices
+}
+
+// MergeEnvironments is Algorithm 1 of the paper: given a mutant's death
+// rates across environments and devices, a reproducibility target r and
+// a per-test time budget (seconds), choose the environment that meets
+// the ceiling rate on the most devices, breaking ties by the largest
+// minimum nonzero rate. Environments are visited in sorted key order,
+// making the choice deterministic.
+func MergeEnvironments(rates RateTable, devices []string, r, budget float64) (Merged, error) {
+	ceiling, err := CeilingRate(r, budget)
+	if err != nil {
+		return Merged{}, err
+	}
+	envs := make([]string, 0, len(rates))
+	for e := range rates {
+		envs = append(envs, e)
+	}
+	sort.Strings(envs)
+	best := Merged{MinPositiveRate: math.Inf(1), TotalDevices: len(devices)}
+	bestN := -1
+	for _, e := range envs {
+		n := 0
+		minRate := math.Inf(1)
+		for _, d := range devices {
+			rate := rates[e][d]
+			if rate >= ceiling {
+				n++
+			}
+			if rate > 0 && rate < minRate {
+				minRate = rate
+			}
+		}
+		if n > bestN || (n == bestN && minRate > best.MinPositiveRate) {
+			best = Merged{
+				Env:             e,
+				DevicesMeeting:  n,
+				TotalDevices:    len(devices),
+				MinPositiveRate: minRate,
+			}
+			bestN = n
+		}
+	}
+	if bestN < 0 {
+		return Merged{TotalDevices: len(devices), MinPositiveRate: math.Inf(1)}, nil
+	}
+	return best, nil
+}
+
+// TestRates pairs a mutant with its rate table.
+type TestRates struct {
+	Test  string
+	Rates RateTable
+}
+
+// SweepPoint is one point of the Fig. 6 budget sweep.
+type SweepPoint struct {
+	// Budget is the per-test time budget in seconds.
+	Budget float64
+	// Target is the reproducibility target.
+	Target float64
+	// Reproducible is the number of mutants whose merged environment
+	// met the ceiling rate on every device.
+	Reproducible int
+	// Total is the number of mutants evaluated.
+	Total int
+}
+
+// Score returns the mutation score at this point.
+func (p SweepPoint) Score() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.Reproducible) / float64(p.Total)
+}
+
+// BudgetSweep evaluates every (budget, target) combination over all
+// mutants, reproducing Fig. 6: how many mutants a merged-environment
+// suite reproduces everywhere as the time budget varies.
+func BudgetSweep(tests []TestRates, devices []string, targets, budgets []float64) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, target := range targets {
+		for _, budget := range budgets {
+			pt := SweepPoint{Budget: budget, Target: target, Total: len(tests)}
+			for _, tr := range tests {
+				m, err := MergeEnvironments(tr.Rates, devices, target, budget)
+				if err != nil {
+					return nil, fmt.Errorf("confidence: %s: %w", tr.Test, err)
+				}
+				if m.ReproducibleEverywhere() {
+					pt.Reproducible++
+				}
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// PowersOfTwoBudgets returns budgets 2^lo .. 2^hi seconds inclusive,
+// the x-axis of Fig. 6 (the paper sweeps 2^-10 .. 2^6).
+func PowersOfTwoBudgets(lo, hi int) []float64 {
+	if hi < lo {
+		return nil
+	}
+	out := make([]float64, 0, hi-lo+1)
+	for e := lo; e <= hi; e++ {
+		out = append(out, math.Pow(2, float64(e)))
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+package confidence
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestScore(t *testing.T) {
+	// Three observations -> ~95% (the paper's example).
+	if s := Score(3); !almostEq(s, 0.9502, 1e-4) {
+		t.Fatalf("Score(3) = %v", s)
+	}
+	if Score(0) != 0 || Score(-1) != 0 {
+		t.Fatal("nonpositive observations must score 0")
+	}
+	if s := Score(1000); !almostEq(s, 1, 1e-12) {
+		t.Fatalf("Score(1000) = %v", s)
+	}
+}
+
+func TestRequiredObservations(t *testing.T) {
+	// 95% needs 3 observations; 99.999% needs 12.
+	if n, err := RequiredObservations(0.95); err != nil || n != 3 {
+		t.Fatalf("RequiredObservations(0.95) = %v, %v", n, err)
+	}
+	if n, err := RequiredObservations(0.99999); err != nil || n != 12 {
+		t.Fatalf("RequiredObservations(0.99999) = %v, %v", n, err)
+	}
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := RequiredObservations(bad); err == nil {
+			t.Errorf("RequiredObservations(%v) accepted", bad)
+		}
+	}
+}
+
+func TestScoreInvertsRequiredObservations(t *testing.T) {
+	for _, r := range []float64{0.5, 0.9, 0.95, 0.999, 0.99999} {
+		n, err := RequiredObservations(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Score(n); got < r {
+			t.Errorf("Score(%v) = %v < target %v", n, got, r)
+		}
+	}
+}
+
+func TestCeilingRate(t *testing.T) {
+	// 95% over 3 seconds: 3 observations / 3 s = 1/s (the paper's
+	// example of 20 tests in a minute).
+	rate, err := CeilingRate(0.95, 3)
+	if err != nil || rate != 1 {
+		t.Fatalf("CeilingRate(0.95, 3) = %v, %v", rate, err)
+	}
+	// 99.999% over 64 seconds: 12/64.
+	rate, err = CeilingRate(0.99999, 64)
+	if err != nil || !almostEq(rate, 12.0/64, 1e-12) {
+		t.Fatalf("CeilingRate(0.99999, 64) = %v", rate)
+	}
+	if _, err := CeilingRate(0.95, 0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestTotalScore(t *testing.T) {
+	// Sec. 4.2's worked numbers: 0.95^20 = 35.8%, 0.99999^20 = 99.98%.
+	if s := TotalScore(0.95, 20); !almostEq(s, 0.358, 1e-3) {
+		t.Fatalf("TotalScore(0.95, 20) = %v", s)
+	}
+	if s := TotalScore(0.99999, 20); !almostEq(s, 0.9998, 1e-4) {
+		t.Fatalf("TotalScore(0.99999, 20) = %v", s)
+	}
+	if TotalScore(0.5, 0) != 1 {
+		t.Fatal("empty suite must have total score 1")
+	}
+}
+
+var devices = []string{"NVIDIA", "AMD", "Intel", "M1"}
+
+func table(envRates map[string][4]float64) RateTable {
+	rt := RateTable{}
+	for env, rs := range envRates {
+		m := map[string]float64{}
+		for i, d := range devices {
+			m[d] = rs[i]
+		}
+		rt[env] = m
+	}
+	return rt
+}
+
+func TestMergePicksMostDevices(t *testing.T) {
+	rt := table(map[string][4]float64{
+		"envA": {10, 10, 0, 0},  // meets ceiling on 2 devices
+		"envB": {5, 5, 5, 0.01}, // meets ceiling on 3 devices
+	})
+	m, err := MergeEnvironments(rt, devices, 0.95, 3) // ceiling 1/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Env != "envB" || m.DevicesMeeting != 3 {
+		t.Fatalf("chose %+v, want envB with 3 devices", m)
+	}
+	if m.ReproducibleEverywhere() {
+		t.Fatal("3/4 devices must not count as everywhere")
+	}
+}
+
+func TestMergeTieBreakByMinRate(t *testing.T) {
+	rt := table(map[string][4]float64{
+		"envA": {100, 100, 2, 2},  // min positive 2
+		"envB": {5, 5, 5, 5},      // min positive 5 — wins the tie
+		"envC": {1000, 3, 3, 0.5}, // only 3 meet ceiling
+	})
+	m, err := MergeEnvironments(rt, devices, 0.95, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Env != "envB" {
+		t.Fatalf("tie-break chose %q, want envB", m.Env)
+	}
+	if !m.ReproducibleEverywhere() {
+		t.Fatal("envB meets the ceiling everywhere")
+	}
+	if m.MinPositiveRate != 5 {
+		t.Fatalf("MinPositiveRate = %v", m.MinPositiveRate)
+	}
+}
+
+// TestMergeStability checks the paper's stability property: if the
+// chosen environment meets the target everywhere, relaxing the target
+// or extending the budget keeps the same choice.
+func TestMergeStability(t *testing.T) {
+	rt := table(map[string][4]float64{
+		"envA": {100, 100, 2, 2},
+		"envB": {5, 5, 5, 5},
+		"envC": {1000, 3, 3, 0.5},
+	})
+	base, err := MergeEnvironments(rt, devices, 0.95, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.ReproducibleEverywhere() {
+		t.Fatal("setup: base choice must meet the target everywhere")
+	}
+	for _, c := range []struct{ r, budget float64 }{
+		{0.9, 3}, {0.95, 10}, {0.9, 100}, {0.5, 3},
+	} {
+		m, err := MergeEnvironments(rt, devices, c.r, c.budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Env != base.Env {
+			t.Errorf("r=%v budget=%v chose %q, want stable %q", c.r, c.budget, m.Env, base.Env)
+		}
+	}
+}
+
+func TestMergeAllZeroRates(t *testing.T) {
+	rt := table(map[string][4]float64{
+		"envA": {0, 0, 0, 0},
+		"envB": {0, 0, 0, 0},
+	})
+	m, err := MergeEnvironments(rt, devices, 0.95, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DevicesMeeting != 0 || m.ReproducibleEverywhere() {
+		t.Fatalf("zero rates produced %+v", m)
+	}
+	if !math.IsInf(m.MinPositiveRate, 1) {
+		t.Fatalf("MinPositiveRate = %v, want +Inf", m.MinPositiveRate)
+	}
+}
+
+func TestMergeEmptyTable(t *testing.T) {
+	m, err := MergeEnvironments(RateTable{}, devices, 0.95, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Env != "" || m.ReproducibleEverywhere() {
+		t.Fatalf("empty table produced %+v", m)
+	}
+}
+
+func TestMergeDeterministic(t *testing.T) {
+	rt := table(map[string][4]float64{
+		"envB": {5, 5, 5, 5},
+		"envA": {5, 5, 5, 5}, // identical rates: sorted order wins
+	})
+	for i := 0; i < 10; i++ {
+		m, err := MergeEnvironments(rt, devices, 0.95, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Env != "envA" {
+			t.Fatalf("nondeterministic or unsorted choice: %q", m.Env)
+		}
+	}
+}
+
+func TestMergeRejectsBadParams(t *testing.T) {
+	rt := table(map[string][4]float64{"envA": {1, 1, 1, 1}})
+	if _, err := MergeEnvironments(rt, devices, 1.5, 3); err == nil {
+		t.Fatal("bad target accepted")
+	}
+	if _, err := MergeEnvironments(rt, devices, 0.95, -1); err == nil {
+		t.Fatal("bad budget accepted")
+	}
+}
+
+func TestBudgetSweepMonotone(t *testing.T) {
+	// Rates chosen so that more budget -> lower ceiling -> more
+	// reproducible mutants.
+	tests := []TestRates{
+		{Test: "fast", Rates: table(map[string][4]float64{"e": {100, 100, 100, 100}})},
+		{Test: "medium", Rates: table(map[string][4]float64{"e": {3, 3, 3, 3}})},
+		{Test: "slow", Rates: table(map[string][4]float64{"e": {0.1, 0.1, 0.1, 0.1}})},
+		{Test: "dead", Rates: table(map[string][4]float64{"e": {0, 0, 0, 0}})},
+	}
+	budgets := PowersOfTwoBudgets(-4, 8)
+	points, err := BudgetSweep(tests, devices, []float64{0.95}, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(budgets) {
+		t.Fatalf("%d points for %d budgets", len(points), len(budgets))
+	}
+	prev := -1
+	for _, pt := range points {
+		if pt.Reproducible < prev {
+			t.Fatalf("score decreased with larger budget at %v", pt.Budget)
+		}
+		prev = pt.Reproducible
+		if pt.Total != 4 {
+			t.Fatalf("Total = %d", pt.Total)
+		}
+	}
+	last := points[len(points)-1]
+	if last.Reproducible != 3 {
+		t.Fatalf("at 256s budget, %d reproducible, want 3 (dead never reproduces)", last.Reproducible)
+	}
+	if !almostEq(last.Score(), 0.75, 1e-12) {
+		t.Fatalf("Score() = %v", last.Score())
+	}
+}
+
+// TestBudgetSweepTargetsOrdering: a stricter target can never
+// reproduce more mutants at the same budget.
+func TestBudgetSweepTargetsOrdering(t *testing.T) {
+	tests := []TestRates{
+		{Test: "a", Rates: table(map[string][4]float64{"e": {1, 1, 1, 1}})},
+		{Test: "b", Rates: table(map[string][4]float64{"e": {5, 5, 5, 5}})},
+	}
+	budgets := PowersOfTwoBudgets(-2, 6)
+	loose, err := BudgetSweep(tests, devices, []float64{0.95}, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := BudgetSweep(tests, devices, []float64{0.99999}, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range budgets {
+		if strict[i].Reproducible > loose[i].Reproducible {
+			t.Fatalf("stricter target reproduced more at budget %v", budgets[i])
+		}
+	}
+}
+
+func TestPowersOfTwoBudgets(t *testing.T) {
+	b := PowersOfTwoBudgets(-2, 2)
+	want := []float64{0.25, 0.5, 1, 2, 4}
+	if len(b) != len(want) {
+		t.Fatalf("got %v", b)
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("got %v, want %v", b, want)
+		}
+	}
+	if PowersOfTwoBudgets(3, 2) != nil {
+		t.Fatal("inverted range should be nil")
+	}
+}
+
+func TestSweepPointScoreEmpty(t *testing.T) {
+	if (SweepPoint{}).Score() != 0 {
+		t.Fatal("empty sweep point score must be 0")
+	}
+}

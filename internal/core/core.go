@@ -1,0 +1,281 @@
+// Package core is the high-level MC Mutants API: it ties the generated
+// test suite, the simulated device fleet, the testing environments and
+// the confidence machinery together into the three workflows the paper
+// demonstrates —
+//
+//   - evaluating a testing environment by mutation score and mutant
+//     death rate (Sec. 3),
+//   - checking a platform's conformance and explaining any violation
+//     as a happens-before cycle (Sec. 5.4's bug discoveries),
+//   - curating a conformance test suite with per-test environments and
+//     a reproducibility-backed time budget (Sec. 4.2, 5.3).
+//
+// Commands and examples build on this package rather than wiring the
+// internal pieces directly.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/confidence"
+	"repro/internal/gpu"
+	"repro/internal/harness"
+	"repro/internal/litmus"
+	"repro/internal/mutation"
+	"repro/internal/tuning"
+	"repro/internal/wgsl"
+	"repro/internal/xrand"
+)
+
+// Study bundles the generated suite with the device fleet.
+type Study struct {
+	// Suite is the generated 20-conformance/32-mutant test suite.
+	Suite *mutation.Suite
+}
+
+// NewStudy generates the test suite.
+func NewStudy() (*Study, error) {
+	s, err := mutation.Generate()
+	if err != nil {
+		return nil, err
+	}
+	return &Study{Suite: s}, nil
+}
+
+// Platform describes a device under test: a profile, injected device
+// defects, and the driver build of its shading toolchain.
+type Platform struct {
+	// Device is the profile short name ("NVIDIA", "AMD", "Intel",
+	// "M1", "Kepler").
+	Device string
+	// Bugs injects device-level defects.
+	Bugs gpu.Bugs
+	// Driver selects the toolchain build.
+	Driver wgsl.DriverVersion
+}
+
+// runner builds a harness runner for the platform and environment.
+func (p Platform) runner(env harness.Params) (*harness.Runner, error) {
+	prof, ok := gpu.ProfileByName(p.Device)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown device %q", p.Device)
+	}
+	dev, err := gpu.NewDevice(prof, p.Bugs)
+	if err != nil {
+		return nil, err
+	}
+	r, err := harness.NewRunner(dev, env)
+	if err != nil {
+		return nil, err
+	}
+	r.Lower = wgsl.NewToolchain(prof, p.Driver).LowerFunc()
+	return r, nil
+}
+
+// EnvScore is a testing environment's evaluation on one platform.
+type EnvScore struct {
+	// Killed and Total give the mutation score over the suite's
+	// mutants.
+	Killed, Total int
+	// AvgDeathRate is the mean kill rate over killed-or-not mutants
+	// (kills per simulated second).
+	AvgDeathRate float64
+	// PerMutant holds the individual results in suite order.
+	PerMutant []*harness.Result
+}
+
+// Score returns the mutation score in [0, 1].
+func (s *EnvScore) Score() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Killed) / float64(s.Total)
+}
+
+// EvaluateEnvironment runs every mutant in the environment on the
+// platform and scores the environment, the core MC Mutants loop.
+func (st *Study) EvaluateEnvironment(p Platform, env harness.Params, iterations int, seed uint64) (*EnvScore, error) {
+	r, err := p.runner(env)
+	if err != nil {
+		return nil, err
+	}
+	rng := xrand.New(seed)
+	score := &EnvScore{}
+	rates := 0.0
+	for _, mt := range st.Suite.Mutants {
+		res, err := r.Run(mt, iterations, rng)
+		if err != nil {
+			return nil, err
+		}
+		score.PerMutant = append(score.PerMutant, res)
+		score.Total++
+		if res.TargetCount > 0 {
+			score.Killed++
+		}
+		rates += res.TargetRate()
+	}
+	if score.Total > 0 {
+		score.AvgDeathRate = rates / float64(score.Total)
+	}
+	return score, nil
+}
+
+// Finding is one conformance test's result on a platform.
+type Finding struct {
+	// Test is the conformance test name.
+	Test string
+	// Mutator is the generating mutator family.
+	Mutator string
+	// Instances and Violations count executed instances and disallowed
+	// outcomes.
+	Instances  int
+	Violations int
+	// ViolationRate is violations per simulated second.
+	ViolationRate float64
+	// Outcome is a violating outcome's postcondition form, empty when
+	// conformant.
+	Outcome string
+	// Explanation is the happens-before cycle that makes the outcome
+	// illegal, in the paper's notation.
+	Explanation string
+}
+
+// ConformanceReport is the result of running the conformance suite.
+type ConformanceReport struct {
+	Platform Platform
+	Findings []Finding
+}
+
+// Buggy returns the findings with violations.
+func (r *ConformanceReport) Buggy() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Violations > 0 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// CheckConformance runs all 20 conformance tests on the platform in
+// the environment, explaining each discovered violation.
+func (st *Study) CheckConformance(p Platform, env harness.Params, iterations int, seed uint64) (*ConformanceReport, error) {
+	r, err := p.runner(env)
+	if err != nil {
+		return nil, err
+	}
+	rng := xrand.New(seed)
+	report := &ConformanceReport{Platform: p}
+	for _, test := range st.Suite.Conformance {
+		res, err := r.Run(test, iterations, rng)
+		if err != nil {
+			return nil, err
+		}
+		f := Finding{
+			Test:          test.Name,
+			Mutator:       test.Mutator,
+			Instances:     res.Instances,
+			Violations:    res.Violations,
+			ViolationRate: res.ViolationRate(),
+		}
+		if res.FirstViolation != nil {
+			f.Outcome = res.FirstViolation.Key()
+			f.Explanation = explainViolation(test, *res.FirstViolation)
+		}
+		report.Findings = append(report.Findings, f)
+	}
+	return report, nil
+}
+
+// explainViolation renders the hb cycle of a disallowed outcome, or a
+// consistency note when the outcome is memory corruption.
+func explainViolation(test *litmus.Test, o litmus.Outcome) string {
+	v, err := test.Classify(o)
+	if err != nil {
+		return fmt.Sprintf("unclassifiable: %v", err)
+	}
+	if v.Allowed {
+		return "" // not actually a violation; defensive
+	}
+	if !v.Consistent {
+		return "value inconsistency: a read or final value traces to no write"
+	}
+	x, err := test.Execution(o)
+	if err != nil || len(v.Cycle) == 0 {
+		return "disallowed under " + test.Model.String()
+	}
+	return x.ExplainCycle(v.Cycle)
+}
+
+// CTSEntry is one curated test of a conformance test suite plan.
+type CTSEntry struct {
+	// Test is the mutant whose reproducibility backs the conformance
+	// test's inclusion.
+	Test string
+	// Env is the chosen environment key from the tuning dataset.
+	Env string
+	// DevicesMeeting and TotalDevices report Algorithm 1's coverage.
+	DevicesMeeting, TotalDevices int
+	// MinPositiveRate is the tie-breaking minimum nonzero rate.
+	MinPositiveRate float64
+	// Reproducible is true when the ceiling rate was met on every
+	// device.
+	Reproducible bool
+}
+
+// CTSPlan is a curated suite: one environment per test plus the
+// aggregate confidence numbers of Sec. 4.2.
+type CTSPlan struct {
+	Family string
+	Target float64
+	Budget float64
+	// Entries lists per-test choices.
+	Entries []CTSEntry
+	// MutationScore is the fraction of mutants reproducible everywhere
+	// at this target and budget.
+	MutationScore float64
+	// TotalReproducibility is the chance one CTS run reproduces every
+	// reproducible mutant: target^k for k reproducible entries.
+	TotalReproducibility float64
+	// TotalBudgetSeconds is budget times the number of entries.
+	TotalBudgetSeconds float64
+}
+
+// CurateCTS applies Algorithm 1 over a tuning dataset's family to pick
+// one environment per mutant and assemble the plan.
+func CurateCTS(ds *tuning.Dataset, family string, target, budget float64) (*CTSPlan, error) {
+	tables := ds.RateTables(family)
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("core: dataset has no %q mutant records", family)
+	}
+	devices := ds.Devices()
+	plan := &CTSPlan{Family: family, Target: target, Budget: budget}
+	reproducible := 0
+	for _, tr := range tables {
+		m, err := confidence.MergeEnvironments(tr.Rates, devices, target, budget)
+		if err != nil {
+			return nil, err
+		}
+		e := CTSEntry{
+			Test:           tr.Test,
+			Env:            m.Env,
+			DevicesMeeting: m.DevicesMeeting,
+			TotalDevices:   m.TotalDevices,
+			Reproducible:   m.ReproducibleEverywhere(),
+		}
+		if !math.IsInf(m.MinPositiveRate, 1) {
+			e.MinPositiveRate = m.MinPositiveRate
+		}
+		if e.Reproducible {
+			reproducible++
+		}
+		plan.Entries = append(plan.Entries, e)
+	}
+	sort.Slice(plan.Entries, func(i, j int) bool { return plan.Entries[i].Test < plan.Entries[j].Test })
+	plan.MutationScore = float64(reproducible) / float64(len(plan.Entries))
+	plan.TotalReproducibility = confidence.TotalScore(target, reproducible)
+	plan.TotalBudgetSeconds = budget * float64(len(plan.Entries))
+	return plan, nil
+}

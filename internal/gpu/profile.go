@@ -1,0 +1,256 @@
+package gpu
+
+import "fmt"
+
+// Backend identifies the platform shading stack a device sits behind,
+// mirroring WebGPU's lowering targets (Sec. 2.3 of the paper).
+type Backend int
+
+const (
+	// Metal is Apple's stack (Apple silicon and Intel GPUs on macOS).
+	Metal Backend = iota
+	// Vulkan is the Khronos stack (AMD and NVIDIA on the paper's rig).
+	Vulkan
+	// HLSL is the Direct3D stack.
+	HLSL
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	switch b {
+	case Metal:
+		return "Metal"
+	case Vulkan:
+		return "Vulkan"
+	case HLSL:
+		return "HLSL"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// Profile parameterizes one synthetic device. The timing fields encode
+// where weak behaviors come from on that device:
+//
+//   - JitterBase is latency variance present even on an idle device;
+//     devices with nonzero base jitter show fine-grained interleavings
+//     and mild reorderings without any stress.
+//   - The pressure fields inflate latency when the memory system is
+//     busy. Global pressure counts all in-flight memory operations
+//     (a shared memory controller); line pressure counts in-flight
+//     operations on the same cache line (a partitioned memory system,
+//     where only nearby traffic interferes). Devices dominated by line
+//     pressure are largely immune to the classic stress heuristics —
+//     stress threads hammer a scratch region, not the test lines — and
+//     only reveal weak behavior under parallel testing, which is
+//     exactly the PTE-vs-SITE split the paper observes on NVIDIA and
+//     Apple hardware.
+type Profile struct {
+	// Vendor, Chip, ShortName and CUs reproduce Table 3.
+	Vendor    string
+	Chip      string
+	ShortName string
+	CUs       int
+	// Integrated marks integrated (shared-memory) parts.
+	Integrated bool
+	// Backend is the platform stack WebGPU lowers to on this device.
+	Backend Backend
+
+	// WarpSize is the SIMT width; threads are scheduled warp-at-a-time.
+	WarpSize int
+	// MaxWGPerCU bounds resident workgroups per compute unit.
+	MaxWGPerCU int
+	// MaxOutstanding bounds in-flight memory ops per thread.
+	MaxOutstanding int
+
+	// ClockHz converts simulated ticks to seconds.
+	ClockHz float64
+	// LaunchOverheadTicks models dispatch + readback cost per kernel
+	// launch; it is what makes single-instance testing slow per test.
+	LaunchOverheadTicks int64
+
+	// LatLoad, LatStore and LatRMW are base completion latencies.
+	LatLoad, LatStore, LatRMW int
+	// JitterBase is the idle-device latency variance (uniform ticks).
+	JitterBase int
+
+	// GlobalPressureThresh/Weight scale latency with total in-flight
+	// memory operations beyond the threshold.
+	GlobalPressureThresh int
+	GlobalPressureWeight float64
+	// LinePressureThresh/Weight scale latency with in-flight operations
+	// on the same cache line beyond the threshold.
+	LinePressureThresh int
+	LinePressureWeight float64
+	// MaxPressureLat caps the pressure-induced latency addition.
+	MaxPressureLat int
+
+	// LineWords is the cache line size in 32-bit words.
+	LineWords int
+	// CacheLines is the per-CU cache capacity in lines (used when a
+	// cache-carrying bug is enabled).
+	CacheLines int
+	// StaleHitProb is the chance a cached line serves a (possibly
+	// stale) hit under the stale-cache bug.
+	StaleHitProb float64
+}
+
+// Validate checks profile invariants.
+func (p *Profile) Validate() error {
+	switch {
+	case p.CUs <= 0:
+		return fmt.Errorf("gpu: profile %s: CUs=%d", p.ShortName, p.CUs)
+	case p.WarpSize <= 0:
+		return fmt.Errorf("gpu: profile %s: WarpSize=%d", p.ShortName, p.WarpSize)
+	case p.MaxWGPerCU <= 0:
+		return fmt.Errorf("gpu: profile %s: MaxWGPerCU=%d", p.ShortName, p.MaxWGPerCU)
+	case p.MaxOutstanding <= 0:
+		return fmt.Errorf("gpu: profile %s: MaxOutstanding=%d", p.ShortName, p.MaxOutstanding)
+	case p.ClockHz <= 0:
+		return fmt.Errorf("gpu: profile %s: ClockHz=%v", p.ShortName, p.ClockHz)
+	case p.LatLoad <= 0 || p.LatStore <= 0 || p.LatRMW <= 0:
+		return fmt.Errorf("gpu: profile %s: nonpositive base latency", p.ShortName)
+	case p.LineWords <= 0:
+		return fmt.Errorf("gpu: profile %s: LineWords=%d", p.ShortName, p.LineWords)
+	case p.JitterBase < 0 || p.MaxPressureLat < 0:
+		return fmt.Errorf("gpu: profile %s: negative latency bound", p.ShortName)
+	}
+	return nil
+}
+
+// Bugs selects injected implementation defects. All fields default to
+// a conformant device; the correlation study (Sec. 5.4) enables one
+// defect at a time.
+type Bugs struct {
+	// CoherenceRR lets two same-thread loads of one location complete
+	// out of order when the location's line is under pressure — the
+	// CoRR violation observed on WebGPU over Metal on an Intel GPU
+	// (Fig. 1a).
+	CoherenceRR bool
+	// CoherenceRRProb is the reorder probability once pressure exceeds
+	// CoherenceRRPressure.
+	CoherenceRRProb     float64
+	CoherenceRRPressure int
+
+	// StaleCache disables cross-CU cache invalidation so loads may
+	// observe stale lines — the NVIDIA Kepler coherence violation
+	// recreated for the MP-CO test (Sec. 5.4).
+	StaleCache bool
+
+	// DropFences elides every fence — the AMD Vulkan compiler defect
+	// behind the MP-relacq bug (Fig. 1b). It is normally set by the
+	// buggy wgsl lowering pass rather than directly.
+	DropFences bool
+}
+
+// Any reports whether any defect is enabled.
+func (b Bugs) Any() bool { return b.CoherenceRR || b.StaleCache || b.DropFences }
+
+// The synthetic device fleet. The first four reproduce Table 3; Kepler
+// is the fifth device used by the correlation study.
+func nvidiaProfile() Profile {
+	return Profile{
+		Vendor: "NVIDIA", Chip: "GeForce RTX 2080", ShortName: "NVIDIA",
+		CUs: 64, Integrated: false, Backend: Vulkan,
+		WarpSize: 32, MaxWGPerCU: 4, MaxOutstanding: 6,
+		ClockHz: 1e9, LaunchOverheadTicks: 120_000,
+		LatLoad: 12, LatStore: 14, LatRMW: 18,
+		JitterBase: 0,
+		// A partitioned memory system: only same-line traffic interferes,
+		// so scratch-region stress barely helps; parallel test instances
+		// sharing lines are what expose weak behavior.
+		GlobalPressureThresh: 4096, GlobalPressureWeight: 0.01,
+		LinePressureThresh: 2, LinePressureWeight: 3.0,
+		MaxPressureLat: 160,
+		LineWords:      16, CacheLines: 64, StaleHitProb: 0.8,
+	}
+}
+
+func amdProfile() Profile {
+	return Profile{
+		Vendor: "AMD", Chip: "Radeon Pro 5500M", ShortName: "AMD",
+		CUs: 24, Integrated: false, Backend: Vulkan,
+		WarpSize: 64, MaxWGPerCU: 4, MaxOutstanding: 4,
+		ClockHz: 1e9, LaunchOverheadTicks: 150_000,
+		LatLoad: 14, LatStore: 16, LatRMW: 20,
+		JitterBase: 1,
+		// A shared memory controller: global stress traffic inflates
+		// latency, so classic stress helps — and parallelism helps more.
+		GlobalPressureThresh: 48, GlobalPressureWeight: 0.25,
+		LinePressureThresh: 2, LinePressureWeight: 1.5,
+		MaxPressureLat: 120,
+		LineWords:      16, CacheLines: 64, StaleHitProb: 0.8,
+	}
+}
+
+func intelProfile() Profile {
+	return Profile{
+		Vendor: "Intel", Chip: "Iris Plus Graphics", ShortName: "Intel",
+		CUs: 48, Integrated: true, Backend: Metal,
+		WarpSize: 8, MaxWGPerCU: 2, MaxOutstanding: 4,
+		ClockHz: 1e9, LaunchOverheadTicks: 200_000,
+		LatLoad: 20, LatStore: 22, LatRMW: 28,
+		// Plenty of idle-device variance: fine-grained interleavings are
+		// visible even without stress, and global pressure compounds it.
+		JitterBase:           4,
+		GlobalPressureThresh: 16, GlobalPressureWeight: 0.5,
+		LinePressureThresh: 1, LinePressureWeight: 1.0,
+		MaxPressureLat: 100,
+		LineWords:      8, CacheLines: 32, StaleHitProb: 0.8,
+	}
+}
+
+func m1Profile() Profile {
+	return Profile{
+		Vendor: "Apple", Chip: "M1", ShortName: "M1",
+		CUs: 128, Integrated: true, Backend: Metal,
+		WarpSize: 32, MaxWGPerCU: 3, MaxOutstanding: 6,
+		ClockHz: 1e9, LaunchOverheadTicks: 100_000,
+		LatLoad: 10, LatStore: 12, LatRMW: 14,
+		JitterBase: 0,
+		// Like NVIDIA, weak behavior needs same-line pressure; the wide
+		// device digests scratch stress without flinching.
+		GlobalPressureThresh: 6144, GlobalPressureWeight: 0.01,
+		LinePressureThresh: 2, LinePressureWeight: 2.5,
+		MaxPressureLat: 140,
+		LineWords:      16, CacheLines: 96, StaleHitProb: 0.8,
+	}
+}
+
+func keplerProfile() Profile {
+	return Profile{
+		Vendor: "NVIDIA", Chip: "GeForce GTX 780 (Kepler)", ShortName: "Kepler",
+		CUs: 12, Integrated: false, Backend: Vulkan,
+		WarpSize: 32, MaxWGPerCU: 4, MaxOutstanding: 6,
+		ClockHz: 1e9, LaunchOverheadTicks: 140_000,
+		LatLoad: 16, LatStore: 18, LatRMW: 24,
+		JitterBase: 0,
+		// Like its RTX descendant, a partitioned memory system: weak
+		// behavior needs same-line traffic, the same precondition under
+		// which the non-coherent L1 serves stale lines.
+		GlobalPressureThresh: 4096, GlobalPressureWeight: 0.01,
+		LinePressureThresh: 2, LinePressureWeight: 2.0,
+		MaxPressureLat: 120,
+		LineWords:      8, CacheLines: 32, StaleHitProb: 0.85,
+	}
+}
+
+// Profiles returns the four study devices of Table 3 in paper order.
+func Profiles() []Profile {
+	return []Profile{nvidiaProfile(), amdProfile(), intelProfile(), m1Profile()}
+}
+
+// AllProfiles returns the study devices plus the Kepler device used to
+// recreate the prior coherence bug.
+func AllProfiles() []Profile { return append(Profiles(), keplerProfile()) }
+
+// ProfileByName resolves a profile from its short name
+// (case-sensitive: "NVIDIA", "AMD", "Intel", "M1", "Kepler").
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range AllProfiles() {
+		if p.ShortName == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

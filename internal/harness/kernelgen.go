@@ -1,0 +1,346 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/litmus"
+	"repro/internal/xrand"
+)
+
+// regRef locates one litmus register in the kernel's result space.
+type regRef struct {
+	tid int
+	reg uint16
+}
+
+// iterationPlan is one iteration's kernel plus the bookkeeping needed
+// to recover per-instance outcomes from the device result.
+type iterationPlan struct {
+	spec      gpu.LaunchSpec
+	instances int
+	// regOf[i][r] locates litmus register r of instance i.
+	regOf [][]regRef
+	// locAddr[i][l] is the memory address of instance i's location l.
+	locAddr [][]uint32
+}
+
+// affinePerm is the PTE pairing function of Sec. 4.1: v -> (v*p + q)
+// mod n with p co-prime to n. It is a bijection on [0, n), has no
+// divergent control flow on a real device (a multiply, add and modulo),
+// and avoids the simple v -> v+1 patterns prior work found ineffective.
+type affinePerm struct {
+	n, p, q uint64
+}
+
+func newAffinePerm(n int, rng *xrand.Rand) affinePerm {
+	if n <= 1 {
+		return affinePerm{n: uint64(max(n, 1)), p: 1, q: 0}
+	}
+	return affinePerm{
+		n: uint64(n),
+		p: rng.Coprime(uint64(n)),
+		q: rng.Uint64n(uint64(n)),
+	}
+}
+
+func (a affinePerm) apply(v int) int {
+	return int((uint64(v)*a.p + a.q) % a.n)
+}
+
+// applyN composes the permutation k times.
+func (a affinePerm) applyN(v, k int) int {
+	for i := 0; i < k; i++ {
+		v = a.apply(v)
+	}
+	return v
+}
+
+// buildIteration constructs one iteration's kernel for the test under
+// the environment. Each iteration redraws permutations, stress-line
+// placement and per-thread stress participation.
+func buildIteration(test *litmus.Test, p *Params, rng *xrand.Rand) (*iterationPlan, error) {
+	roles := len(test.Threads)
+	if p.Scope == IntraWorkgroup && p.WorkgroupSize < roles {
+		return nil, fmt.Errorf("harness: intra-workgroup scope needs workgroup size >= %d roles, have %d",
+			roles, p.WorkgroupSize)
+	}
+	testingWGs := p.TestingWorkgroups
+	totalWGs := p.MaxWorkgroups
+	if !p.Parallel {
+		// SITE: one test thread per workgroup, one workgroup per role.
+		if testingWGs < roles {
+			testingWGs = roles
+		}
+		if totalWGs < testingWGs {
+			totalWGs = testingWGs
+		}
+	}
+	instances := 1
+	if p.Parallel {
+		instances = testingWGs * p.WorkgroupSize
+	}
+	if instances < 1 {
+		return nil, fmt.Errorf("harness: zero test instances")
+	}
+
+	// Memory layout: one region per test location, then scratch.
+	regionWords := instances * p.MemStride
+	scratchBase := test.NumLocs * regionWords
+	memWords := scratchBase + p.ScratchMemWords
+	locPerms := make([]affinePerm, test.NumLocs)
+	for l := range locPerms {
+		if l == 0 || !p.Parallel {
+			locPerms[l] = affinePerm{n: uint64(instances), p: 1, q: 0}
+		} else {
+			locPerms[l] = newAffinePerm(instances, rng)
+		}
+	}
+	locAddr := make([][]uint32, instances)
+	for i := 0; i < instances; i++ {
+		locAddr[i] = make([]uint32, test.NumLocs)
+		for l := 0; l < test.NumLocs; l++ {
+			slot := locPerms[l].apply(i)
+			off := 0
+			if l > 0 {
+				off = p.MemLocOffset
+			}
+			locAddr[i][l] = uint32(l*regionWords + slot*p.MemStride + off)
+		}
+	}
+
+	// Stress lines within scratch.
+	linesAvail := p.ScratchMemWords / p.StressLineSize
+	nLines := p.StressTargetLines
+	if nLines > linesAvail {
+		nLines = linesAvail
+	}
+	lineStarts := make([]uint32, 0, nLines)
+	for _, li := range rng.Perm(linesAvail)[:nLines] {
+		lineStarts = append(lineStarts, uint32(scratchBase+li*p.StressLineSize))
+	}
+	stressAddr := func(k int) uint32 {
+		line := lineStarts[k%len(lineStarts)]
+		return line + uint32(rng.Intn(p.StressLineSize))
+	}
+
+	// Role pairing permutation (PTE). Under the intra-workgroup scope
+	// the permutation acts within each workgroup's lane space so all of
+	// an instance's roles stay in one workgroup.
+	pairSpace := instances
+	if p.Scope == IntraWorkgroup && p.Parallel {
+		pairSpace = p.WorkgroupSize
+	}
+	var pairing affinePerm
+	if p.NaivePairing {
+		// The simple successor mapping prior work found ineffective;
+		// kept for the ablation study.
+		pairing = affinePerm{n: uint64(pairSpace), p: 1, q: 1 % uint64(pairSpace)}
+	} else {
+		pairing = newAffinePerm(pairSpace, rng)
+	}
+
+	// Per-iteration draws.
+	barrier := rng.Intn(100) < p.BarrierPct
+	shuffle := make([]int, instances)
+	for i := range shuffle {
+		shuffle[i] = i
+	}
+	if p.Parallel && rng.Intn(100) < p.ShufflePct {
+		rng.Shuffle(len(shuffle), func(i, j int) { shuffle[i], shuffle[j] = shuffle[j], shuffle[i] })
+	}
+
+	nThreads := totalWGs * p.WorkgroupSize
+	programs := make([]gpu.Program, nThreads)
+	regOf := make([][]regRef, instances)
+	for i := range regOf {
+		regOf[i] = make([]regRef, test.NumRegs)
+	}
+
+	emitStress := func(prog gpu.Program, pattern StressPattern, iters int, base int) gpu.Program {
+		for k := 0; k < iters; k++ {
+			a1 := stressAddr(base + 2*k)
+			a2 := stressAddr(base + 2*k + 1)
+			switch pattern {
+			case StoreStore:
+				prog = append(prog,
+					gpu.Instr{Op: gpu.OpStressStore, Addr: a1, Imm: 1},
+					gpu.Instr{Op: gpu.OpStressStore, Addr: a2, Imm: 1})
+			case StoreLoad:
+				prog = append(prog,
+					gpu.Instr{Op: gpu.OpStressStore, Addr: a1, Imm: 1},
+					gpu.Instr{Op: gpu.OpStressLoad, Addr: a2})
+			case LoadStore:
+				prog = append(prog,
+					gpu.Instr{Op: gpu.OpStressLoad, Addr: a1},
+					gpu.Instr{Op: gpu.OpStressStore, Addr: a2, Imm: 1})
+			case LoadLoad:
+				prog = append(prog,
+					gpu.Instr{Op: gpu.OpStressLoad, Addr: a1},
+					gpu.Instr{Op: gpu.OpStressLoad, Addr: a2})
+			}
+		}
+		return prog
+	}
+
+	// emitRole appends one litmus thread's instructions, bound to an
+	// instance's addresses, and records register locations.
+	emitRole := func(prog gpu.Program, tid, instance, role int, nextReg *uint16) gpu.Program {
+		for _, in := range test.Threads[role].Instrs {
+			switch in.Op {
+			case litmus.OpLoad:
+				prog = append(prog, gpu.Instr{
+					Op: gpu.OpLoad, Addr: locAddr[instance][in.Loc], Reg: *nextReg,
+				})
+				regOf[instance][in.Reg] = regRef{tid: tid, reg: *nextReg}
+				*nextReg++
+			case litmus.OpStore:
+				prog = append(prog, gpu.Instr{
+					Op: gpu.OpStore, Addr: locAddr[instance][in.Loc], Imm: uint32(in.Val),
+				})
+			case litmus.OpExchange:
+				prog = append(prog, gpu.Instr{
+					Op: gpu.OpExchange, Addr: locAddr[instance][in.Loc],
+					Imm: uint32(in.Val), Reg: *nextReg,
+				})
+				regOf[instance][in.Reg] = regRef{tid: tid, reg: *nextReg}
+				*nextReg++
+			case litmus.OpFence:
+				prog = append(prog, gpu.Instr{Op: gpu.OpFence})
+			}
+		}
+		return prog
+	}
+
+	if p.Parallel {
+		// Every thread of every testing workgroup runs all roles, each
+		// for a different instance, paired by the permutation: thread v
+		// runs role 0 of instance v, role 1 of instance perm(v), role 2
+		// of instance perm(perm(v)), ... Under the intra-workgroup
+		// scope the permutation acts on lanes, keeping each instance's
+		// roles inside one workgroup.
+		for wg := 0; wg < testingWGs; wg++ {
+			for lane := 0; lane < p.WorkgroupSize; lane++ {
+				tid := wg*p.WorkgroupSize + lane
+				var prog gpu.Program
+				if barrier {
+					prog = append(prog, gpu.Instr{Op: gpu.OpBarrier})
+				}
+				if p.PreStressIters > 0 && rng.Intn(100) < p.PreStressPct {
+					prog = emitStress(prog, p.PreStressPattern, p.PreStressIters, tid)
+				}
+				var nextReg uint16
+				for r := 0; r < roles; r++ {
+					var inst int
+					if p.Scope == IntraWorkgroup {
+						inst = wg*p.WorkgroupSize + pairing.applyN(lane, r)
+					} else {
+						inst = pairing.applyN(shuffle[tid], r)
+					}
+					prog = emitRole(prog, tid, inst, r, &nextReg)
+				}
+				programs[tid] = prog
+			}
+		}
+	} else if p.Scope == IntraWorkgroup {
+		// SITE, intra-workgroup: role r runs on lane r of workgroup 0.
+		for r := 0; r < roles; r++ {
+			tid := r
+			var prog gpu.Program
+			if barrier {
+				prog = append(prog, gpu.Instr{Op: gpu.OpBarrier})
+			}
+			if p.PreStressIters > 0 && rng.Intn(100) < p.PreStressPct {
+				prog = emitStress(prog, p.PreStressPattern, p.PreStressIters, tid)
+			}
+			var nextReg uint16
+			prog = emitRole(prog, tid, 0, r, &nextReg)
+			programs[tid] = prog
+		}
+	} else {
+		// SITE: role r runs on thread 0 of workgroup r.
+		for r := 0; r < roles; r++ {
+			tid := r * p.WorkgroupSize
+			var prog gpu.Program
+			if barrier {
+				prog = append(prog, gpu.Instr{Op: gpu.OpBarrier})
+			}
+			if p.PreStressIters > 0 && rng.Intn(100) < p.PreStressPct {
+				prog = emitStress(prog, p.PreStressPattern, p.PreStressIters, tid)
+			}
+			var nextReg uint16
+			prog = emitRole(prog, tid, 0, r, &nextReg)
+			programs[tid] = prog
+		}
+	}
+
+	// Stress workgroups.
+	for wg := testingWGs; wg < totalWGs; wg++ {
+		if p.MemStressIters == 0 || rng.Intn(100) >= p.MemStressPct {
+			continue
+		}
+		for lane := 0; lane < p.WorkgroupSize; lane++ {
+			tid := wg*p.WorkgroupSize + lane
+			if p.StressStrategy == Chunked {
+				// Pin the thread to a single line for all its accesses.
+				line := lineStarts[tid%len(lineStarts)]
+				var prog gpu.Program
+				for k := 0; k < p.MemStressIters; k++ {
+					a1 := line + uint32(rng.Intn(p.StressLineSize))
+					a2 := line + uint32(rng.Intn(p.StressLineSize))
+					prog = appendPattern(prog, p.MemStressPattern, a1, a2)
+				}
+				programs[tid] = prog
+				continue
+			}
+			programs[tid] = emitStress(nil, p.MemStressPattern, p.MemStressIters, tid)
+		}
+	}
+
+	return &iterationPlan{
+		spec: gpu.LaunchSpec{
+			WorkgroupSize: p.WorkgroupSize,
+			Workgroups:    totalWGs,
+			MemWords:      memWords,
+			Programs:      programs,
+		},
+		instances: instances,
+		regOf:     regOf,
+		locAddr:   locAddr,
+	}, nil
+}
+
+func appendPattern(prog gpu.Program, pattern StressPattern, a1, a2 uint32) gpu.Program {
+	switch pattern {
+	case StoreStore:
+		return append(prog,
+			gpu.Instr{Op: gpu.OpStressStore, Addr: a1, Imm: 1},
+			gpu.Instr{Op: gpu.OpStressStore, Addr: a2, Imm: 1})
+	case StoreLoad:
+		return append(prog,
+			gpu.Instr{Op: gpu.OpStressStore, Addr: a1, Imm: 1},
+			gpu.Instr{Op: gpu.OpStressLoad, Addr: a2})
+	case LoadStore:
+		return append(prog,
+			gpu.Instr{Op: gpu.OpStressLoad, Addr: a1},
+			gpu.Instr{Op: gpu.OpStressStore, Addr: a2, Imm: 1})
+	default:
+		return append(prog,
+			gpu.Instr{Op: gpu.OpStressLoad, Addr: a1},
+			gpu.Instr{Op: gpu.OpStressLoad, Addr: a2})
+	}
+}
+
+// BuildKernel exposes one iteration's kernel construction for external
+// tooling (e.g. tracing a single instance): it validates the
+// environment, builds the iteration plan, and returns the launch spec.
+func BuildKernel(test *litmus.Test, p *Params, rng *xrand.Rand) (*gpu.LaunchSpec, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	plan, err := buildIteration(test, p, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &plan.spec, nil
+}

@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/litmus"
+	"repro/internal/mm"
+	"repro/internal/xrand"
+)
+
+// Runner executes litmus tests in one environment on one device.
+type Runner struct {
+	Device *gpu.Device
+	Params Params
+	// Lower, when set, post-processes every generated thread program —
+	// the hook through which the wgsl toolchain's backend lowering
+	// (including defective driver builds) is applied.
+	Lower func(gpu.Program) gpu.Program
+}
+
+// NewRunner validates the environment against the device and returns a
+// runner.
+func NewRunner(d *gpu.Device, p Params) (*Runner, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{Device: d, Params: p}, nil
+}
+
+// Result summarizes running one test for some iterations in one
+// environment on one device.
+type Result struct {
+	// TestName identifies the litmus test.
+	TestName string
+	// IsMutant mirrors the test's role.
+	IsMutant bool
+	// Mutator is the generating mutator family, if any.
+	Mutator string
+	// Iterations is the number of kernel launches.
+	Iterations int
+	// Instances is the total number of test instances executed.
+	Instances int
+	// TargetCount is how many instances exhibited the target behavior;
+	// for a mutant this is the number of kills, for a conformance test
+	// the number of observed bugs.
+	TargetCount int
+	// Violations counts instances whose outcome the model disallows
+	// (conformance failures, however they manifest).
+	Violations int
+	// SimSeconds is total simulated device time, the paper's time base
+	// for rates and budgets.
+	SimSeconds float64
+	// WallSeconds is host time spent, for reporting only.
+	WallSeconds float64
+	// Hist is the outcome histogram.
+	Hist *litmus.Histogram
+	// FirstViolation is the first outcome classified disallowed, when
+	// any; bug reports explain it via the axiomatic checker.
+	FirstViolation *litmus.Outcome
+}
+
+// TargetRate returns target behaviors per simulated second (the mutant
+// death rate when the test is a mutant).
+func (r *Result) TargetRate() float64 {
+	if r.SimSeconds <= 0 {
+		return 0
+	}
+	return float64(r.TargetCount) / r.SimSeconds
+}
+
+// ViolationRate returns model violations per simulated second.
+func (r *Result) ViolationRate() float64 {
+	if r.SimSeconds <= 0 {
+		return 0
+	}
+	return float64(r.Violations) / r.SimSeconds
+}
+
+// outcomeClass caches the classification of one outcome key.
+type outcomeClass struct {
+	target    bool
+	violation bool
+}
+
+// Run executes the test for the given number of iterations, classifying
+// every instance outcome. The rng drives all nondeterminism; equal
+// seeds reproduce results exactly.
+func (r *Runner) Run(test *litmus.Test, iterations int, rng *xrand.Rand) (*Result, error) {
+	if iterations <= 0 {
+		return nil, fmt.Errorf("harness: iterations=%d", iterations)
+	}
+	if err := test.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &Result{
+		TestName: test.Name,
+		IsMutant: test.IsMutant,
+		Mutator:  test.Mutator,
+		Hist:     litmus.NewHistogram(),
+	}
+	cache := map[string]outcomeClass{}
+	for iter := 0; iter < iterations; iter++ {
+		plan, err := buildIteration(test, &r.Params, rng)
+		if err != nil {
+			return nil, err
+		}
+		if r.Lower != nil {
+			for i, prog := range plan.spec.Programs {
+				plan.spec.Programs[i] = r.Lower(prog)
+			}
+		}
+		run, err := r.Device.Run(plan.spec, rng)
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations++
+		res.Instances += plan.instances
+		res.SimSeconds += run.SimSeconds
+		for i := 0; i < plan.instances; i++ {
+			o := extractOutcome(test, plan, run, i)
+			key := o.Key()
+			cls, ok := cache[key]
+			if !ok {
+				verdict, err := test.Classify(o)
+				if err != nil {
+					return nil, fmt.Errorf("harness: classify %s: %w", test.Name, err)
+				}
+				cls = outcomeClass{
+					target:    test.Target.Matches(o),
+					violation: !verdict.Allowed,
+				}
+				cache[key] = cls
+			}
+			if cls.violation && res.FirstViolation == nil {
+				saved := o
+				res.FirstViolation = &saved
+			}
+			res.Hist.Add(o, cls.target, cls.violation)
+		}
+	}
+	res.TargetCount = res.Hist.TargetCount()
+	res.Violations = res.Hist.Violations()
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// extractOutcome reads instance i's registers and final memory out of a
+// device run.
+func extractOutcome(test *litmus.Test, plan *iterationPlan, run *gpu.RunResult, i int) litmus.Outcome {
+	o := litmus.Outcome{
+		Regs:  make([]mm.Val, test.NumRegs),
+		Final: make([]mm.Val, test.NumLocs),
+	}
+	for r := 0; r < test.NumRegs; r++ {
+		ref := plan.regOf[i][r]
+		o.Regs[r] = mm.Val(run.Registers[ref.tid][ref.reg])
+	}
+	for l := 0; l < test.NumLocs; l++ {
+		o.Final[l] = mm.Val(run.Memory[plan.locAddr[i][l]])
+	}
+	return o
+}

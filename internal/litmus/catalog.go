@@ -1,0 +1,267 @@
+package litmus
+
+import (
+	"fmt"
+
+	"repro/internal/mm"
+)
+
+// Builder constructs tests incrementally. Register indices are assigned
+// in the order loads appear; write values must be unique per location.
+type Builder struct {
+	t      Test
+	thread int
+}
+
+// NewBuilder returns a builder for a test with the given name and model.
+func NewBuilder(name string, model mm.MCS) *Builder {
+	return &Builder{t: Test{Name: name, Model: model}, thread: -1}
+}
+
+// Thread starts a new worker thread and returns the builder.
+func (b *Builder) Thread() *Builder {
+	b.t.Threads = append(b.t.Threads, Thread{})
+	b.thread = len(b.t.Threads) - 1
+	return b
+}
+
+// Observer starts a new observer thread.
+func (b *Builder) Observer() *Builder {
+	b.Thread()
+	b.t.Threads[b.thread].Observer = true
+	return b
+}
+
+func (b *Builder) add(in Instr) *Builder {
+	if b.thread < 0 {
+		panic("litmus: instruction before first Thread()")
+	}
+	th := &b.t.Threads[b.thread]
+	th.Instrs = append(th.Instrs, in)
+	if in.Op != OpFence && in.Loc >= b.t.NumLocs {
+		b.t.NumLocs = in.Loc + 1
+	}
+	return b
+}
+
+// Load appends "reg = atomicLoad(&loc)" and returns the new register's
+// index via the label-free Instr; use LoadL to label the event.
+func (b *Builder) Load(loc int) *Builder { return b.LoadL(loc, "") }
+
+// LoadL is Load with an event label.
+func (b *Builder) LoadL(loc int, label string) *Builder {
+	reg := b.t.NumRegs
+	b.t.NumRegs++
+	return b.add(Instr{Op: OpLoad, Loc: loc, Reg: reg, Label: label})
+}
+
+// Store appends "atomicStore(&loc, val)".
+func (b *Builder) Store(loc int, val mm.Val) *Builder { return b.StoreL(loc, val, "") }
+
+// StoreL is Store with an event label.
+func (b *Builder) StoreL(loc int, val mm.Val, label string) *Builder {
+	return b.add(Instr{Op: OpStore, Loc: loc, Val: val, Reg: -1, Label: label})
+}
+
+// Exchange appends "reg = atomicExchange(&loc, val)".
+func (b *Builder) Exchange(loc int, val mm.Val) *Builder { return b.ExchangeL(loc, val, "") }
+
+// ExchangeL is Exchange with an event label.
+func (b *Builder) ExchangeL(loc int, val mm.Val, label string) *Builder {
+	reg := b.t.NumRegs
+	b.t.NumRegs++
+	return b.add(Instr{Op: OpExchange, Loc: loc, Val: val, Reg: reg, Label: label})
+}
+
+// Fence appends a release/acquire fence.
+func (b *Builder) Fence() *Builder { return b.FenceL("") }
+
+// FenceL is Fence with an event label.
+func (b *Builder) FenceL(label string) *Builder {
+	return b.add(Instr{Op: OpFence, Reg: -1, Label: label})
+}
+
+// Target sets the target behavior.
+func (b *Builder) Target(c Condition) *Builder {
+	b.t.Target = c
+	return b
+}
+
+// Mutant marks the test as a mutant of base produced by mutator.
+func (b *Builder) Mutant(mutator, base string) *Builder {
+	b.t.IsMutant = true
+	b.t.Mutator = mutator
+	b.t.Base = base
+	return b
+}
+
+// Conformance tags the test with its mutator family.
+func (b *Builder) Conformance(mutator string) *Builder {
+	b.t.Mutator = mutator
+	return b
+}
+
+// Build validates and returns the test, panicking on structural errors;
+// catalog construction errors are programming bugs.
+func (b *Builder) Build() *Test {
+	t := b.t
+	if err := t.Validate(); err != nil {
+		panic(fmt.Sprintf("litmus: invalid catalog test: %v", err))
+	}
+	return &t
+}
+
+// regs is shorthand for a register condition map.
+func regs(pairs ...mm.Val) map[int]mm.Val {
+	m := make(map[int]mm.Val, len(pairs))
+	for i, v := range pairs {
+		m[i] = v
+	}
+	return m
+}
+
+// CoRR is the Coherence of Read-Read test of Fig. 1a: thread 1 stores
+// x=1 while thread 0 reads x twice. Seeing the new value then the stale
+// one (r0==1 && r1==0) violates SC-per-location.
+func CoRR() *Test {
+	return NewBuilder("CoRR", mm.SCPerLocation).
+		Thread().LoadL(0, "a").LoadL(0, "b").
+		Thread().StoreL(0, 1, "c").
+		Target(Condition{Regs: regs(1, 0)}).
+		Build()
+}
+
+// CoWW stores twice to x from one thread; a final value equal to the
+// first store means the coherence order contradicted program order.
+func CoWW() *Test {
+	return NewBuilder("CoWW", mm.SCPerLocation).
+		Thread().StoreL(0, 1, "a").StoreL(0, 2, "b").
+		Target(Condition{Final: map[int]mm.Val{0: 1}}).
+		Build()
+}
+
+// CoWR stores x=1 then reads x in thread 0 while thread 1 stores x=2.
+// Reading 2 while the final value is 1 is forbidden: the read saw a
+// write that coherence places after the thread's own.
+func CoWR() *Test {
+	return NewBuilder("CoWR", mm.SCPerLocation).
+		Thread().StoreL(0, 1, "a").LoadL(0, "b").
+		Thread().StoreL(0, 2, "c").
+		Target(Condition{Regs: regs(2), Final: map[int]mm.Val{0: 1}}).
+		Build()
+}
+
+// CoRW reads x then stores x=1 in thread 0 while thread 1 stores x=2.
+// Reading 2 while 2 is also the final value is forbidden: the external
+// write would have to be both before the read and after the store.
+func CoRW() *Test {
+	return NewBuilder("CoRW", mm.SCPerLocation).
+		Thread().LoadL(0, "a").StoreL(0, 1, "b").
+		Thread().StoreL(0, 2, "c").
+		Target(Condition{Regs: regs(2), Final: map[int]mm.Val{0: 2}}).
+		Build()
+}
+
+// MP is message passing without synchronization: seeing the flag (y)
+// but not the data (x) is weak yet allowed under SC-per-location.
+func MP() *Test {
+	return NewBuilder("MP", mm.SCPerLocation).
+		Thread().StoreL(0, 1, "a").StoreL(1, 1, "b").
+		Thread().LoadL(1, "c").LoadL(0, "d").
+		Target(Condition{Regs: regs(1, 0)}).
+		Build()
+}
+
+// SB is store buffering: both threads store then load the other
+// location; both loads returning 0 is the classic TSO relaxation.
+func SB() *Test {
+	return NewBuilder("SB", mm.SCPerLocation).
+		Thread().StoreL(0, 1, "a").LoadL(1, "b").
+		Thread().StoreL(1, 2, "c").LoadL(0, "d").
+		Target(Condition{Regs: regs(0, 0)}).
+		Build()
+}
+
+// LB is load buffering: both threads load then store; each load seeing
+// the other thread's store requires loads to take effect after the
+// later stores.
+func LB() *Test {
+	return NewBuilder("LB", mm.SCPerLocation).
+		Thread().LoadL(0, "a").StoreL(1, 1, "b").
+		Thread().LoadL(1, "c").StoreL(0, 2, "d").
+		Target(Condition{Regs: regs(2, 1)}).
+		Build()
+}
+
+// S is the "store" shape: thread 0 writes data then flag; thread 1 sees
+// the flag and overwrites the data; the weak outcome has thread 0's
+// data write win the coherence race anyway.
+func S() *Test {
+	return NewBuilder("S", mm.SCPerLocation).
+		Thread().StoreL(0, 1, "a").StoreL(1, 1, "b").
+		Thread().LoadL(1, "c").StoreL(0, 2, "d").
+		Target(Condition{Regs: regs(1), Final: map[int]mm.Val{0: 1}}).
+		Build()
+}
+
+// R is the "read" shape: two writers to y race while thread 1 reads x
+// stale; the weak outcome needs thread 0's y write ordered first.
+func R() *Test {
+	return NewBuilder("R", mm.SCPerLocation).
+		Thread().StoreL(0, 1, "a").StoreL(1, 1, "b").
+		Thread().StoreL(1, 2, "c").LoadL(0, "d").
+		Target(Condition{Regs: regs(0), Final: map[int]mm.Val{1: 2}}).
+		Build()
+}
+
+// TwoPlusTwoW is 2+2W: both threads write both locations in opposite
+// orders; the weak outcome has both first writes win.
+func TwoPlusTwoW() *Test {
+	return NewBuilder("2+2W", mm.SCPerLocation).
+		Thread().StoreL(0, 1, "a").StoreL(1, 2, "b").
+		Thread().StoreL(1, 3, "c").StoreL(0, 4, "d").
+		Target(Condition{Final: map[int]mm.Val{0: 1, 1: 3}}).
+		Build()
+}
+
+// MPRelAcq is Fig. 1b: message passing with release/acquire fences on
+// both sides; the weak outcome is forbidden under
+// rel-acq-SC-per-location.
+func MPRelAcq() *Test {
+	return NewBuilder("MP-relacq", mm.RelAcqSCPerLocation).
+		Thread().StoreL(0, 1, "a").FenceL("b").StoreL(1, 1, "c").
+		Thread().LoadL(1, "d").FenceL("e").LoadL(0, "f").
+		Target(Condition{Regs: regs(1, 0)}).
+		Build()
+}
+
+// LBRelAcq is load buffering with fences; forbidden under
+// rel-acq-SC-per-location.
+func LBRelAcq() *Test {
+	return NewBuilder("LB-relacq", mm.RelAcqSCPerLocation).
+		Thread().LoadL(0, "a").FenceL("b").StoreL(1, 1, "c").
+		Thread().LoadL(1, "d").FenceL("e").StoreL(0, 2, "f").
+		Target(Condition{Regs: regs(2, 1)}).
+		Build()
+}
+
+// SRelAcq is the store shape with fences; forbidden under
+// rel-acq-SC-per-location.
+func SRelAcq() *Test {
+	return NewBuilder("S-relacq", mm.RelAcqSCPerLocation).
+		Thread().StoreL(0, 1, "a").FenceL("b").StoreL(1, 1, "c").
+		Thread().LoadL(1, "d").FenceL("e").StoreL(0, 2, "f").
+		Target(Condition{Regs: regs(1), Final: map[int]mm.Val{0: 1}}).
+		Build()
+}
+
+// Catalog returns the hand-written classic tests used in examples and
+// documentation. The systematically generated suite (20 conformance
+// tests and 32 mutants) lives in package mutation.
+func Catalog() []*Test {
+	return []*Test{
+		CoRR(), CoWW(), CoWR(), CoRW(),
+		MP(), SB(), LB(), S(), R(), TwoPlusTwoW(),
+		MPRelAcq(), LBRelAcq(), SRelAcq(),
+	}
+}

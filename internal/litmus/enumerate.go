@@ -1,0 +1,102 @@
+package litmus
+
+import (
+	"sort"
+
+	"repro/internal/mm"
+)
+
+// OutcomeClass pairs a candidate outcome with its classification under
+// a model.
+type OutcomeClass struct {
+	Outcome Outcome
+	// Allowed reports the axiomatic verdict.
+	Allowed bool
+}
+
+// EnumerateOutcomes generates every value-consistent candidate outcome
+// of the test — each read takes the initial value or any value written
+// to its location, each written location's final value is one of its
+// writes — and classifies each under the given model. This is the
+// litmus-tool style "outcomes table": the universe against which
+// observed histograms can be audited.
+//
+// The enumeration is exponential in the number of reads, which is at
+// most six across the generated suite (four observer reads plus two
+// RMW reads), so tables stay small.
+func (t *Test) EnumerateOutcomes(model mm.MCS) []OutcomeClass {
+	// Candidate values per location: 0 plus every written value.
+	valsByLoc := make([][]mm.Val, t.NumLocs)
+	finalsByLoc := make([][]mm.Val, t.NumLocs)
+	for l := 0; l < t.NumLocs; l++ {
+		valsByLoc[l] = []mm.Val{0}
+	}
+	regLoc := make([]int, t.NumRegs)
+	for _, th := range t.Threads {
+		for _, in := range th.Instrs {
+			if in.Writes() {
+				valsByLoc[in.Loc] = append(valsByLoc[in.Loc], in.Val)
+				finalsByLoc[in.Loc] = append(finalsByLoc[in.Loc], in.Val)
+			}
+			if in.Reads() {
+				regLoc[in.Reg] = in.Loc
+			}
+		}
+	}
+	for l := 0; l < t.NumLocs; l++ {
+		if len(finalsByLoc[l]) == 0 {
+			finalsByLoc[l] = []mm.Val{0} // never written: stays initial
+		}
+	}
+
+	var out []OutcomeClass
+	o := Outcome{Regs: make([]mm.Val, t.NumRegs), Final: make([]mm.Val, t.NumLocs)}
+	var recFinal func(l int)
+	recFinal = func(l int) {
+		if l == t.NumLocs {
+			cand := Outcome{
+				Regs:  append([]mm.Val(nil), o.Regs...),
+				Final: append([]mm.Val(nil), o.Final...),
+			}
+			x, err := t.Execution(cand)
+			if err != nil {
+				return // structurally impossible; skip defensively
+			}
+			v := x.Check(model)
+			out = append(out, OutcomeClass{Outcome: cand, Allowed: v.Allowed})
+			return
+		}
+		for _, v := range finalsByLoc[l] {
+			o.Final[l] = v
+			recFinal(l + 1)
+		}
+	}
+	var recReg func(r int)
+	recReg = func(r int) {
+		if r == t.NumRegs {
+			recFinal(0)
+			return
+		}
+		for _, v := range valsByLoc[regLoc[r]] {
+			o.Regs[r] = v
+			recReg(r + 1)
+		}
+	}
+	recReg(0)
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Outcome.Key() < out[j].Outcome.Key()
+	})
+	return out
+}
+
+// AllowedOutcomes filters EnumerateOutcomes to the allowed set, keyed
+// by Outcome.Key.
+func (t *Test) AllowedOutcomes(model mm.MCS) map[string]bool {
+	allowed := map[string]bool{}
+	for _, oc := range t.EnumerateOutcomes(model) {
+		if oc.Allowed {
+			allowed[oc.Outcome.Key()] = true
+		}
+	}
+	return allowed
+}

@@ -1,0 +1,137 @@
+package litmus
+
+import (
+	"testing"
+
+	"repro/internal/mm"
+)
+
+func TestEnumerateCoRR(t *testing.T) {
+	tc := CoRR()
+	table := tc.EnumerateOutcomes(mm.SCPerLocation)
+	// Two reads over {0, 1} and one final over {1}: 4 outcomes.
+	if len(table) != 4 {
+		t.Fatalf("%d outcomes, want 4", len(table))
+	}
+	allowed := 0
+	for _, oc := range table {
+		if oc.Allowed {
+			allowed++
+		} else if !tc.Target.Matches(oc.Outcome) {
+			t.Errorf("disallowed outcome %s is not the target", oc.Outcome.Key())
+		}
+	}
+	if allowed != 3 {
+		t.Fatalf("%d allowed outcomes, want 3 (only r0=1,r1=0 is forbidden)", allowed)
+	}
+}
+
+func TestEnumerateMP(t *testing.T) {
+	tc := MP()
+	coh := tc.AllowedOutcomes(mm.SCPerLocation)
+	sc := tc.AllowedOutcomes(mm.SC)
+	// Under coherence all 4 read combinations are allowed; under SC the
+	// weak one is not.
+	if len(coh) != 4 {
+		t.Fatalf("coherence allows %d outcomes, want 4", len(coh))
+	}
+	if len(sc) != 3 {
+		t.Fatalf("SC allows %d outcomes, want 3", len(sc))
+	}
+	weak := Outcome{Regs: []mm.Val{1, 0}, Final: []mm.Val{1, 1}}
+	if !coh[weak.Key()] || sc[weak.Key()] {
+		t.Fatal("weak MP outcome misclassified")
+	}
+}
+
+// TestModelInclusions is the central soundness property across the
+// whole catalog: the outcomes a stronger model allows are a subset of
+// what weaker models allow — SC ⊆ TSO ⊆ SC-per-location, and
+// rel-acq-SC-per-location ⊆ SC-per-location.
+func TestModelInclusions(t *testing.T) {
+	for _, tc := range Catalog() {
+		sc := tc.AllowedOutcomes(mm.SC)
+		tso := tc.AllowedOutcomes(mm.TSO)
+		coh := tc.AllowedOutcomes(mm.SCPerLocation)
+		ra := tc.AllowedOutcomes(mm.RelAcqSCPerLocation)
+		for k := range sc {
+			if !tso[k] {
+				t.Errorf("%s: %s allowed under SC but not TSO", tc.Name, k)
+			}
+		}
+		for k := range tso {
+			if !coh[k] {
+				t.Errorf("%s: %s allowed under TSO but not coherence", tc.Name, k)
+			}
+		}
+		for k := range ra {
+			if !coh[k] {
+				t.Errorf("%s: %s allowed under rel-acq but not plain coherence", tc.Name, k)
+			}
+		}
+	}
+}
+
+// TestEnumerationAgreesWithTarget: for catalog tests, the target
+// outcome's membership in the allowed set must match the test's role
+// (weak classics allowed, coherence/fenced shapes forbidden).
+func TestEnumerationAgreesWithTarget(t *testing.T) {
+	forbidden := map[string]bool{
+		"CoRR": true, "CoWW": true, "CoWR": true, "CoRW": true,
+		"MP-relacq": true, "LB-relacq": true, "S-relacq": true,
+	}
+	for _, tc := range Catalog() {
+		table := tc.EnumerateOutcomes(tc.Model)
+		foundTarget := false
+		for _, oc := range table {
+			if !tc.Target.Matches(oc.Outcome) {
+				continue
+			}
+			foundTarget = true
+			if forbidden[tc.Name] && oc.Allowed {
+				t.Errorf("%s: target outcome %s allowed", tc.Name, oc.Outcome.Key())
+			}
+			if !forbidden[tc.Name] && !oc.Allowed {
+				t.Errorf("%s: target outcome %s forbidden", tc.Name, oc.Outcome.Key())
+			}
+		}
+		if !foundTarget {
+			t.Errorf("%s: enumeration never produced a target-matching outcome", tc.Name)
+		}
+	}
+}
+
+// TestEnumerationCoversSequentialExecutions: the outcome of running
+// threads one after another in any order must always be in the allowed
+// set under every model (SC refines them all).
+func TestEnumerationCoversSequentialExecutions(t *testing.T) {
+	tc := SB()
+	// T0 then T1: a=Wx1, b=Ry0, c=Wy2, d=Rx1.
+	seq := Outcome{Regs: []mm.Val{0, 1}, Final: []mm.Val{1, 2}}
+	for _, model := range []mm.MCS{mm.SC, mm.TSO, mm.SCPerLocation, mm.RelAcqSCPerLocation} {
+		if !tc.AllowedOutcomes(model)[seq.Key()] {
+			t.Errorf("sequential SB outcome forbidden under %v", model)
+		}
+	}
+}
+
+func TestEnumerationDeterministic(t *testing.T) {
+	tc := MPRelAcq()
+	a := tc.EnumerateOutcomes(tc.Model)
+	b := tc.EnumerateOutcomes(tc.Model)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a {
+		if a[i].Outcome.Key() != b[i].Outcome.Key() || a[i].Allowed != b[i].Allowed {
+			t.Fatal("nondeterministic enumeration")
+		}
+	}
+}
+
+func BenchmarkEnumerateMPRelAcq(b *testing.B) {
+	tc := MPRelAcq()
+	for i := 0; i < b.N; i++ {
+		tc.EnumerateOutcomes(tc.Model)
+	}
+}

@@ -1,0 +1,66 @@
+package litmus
+
+import "repro/internal/mm"
+
+// Extended catalog: classic litmus tests beyond the paper's two-thread
+// suite. The paper's methodology generalizes to arbitrary thread
+// counts (its PTE permutation composes per role); these shapes — the
+// standard three- and four-thread causality tests — exercise that
+// generality and are useful when exploring scopes and models beyond
+// the WebGPU subset.
+
+// WRC is write-to-read causality: thread 0 writes the data, thread 1
+// observes it and raises a flag, thread 2 observes the flag but misses
+// the data. Allowed under SC-per-location (no per-location cycle),
+// forbidden under SC.
+func WRC() *Test {
+	return NewBuilder("WRC", mm.SCPerLocation).
+		Thread().StoreL(0, 1, "a").
+		Thread().LoadL(0, "b").StoreL(1, 1, "c").
+		Thread().LoadL(1, "d").LoadL(0, "e").
+		Target(Condition{Regs: map[int]mm.Val{0: 1, 1: 1, 2: 0}}).
+		Build()
+}
+
+// ISA2 chains causality across three locations: data, then two hops of
+// flags; the final reader sees the last flag but stale data.
+func ISA2() *Test {
+	return NewBuilder("ISA2", mm.SCPerLocation).
+		Thread().StoreL(0, 1, "a").StoreL(1, 1, "b").
+		Thread().LoadL(1, "c").StoreL(2, 1, "d").
+		Thread().LoadL(2, "e").LoadL(0, "f").
+		Target(Condition{Regs: map[int]mm.Val{0: 1, 1: 1, 2: 0}}).
+		Build()
+}
+
+// IRIW is independent reads of independent writes: two writers to
+// different locations, two readers observing them in opposite orders.
+// The weak outcome is the classic non-multi-copy-atomicity test; under
+// plain relaxed atomics it is also reachable by read-read reordering,
+// so SC-per-location allows it while SC does not.
+func IRIW() *Test {
+	return NewBuilder("IRIW", mm.SCPerLocation).
+		Thread().StoreL(0, 1, "a").
+		Thread().StoreL(1, 1, "b").
+		Thread().LoadL(0, "c").LoadL(1, "d").
+		Thread().LoadL(1, "e").LoadL(0, "f").
+		Target(Condition{Regs: map[int]mm.Val{0: 1, 1: 0, 2: 1, 3: 0}}).
+		Build()
+}
+
+// RWC is read-to-write causality: a reader observes the data then
+// misses a flag whose writer already overtook the data in its own
+// view.
+func RWC() *Test {
+	return NewBuilder("RWC", mm.SCPerLocation).
+		Thread().StoreL(0, 1, "a").
+		Thread().LoadL(0, "b").LoadL(1, "c").
+		Thread().StoreL(1, 1, "d").LoadL(0, "e").
+		Target(Condition{Regs: map[int]mm.Val{0: 1, 1: 0, 2: 0}}).
+		Build()
+}
+
+// ExtendedCatalog returns the multi-thread classics.
+func ExtendedCatalog() []*Test {
+	return []*Test{WRC(), ISA2(), IRIW(), RWC()}
+}

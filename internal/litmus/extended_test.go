@@ -1,0 +1,76 @@
+package litmus
+
+import (
+	"testing"
+
+	"repro/internal/mm"
+)
+
+func TestExtendedCatalogValidates(t *testing.T) {
+	for _, tc := range ExtendedCatalog() {
+		if err := tc.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.Name, err)
+		}
+	}
+}
+
+// TestExtendedWeakTargets: every extended shape's target is allowed
+// under SC-per-location but forbidden under SC.
+func TestExtendedWeakTargets(t *testing.T) {
+	for _, tc := range ExtendedCatalog() {
+		x, err := tc.TargetExecution()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		if v := x.Check(mm.SCPerLocation); !v.Allowed {
+			t.Errorf("%s: weak target forbidden under coherence", tc.Name)
+		}
+		if v := x.Check(mm.SC); v.Allowed {
+			t.Errorf("%s: weak target allowed under SC", tc.Name)
+		}
+	}
+}
+
+// TestExtendedUnderTSO: WRC and ISA2 are forbidden under TSO (their
+// cycles contain no write-to-read pair); IRIW and RWC contain one and
+// are still forbidden on TSO because TSO is multi-copy atomic — our
+// axiomatization keeps read-read order, so verify each explicitly.
+func TestExtendedUnderTSO(t *testing.T) {
+	want := map[string]bool{ // allowed under TSO?
+		"WRC": false, "ISA2": false, "IRIW": false, "RWC": true,
+	}
+	for _, tc := range ExtendedCatalog() {
+		x, err := tc.TargetExecution()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		v := x.Check(mm.TSO)
+		if v.Allowed != want[tc.Name] {
+			t.Errorf("%s: TSO allowed=%v, want %v", tc.Name, v.Allowed, want[tc.Name])
+		}
+	}
+}
+
+func TestExtendedThreadCounts(t *testing.T) {
+	counts := map[string]int{"WRC": 3, "ISA2": 3, "IRIW": 4, "RWC": 3}
+	for _, tc := range ExtendedCatalog() {
+		if len(tc.Threads) != counts[tc.Name] {
+			t.Errorf("%s: %d threads, want %d", tc.Name, len(tc.Threads), counts[tc.Name])
+		}
+	}
+	if ISA2().NumLocs != 3 {
+		t.Error("ISA2 should use three locations")
+	}
+}
+
+func TestExtendedFormatsRoundTrip(t *testing.T) {
+	for _, tc := range ExtendedCatalog() {
+		back, err := ParseString(Format(tc))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		if back.Target.String() != tc.Target.String() || back.Instructions() != tc.Instructions() {
+			t.Errorf("%s: round trip changed the test", tc.Name)
+		}
+	}
+}

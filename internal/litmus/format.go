@@ -1,0 +1,274 @@
+package litmus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/mm"
+)
+
+// This file implements a textual litmus format in the spirit of the
+// herdtools `.litmus` files, adapted to the WGSL-flavored instruction
+// set. A test renders as:
+//
+//	test MP-relacq
+//	model rel-acq-SC-per-location
+//	mutator weakening sw
+//	thread
+//	  store x 1
+//	  fence
+//	  store y 2
+//	thread
+//	  r0 = load y
+//	  fence
+//	  r1 = load x
+//	target r0=2 r1=0
+//
+// Mutants additionally carry "mutant-of NAME" and "fences-removed N"
+// lines. '#' starts a comment; blank lines are ignored. All memory is
+// implicitly zero-initialized, as everywhere in this repository.
+
+// Format renders the test in the textual litmus format. Parsing the
+// result reproduces the test (round-trip property, tested).
+func Format(t *Test) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "test %s\n", t.Name)
+	fmt.Fprintf(&b, "model %s\n", t.Model)
+	if t.Mutator != "" {
+		fmt.Fprintf(&b, "mutator %s\n", t.Mutator)
+	}
+	if t.IsMutant {
+		fmt.Fprintf(&b, "mutant-of %s\n", t.Base)
+	}
+	if t.FencesRemoved > 0 {
+		fmt.Fprintf(&b, "fences-removed %d\n", t.FencesRemoved)
+	}
+	for _, th := range t.Threads {
+		if th.Observer {
+			b.WriteString("observer\n")
+		} else {
+			b.WriteString("thread\n")
+		}
+		for _, in := range th.Instrs {
+			switch in.Op {
+			case OpLoad:
+				fmt.Fprintf(&b, "  r%d = load %s\n", in.Reg, mm.LocName(mm.Loc(in.Loc)))
+			case OpStore:
+				fmt.Fprintf(&b, "  store %s %d\n", mm.LocName(mm.Loc(in.Loc)), in.Val)
+			case OpExchange:
+				fmt.Fprintf(&b, "  r%d = exchange %s %d\n", in.Reg, mm.LocName(mm.Loc(in.Loc)), in.Val)
+			case OpFence:
+				b.WriteString("  fence\n")
+			}
+		}
+	}
+	b.WriteString("target")
+	regs := make([]int, 0, len(t.Target.Regs))
+	for r := range t.Target.Regs {
+		regs = append(regs, r)
+	}
+	sort.Ints(regs)
+	for _, r := range regs {
+		fmt.Fprintf(&b, " r%d=%d", r, t.Target.Regs[r])
+	}
+	locs := make([]int, 0, len(t.Target.Final))
+	for l := range t.Target.Final {
+		locs = append(locs, l)
+	}
+	sort.Ints(locs)
+	for _, l := range locs {
+		fmt.Fprintf(&b, " %s=%d", mm.LocName(mm.Loc(l)), t.Target.Final[l])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// locIndex resolves a single-letter location name back to its index.
+func locIndex(name string) (int, bool) {
+	const names = "xyzwvu"
+	if len(name) == 1 {
+		if i := strings.IndexByte(names, name[0]); i >= 0 {
+			return i, true
+		}
+	}
+	var idx int
+	if n, err := fmt.Sscanf(name, "m%d", &idx); err == nil && n == 1 {
+		return idx, true
+	}
+	return 0, false
+}
+
+// modelByName resolves an MCS name as printed by mm.MCS.String.
+func modelByName(name string) (mm.MCS, bool) {
+	for _, m := range []mm.MCS{mm.SC, mm.SCPerLocation, mm.RelAcqSCPerLocation, mm.TSO} {
+		if m.String() == name {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// Parse reads one test in the textual litmus format. The parsed test is
+// validated before it is returned.
+func Parse(r io.Reader) (*Test, error) {
+	sc := bufio.NewScanner(r)
+	t := &Test{Model: mm.SCPerLocation}
+	var cur *Thread
+	lineNo := 0
+	sawTarget := false
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) (*Test, error) {
+			return nil, fmt.Errorf("litmus: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "test":
+			if len(fields) != 2 {
+				return fail("test wants one name")
+			}
+			t.Name = fields[1]
+		case "model":
+			m, ok := modelByName(strings.Join(fields[1:], " "))
+			if !ok {
+				return fail("unknown model %q", strings.Join(fields[1:], " "))
+			}
+			t.Model = m
+		case "mutator":
+			t.Mutator = strings.Join(fields[1:], " ")
+		case "mutant-of":
+			if len(fields) != 2 {
+				return fail("mutant-of wants one name")
+			}
+			t.IsMutant = true
+			t.Base = fields[1]
+		case "fences-removed":
+			if len(fields) != 2 {
+				return fail("fences-removed wants one count")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return fail("bad fence count %q", fields[1])
+			}
+			t.FencesRemoved = n
+		case "thread", "observer":
+			t.Threads = append(t.Threads, Thread{Observer: fields[0] == "observer"})
+			cur = &t.Threads[len(t.Threads)-1]
+		case "target":
+			sawTarget = true
+			t.Target = Condition{Regs: map[int]mm.Val{}, Final: map[int]mm.Val{}}
+			for _, assign := range fields[1:] {
+				k, v, ok := strings.Cut(assign, "=")
+				if !ok {
+					return fail("bad target assignment %q", assign)
+				}
+				val, err := strconv.ParseUint(v, 10, 32)
+				if err != nil {
+					return fail("bad target value %q", v)
+				}
+				if strings.HasPrefix(k, "r") {
+					reg, err := strconv.Atoi(k[1:])
+					if err == nil {
+						t.Target.Regs[reg] = mm.Val(val)
+						continue
+					}
+				}
+				l, ok := locIndex(k)
+				if !ok {
+					return fail("bad target key %q", k)
+				}
+				t.Target.Final[l] = mm.Val(val)
+			}
+		case "fence":
+			if cur == nil {
+				return fail("instruction before any thread")
+			}
+			cur.Instrs = append(cur.Instrs, Instr{Op: OpFence, Reg: -1})
+		case "store":
+			if cur == nil {
+				return fail("instruction before any thread")
+			}
+			if len(fields) != 3 {
+				return fail("store wants a location and a value")
+			}
+			l, ok := locIndex(fields[1])
+			if !ok {
+				return fail("bad location %q", fields[1])
+			}
+			val, err := strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return fail("bad store value %q", fields[2])
+			}
+			cur.Instrs = append(cur.Instrs, Instr{Op: OpStore, Loc: l, Val: mm.Val(val), Reg: -1})
+			if l+1 > t.NumLocs {
+				t.NumLocs = l + 1
+			}
+		default:
+			// "rN = load LOC" or "rN = exchange LOC VAL".
+			if cur == nil {
+				return fail("instruction before any thread")
+			}
+			if len(fields) < 4 || fields[1] != "=" || !strings.HasPrefix(fields[0], "r") {
+				return fail("unrecognized line %q", strings.TrimSpace(line))
+			}
+			reg, err := strconv.Atoi(fields[0][1:])
+			if err != nil || reg < 0 {
+				return fail("bad register %q", fields[0])
+			}
+			l, ok := locIndex(fields[3])
+			if !ok {
+				return fail("bad location %q", fields[3])
+			}
+			switch fields[2] {
+			case "load":
+				if len(fields) != 4 {
+					return fail("load wants one location")
+				}
+				cur.Instrs = append(cur.Instrs, Instr{Op: OpLoad, Loc: l, Reg: reg})
+			case "exchange":
+				if len(fields) != 5 {
+					return fail("exchange wants a location and a value")
+				}
+				val, err := strconv.ParseUint(fields[4], 10, 32)
+				if err != nil {
+					return fail("bad exchange value %q", fields[4])
+				}
+				cur.Instrs = append(cur.Instrs, Instr{Op: OpExchange, Loc: l, Val: mm.Val(val), Reg: reg})
+			default:
+				return fail("unknown operation %q", fields[2])
+			}
+			if reg+1 > t.NumRegs {
+				t.NumRegs = reg + 1
+			}
+			if l+1 > t.NumLocs {
+				t.NumLocs = l + 1
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("litmus: %w", err)
+	}
+	if !sawTarget {
+		return nil, fmt.Errorf("litmus: missing target line")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(src string) (*Test, error) {
+	return Parse(strings.NewReader(src))
+}

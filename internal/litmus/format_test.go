@@ -1,0 +1,206 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mm"
+)
+
+// TestFormatRoundTripCatalog: parsing a formatted test reproduces it.
+func TestFormatRoundTripCatalog(t *testing.T) {
+	for _, tc := range Catalog() {
+		text := Format(tc)
+		back, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("%s: parse: %v\n%s", tc.Name, err, text)
+		}
+		if back.Name != tc.Name || back.Model != tc.Model {
+			t.Errorf("%s: header changed", tc.Name)
+		}
+		if len(back.Threads) != len(tc.Threads) {
+			t.Fatalf("%s: %d threads, want %d", tc.Name, len(back.Threads), len(tc.Threads))
+		}
+		for ti := range tc.Threads {
+			a, b := tc.Threads[ti], back.Threads[ti]
+			if a.Observer != b.Observer || len(a.Instrs) != len(b.Instrs) {
+				t.Fatalf("%s: thread %d shape changed", tc.Name, ti)
+			}
+			for ii := range a.Instrs {
+				x, y := a.Instrs[ii], b.Instrs[ii]
+				if x.Op != y.Op || x.Loc != y.Loc || x.Val != y.Val ||
+					(x.Reads() && x.Reg != y.Reg) {
+					t.Errorf("%s: t%d i%d: %+v != %+v", tc.Name, ti, ii, x, y)
+				}
+			}
+		}
+		if back.Target.String() != tc.Target.String() {
+			t.Errorf("%s: target %q != %q", tc.Name, back.Target, tc.Target)
+		}
+	}
+}
+
+func TestFormatPreservesMutantMetadata(t *testing.T) {
+	src := `test MP-relacq-nofence
+model rel-acq-SC-per-location
+mutator weakening sw
+mutant-of MP-relacq
+fences-removed 2
+thread
+  store x 1
+  store y 2
+thread
+  r0 = load y
+  r1 = load x
+target r0=2 r1=0
+`
+	tc, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tc.IsMutant || tc.Base != "MP-relacq" || tc.FencesRemoved != 2 {
+		t.Fatalf("metadata lost: %+v", tc)
+	}
+	if tc.Mutator != "weakening sw" {
+		t.Fatalf("mutator %q", tc.Mutator)
+	}
+	// Round trip keeps it.
+	back, err := ParseString(Format(tc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Base != tc.Base || back.FencesRemoved != tc.FencesRemoved || back.Mutator != tc.Mutator {
+		t.Fatal("metadata lost on round trip")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `# a litmus test
+test demo   # trailing comment
+model SC-per-location
+thread
+  # a whole-line comment
+  store x 1
+thread
+  r0 = load x
+target r0=0
+`
+	tc, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Name != "demo" || tc.Instructions() != 2 {
+		t.Fatalf("parsed %+v", tc)
+	}
+}
+
+func TestParseExchangeAndFence(t *testing.T) {
+	src := `test xchg
+model TSO
+thread
+  store x 1
+  fence
+  r0 = exchange y 2
+thread
+  r1 = load y
+target r0=0 r1=2 y=2
+`
+	tc, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tc.HasFences() {
+		t.Fatal("fence lost")
+	}
+	if tc.Threads[0].Instrs[2].Op != OpExchange || tc.Threads[0].Instrs[2].Val != 2 {
+		t.Fatalf("exchange mangled: %+v", tc.Threads[0].Instrs[2])
+	}
+	if tc.Model != mm.TSO {
+		t.Fatalf("model %v", tc.Model)
+	}
+	if tc.Target.Final[1] != 2 {
+		t.Fatalf("final target lost: %v", tc.Target)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"no target", "test a\nthread\n store x 1\n"},
+		{"instr before thread", "test a\nstore x 1\ntarget x=1\n"},
+		{"bad model", "test a\nmodel bogus\nthread\n store x 1\ntarget x=1\n"},
+		{"bad location", "test a\nthread\n store q 1\ntarget x=1\n"},
+		{"bad value", "test a\nthread\n store x one\ntarget x=1\n"},
+		{"bad op", "test a\nthread\n r0 = frob x\ntarget x=1\n"},
+		{"bad target assign", "test a\nthread\n store x 1\ntarget x\n"},
+		{"bad target value", "test a\nthread\n store x 1\ntarget x=banana\n"},
+		{"bad register", "test a\nthread\n rx = load x\ntarget x=1\n"},
+		{"zero store", "test a\nthread\n store x 0\ntarget x=0\n"},
+		{"gap register", "test a\nthread\n r1 = load x\nthread\n store x 1\ntarget r1=0\n"},
+		{"store arity", "test a\nthread\n store x\ntarget x=1\n"},
+		{"load arity", "test a\nthread\n r0 = load x 3\ntarget r0=0\n"},
+		{"exchange arity", "test a\nthread\n r0 = exchange x\ntarget r0=0\n"},
+		{"fences-removed junk", "test a\nfences-removed two\nthread\n store x 1\ntarget x=1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c.src); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestParsedTestIsRunnable(t *testing.T) {
+	// A hand-written file defines a working test usable by the checker.
+	src := `test custom-mp
+model SC-per-location
+thread
+  store x 1
+  store y 2
+thread
+  r0 = load y
+  r1 = load x
+target r0=2 r1=0
+`
+	tc, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := tc.Classify(Outcome{Regs: []mm.Val{2, 0}, Final: []mm.Val{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Allowed {
+		t.Fatal("weak MP outcome should be coherence-allowed")
+	}
+	if v2, _ := tc.Classify(Outcome{Regs: []mm.Val{2, 3}, Final: []mm.Val{1, 2}}); v2.Consistent {
+		t.Fatal("out-of-thin-air value not flagged")
+	}
+}
+
+func TestLocIndexRoundTrip(t *testing.T) {
+	for l := 0; l < 6; l++ {
+		name := mm.LocName(mm.Loc(l))
+		got, ok := locIndex(name)
+		if !ok || got != l {
+			t.Errorf("locIndex(%q) = %d, %v", name, got, ok)
+		}
+	}
+	if got, ok := locIndex("m9"); !ok || got != 9 {
+		t.Errorf("locIndex(m9) = %d, %v", got, ok)
+	}
+	if _, ok := locIndex("zz"); ok {
+		t.Error("locIndex accepted zz")
+	}
+}
+
+func TestFormatIsStable(t *testing.T) {
+	tc := MPRelAcq()
+	if Format(tc) != Format(tc) {
+		t.Fatal("Format is nondeterministic")
+	}
+	if !strings.Contains(Format(tc), "model rel-acq-SC-per-location") {
+		t.Fatal("model line missing")
+	}
+}

@@ -1,0 +1,584 @@
+// Package litmus represents litmus tests: small concurrent programs that
+// probe whether a platform implementation conforms to its memory
+// consistency specification (Section 2.2 of the MC Mutants paper).
+//
+// A test is a set of threads of atomic instructions over a handful of
+// locations, plus a target behavior: the particular outcome the test
+// exists to look for. For a conformance test the target behavior is
+// disallowed by the model — observing it is a bug. For a mutant the
+// target behavior is allowed — observing it kills the mutant and scores
+// the testing environment.
+//
+// Every store in a test writes a unique nonzero value, so the outcome of
+// one run (the values loaded into registers plus the final memory state)
+// determines the reads-from relation, and package mm can decide whether
+// the outcome was legal.
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mm"
+)
+
+// OpCode enumerates the atomic instruction set. It mirrors the WGSL
+// subset used by the paper: atomic loads, atomic stores, atomic
+// exchanges (the RMW used for value-tracking), and release/acquire
+// fences (the inter-workgroup semantics WGSL's barrier used to carry).
+type OpCode int
+
+const (
+	// OpLoad is reg = atomicLoad(&mem[loc]).
+	OpLoad OpCode = iota
+	// OpStore is atomicStore(&mem[loc], val).
+	OpStore
+	// OpExchange is reg = atomicExchange(&mem[loc], val): an RMW.
+	OpExchange
+	// OpFence is a release/acquire fence.
+	OpFence
+)
+
+// String returns WGSL-flavored mnemonics.
+func (o OpCode) String() string {
+	switch o {
+	case OpLoad:
+		return "atomicLoad"
+	case OpStore:
+		return "atomicStore"
+	case OpExchange:
+		return "atomicExchange"
+	case OpFence:
+		return "fence"
+	default:
+		return fmt.Sprintf("OpCode(%d)", int(o))
+	}
+}
+
+// Instr is one instruction in a litmus-test thread.
+type Instr struct {
+	Op OpCode
+	// Loc is the logical location index within the test (0 = x, 1 = y).
+	// Unused for fences.
+	Loc int
+	// Val is the value stored (OpStore, OpExchange).
+	Val mm.Val
+	// Reg is the destination register for loaded values (OpLoad,
+	// OpExchange); -1 when no value is produced.
+	Reg int
+	// Label optionally names the event ("a", "b", ...) for rendering and
+	// cycle explanations.
+	Label string
+}
+
+// Reads reports whether the instruction observes a memory value.
+func (in Instr) Reads() bool { return in.Op == OpLoad || in.Op == OpExchange }
+
+// Writes reports whether the instruction stores a memory value.
+func (in Instr) Writes() bool { return in.Op == OpStore || in.Op == OpExchange }
+
+// EventKind maps the opcode to its mm event class.
+func (in Instr) EventKind() mm.Kind {
+	switch in.Op {
+	case OpLoad:
+		return mm.Read
+	case OpStore:
+		return mm.Write
+	case OpExchange:
+		return mm.RMW
+	default:
+		return mm.Fence
+	}
+}
+
+// Thread is a sequence of instructions executed by one test thread.
+type Thread struct {
+	Instrs []Instr
+	// Observer marks threads that only observe (read) the coherence
+	// order; they take part in outcome classification like any other
+	// thread but are not "worker" threads of the template.
+	Observer bool
+}
+
+// Test is a litmus test.
+type Test struct {
+	// Name identifies the test (e.g. "CoRR", "MP-relacq").
+	Name string
+	// Mutator names the generating mutator family, if any.
+	Mutator string
+	// IsMutant distinguishes mutants from conformance tests.
+	IsMutant bool
+	// Base is the conformance test a mutant was derived from.
+	Base string
+	// Threads holds the program. Thread i of the test instance runs
+	// Threads[i].
+	Threads []Thread
+	// NumLocs is the number of distinct locations the test uses.
+	NumLocs int
+	// NumRegs is the number of outcome registers.
+	NumRegs int
+	// Model is the MCS under which Target was classified at generation
+	// time.
+	Model mm.MCS
+	// Target is the behavior of interest: disallowed for conformance
+	// tests, allowed (weak or fine-grained) for mutants.
+	Target Condition
+	// FencesRemoved counts fences deleted by Mutator 3's disruptor
+	// (0 for everything else).
+	FencesRemoved int
+}
+
+// Outcome is the result of one execution of a test instance: the value
+// loaded into each register and the final value of each location.
+type Outcome struct {
+	Regs  []mm.Val
+	Final []mm.Val
+}
+
+// Key returns a canonical string form usable as a histogram key, e.g.
+// "r0=1 r1=0 | x=1 y=1".
+func (o Outcome) Key() string {
+	var b strings.Builder
+	for i, v := range o.Regs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "r%d=%d", i, v)
+	}
+	if len(o.Final) > 0 {
+		b.WriteString(" |")
+		for l, v := range o.Final {
+			fmt.Fprintf(&b, " %s=%d", mm.LocName(mm.Loc(l)), v)
+		}
+	}
+	return b.String()
+}
+
+// Condition is a declarative predicate over outcomes: required register
+// values and required final memory values. An empty condition matches
+// everything.
+type Condition struct {
+	Regs  map[int]mm.Val
+	Final map[int]mm.Val
+}
+
+// Matches reports whether the outcome satisfies the condition. Registers
+// or locations out of range never match.
+func (c Condition) Matches(o Outcome) bool {
+	for r, v := range c.Regs {
+		if r < 0 || r >= len(o.Regs) || o.Regs[r] != v {
+			return false
+		}
+	}
+	for l, v := range c.Final {
+		if l < 0 || l >= len(o.Final) || o.Final[l] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether the condition constrains nothing.
+func (c Condition) Empty() bool { return len(c.Regs) == 0 && len(c.Final) == 0 }
+
+// String renders the condition like the paper's postconditions, e.g.
+// "r0==1 && r1==0".
+func (c Condition) String() string {
+	var parts []string
+	regs := make([]int, 0, len(c.Regs))
+	for r := range c.Regs {
+		regs = append(regs, r)
+	}
+	sort.Ints(regs)
+	for _, r := range regs {
+		parts = append(parts, fmt.Sprintf("r%d==%d", r, c.Regs[r]))
+	}
+	locs := make([]int, 0, len(c.Final))
+	for l := range c.Final {
+		locs = append(locs, l)
+	}
+	sort.Ints(locs)
+	for _, l := range locs {
+		parts = append(parts, fmt.Sprintf("%s==%d", mm.LocName(mm.Loc(l)), c.Final[l]))
+	}
+	if len(parts) == 0 {
+		return "true"
+	}
+	return strings.Join(parts, " && ")
+}
+
+// Validate checks structural invariants: register indices dense and in
+// range, location indices in range, write values unique and nonzero, and
+// a non-empty target for generated tests.
+func (t *Test) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("litmus: test has no name")
+	}
+	if len(t.Threads) == 0 {
+		return fmt.Errorf("litmus %s: no threads", t.Name)
+	}
+	seenReg := map[int]bool{}
+	seenVal := map[int]map[mm.Val]bool{}
+	for ti, th := range t.Threads {
+		if len(th.Instrs) == 0 {
+			return fmt.Errorf("litmus %s: thread %d empty", t.Name, ti)
+		}
+		for ii, in := range th.Instrs {
+			if in.Op != OpFence {
+				if in.Loc < 0 || in.Loc >= t.NumLocs {
+					return fmt.Errorf("litmus %s: t%d i%d: location %d out of range [0,%d)",
+						t.Name, ti, ii, in.Loc, t.NumLocs)
+				}
+			}
+			if in.Reads() {
+				if in.Reg < 0 || in.Reg >= t.NumRegs {
+					return fmt.Errorf("litmus %s: t%d i%d: register %d out of range [0,%d)",
+						t.Name, ti, ii, in.Reg, t.NumRegs)
+				}
+				if seenReg[in.Reg] {
+					return fmt.Errorf("litmus %s: register r%d written twice", t.Name, in.Reg)
+				}
+				seenReg[in.Reg] = true
+			}
+			if in.Writes() {
+				if in.Val == 0 {
+					return fmt.Errorf("litmus %s: t%d i%d stores reserved value 0", t.Name, ti, ii)
+				}
+				if seenVal[in.Loc] == nil {
+					seenVal[in.Loc] = map[mm.Val]bool{}
+				}
+				if seenVal[in.Loc][in.Val] {
+					return fmt.Errorf("litmus %s: duplicate store of %d to %s",
+						t.Name, in.Val, mm.LocName(mm.Loc(in.Loc)))
+				}
+				seenVal[in.Loc][in.Val] = true
+			}
+		}
+	}
+	for r := 0; r < t.NumRegs; r++ {
+		if !seenReg[r] {
+			return fmt.Errorf("litmus %s: register r%d never assigned", t.Name, r)
+		}
+	}
+	for r := range t.Target.Regs {
+		if r < 0 || r >= t.NumRegs {
+			return fmt.Errorf("litmus %s: target references register r%d", t.Name, r)
+		}
+	}
+	for l := range t.Target.Final {
+		if l < 0 || l >= t.NumLocs {
+			return fmt.Errorf("litmus %s: target references location %d", t.Name, l)
+		}
+	}
+	return nil
+}
+
+// WorkerThreads returns the number of non-observer threads.
+func (t *Test) WorkerThreads() int {
+	n := 0
+	for _, th := range t.Threads {
+		if !th.Observer {
+			n++
+		}
+	}
+	return n
+}
+
+// Instructions returns the total instruction count across all threads.
+func (t *Test) Instructions() int {
+	n := 0
+	for _, th := range t.Threads {
+		n += len(th.Instrs)
+	}
+	return n
+}
+
+// HasFences reports whether any thread contains a fence.
+func (t *Test) HasFences() bool {
+	for _, th := range t.Threads {
+		for _, in := range th.Instrs {
+			if in.Op == OpFence {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AnyFinal is a sentinel final value meaning "unconstrained": the
+// corresponding location's coherence-final write is not pinned when
+// reconstructing an execution.
+const AnyFinal mm.Val = ^mm.Val(0)
+
+// Execution reconstructs the candidate execution corresponding to an
+// observed outcome. Loads take their register's value; stores take their
+// program value. Final memory values pin the coherence-maximal write of
+// each location (mm's CoLast constraint); a Final entry of AnyFinal, or
+// an entirely absent Final vector, leaves the location unconstrained.
+//
+// A final value that matches no write to a written location (including
+// 0, the initial value) indicates memory corruption; Execution still
+// returns the execution, and Classify reports it inconsistent.
+func (t *Test) Execution(o Outcome) (*mm.Execution, error) {
+	if len(o.Regs) != t.NumRegs {
+		return nil, fmt.Errorf("litmus %s: outcome has %d registers, want %d",
+			t.Name, len(o.Regs), t.NumRegs)
+	}
+	if len(o.Final) != 0 && len(o.Final) != t.NumLocs {
+		return nil, fmt.Errorf("litmus %s: outcome has %d final values, want %d",
+			t.Name, len(o.Final), t.NumLocs)
+	}
+	var x mm.Execution
+	writerOf := map[int]map[mm.Val]int{} // loc -> value -> event ID
+	for ti, th := range t.Threads {
+		for ii, in := range th.Instrs {
+			e := mm.Event{
+				ID:     len(x.Events),
+				Thread: ti,
+				Index:  ii,
+				Kind:   in.EventKind(),
+				Loc:    mm.Loc(in.Loc),
+				Label:  in.Label,
+			}
+			if in.Reads() {
+				e.ReadVal = o.Regs[in.Reg]
+			}
+			if in.Writes() {
+				e.WriteVal = in.Val
+				if writerOf[in.Loc] == nil {
+					writerOf[in.Loc] = map[mm.Val]int{}
+				}
+				writerOf[in.Loc][in.Val] = e.ID
+			}
+			x.Events = append(x.Events, e)
+		}
+	}
+	for l := 0; l < len(o.Final); l++ {
+		v := o.Final[l]
+		if v == AnyFinal {
+			continue
+		}
+		if id, ok := writerOf[l][v]; ok {
+			if x.CoLast == nil {
+				x.CoLast = map[mm.Loc]int{}
+			}
+			x.CoLast[mm.Loc(l)] = id
+		}
+	}
+	return &x, nil
+}
+
+// FinalConsistent reports whether the outcome's final memory values are
+// explicable: a written location must end with some write's value, and
+// an unwritten location must still hold 0.
+func (t *Test) FinalConsistent(o Outcome) bool {
+	if len(o.Final) == 0 {
+		return true
+	}
+	writes := make([]map[mm.Val]bool, t.NumLocs)
+	for _, th := range t.Threads {
+		for _, in := range th.Instrs {
+			if in.Writes() {
+				if writes[in.Loc] == nil {
+					writes[in.Loc] = map[mm.Val]bool{}
+				}
+				writes[in.Loc][in.Val] = true
+			}
+		}
+	}
+	for l, v := range o.Final {
+		if v == AnyFinal {
+			continue
+		}
+		if len(writes[l]) == 0 {
+			if v != 0 {
+				return false
+			}
+			continue
+		}
+		if !writes[l][v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Classify decides whether the outcome was allowed under the test's
+// model. Outcomes whose read or final values cannot be traced to writes
+// are reported as inconsistent (memory corruption) and disallowed.
+func (t *Test) Classify(o Outcome) (mm.Verdict, error) {
+	x, err := t.Execution(o)
+	if err != nil {
+		return mm.Verdict{}, err
+	}
+	if !t.FinalConsistent(o) {
+		return mm.Verdict{Allowed: false, Consistent: false}, nil
+	}
+	return x.Check(t.Model), nil
+}
+
+// TargetExecution builds the candidate execution of the target behavior
+// itself (used for Fig. 2-style rendering and for sanity checks at
+// generation time). Registers not constrained by the target default to
+// 0; final values not constrained by the target are left unconstrained.
+func (t *Test) TargetExecution() (*mm.Execution, error) {
+	o := t.TargetOutcome()
+	return t.Execution(o)
+}
+
+// TargetOutcome materializes the target condition as a concrete outcome:
+// constrained registers and finals take their required values,
+// unconstrained registers default to 0, and unconstrained finals are
+// AnyFinal.
+func (t *Test) TargetOutcome() Outcome {
+	o := Outcome{Regs: make([]mm.Val, t.NumRegs), Final: make([]mm.Val, t.NumLocs)}
+	for r, v := range t.Target.Regs {
+		o.Regs[r] = v
+	}
+	for l := range o.Final {
+		o.Final[l] = AnyFinal
+	}
+	for l, v := range t.Target.Final {
+		o.Final[l] = v
+	}
+	return o
+}
+
+// String renders the test as a two-column program in the style of
+// Fig. 1 of the paper, followed by the target condition.
+func (t *Test) String() string {
+	var b strings.Builder
+	kind := "conformance"
+	if t.IsMutant {
+		kind = "mutant"
+	}
+	fmt.Fprintf(&b, "%s (%s", t.Name, kind)
+	if t.Mutator != "" {
+		fmt.Fprintf(&b, ", %s", t.Mutator)
+	}
+	b.WriteString(")\n")
+	for ti, th := range t.Threads {
+		role := "Thread"
+		if th.Observer {
+			role = "Observer"
+		}
+		fmt.Fprintf(&b, "%s %d:\n", role, ti)
+		for _, in := range th.Instrs {
+			b.WriteString("  ")
+			if in.Label != "" {
+				fmt.Fprintf(&b, "%s: ", in.Label)
+			}
+			switch in.Op {
+			case OpLoad:
+				fmt.Fprintf(&b, "r%d = atomicLoad(&%s)", in.Reg, mm.LocName(mm.Loc(in.Loc)))
+			case OpStore:
+				fmt.Fprintf(&b, "atomicStore(&%s, %d)", mm.LocName(mm.Loc(in.Loc)), in.Val)
+			case OpExchange:
+				fmt.Fprintf(&b, "r%d = atomicExchange(&%s, %d)", in.Reg, mm.LocName(mm.Loc(in.Loc)), in.Val)
+			case OpFence:
+				b.WriteString("fence(release/acquire)")
+			}
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&b, "Target: %s\n", t.Target)
+	return b.String()
+}
+
+// Histogram accumulates outcome counts across runs of one test.
+type Histogram struct {
+	counts map[string]int
+	total  int
+	target int
+	// violations counts outcomes classified disallowed (conformance
+	// tests only; harness updates it).
+	violations int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: map[string]int{}}
+}
+
+// Add records one outcome, noting whether it matched the target and
+// whether it was a violation.
+func (h *Histogram) Add(o Outcome, target, violation bool) {
+	h.counts[o.Key()]++
+	h.total++
+	if target {
+		h.target++
+	}
+	if violation {
+		h.violations++
+	}
+}
+
+// AddN records n identical outcomes at once.
+func (h *Histogram) AddN(o Outcome, target, violation bool, n int) {
+	if n <= 0 {
+		return
+	}
+	h.counts[o.Key()] += n
+	h.total += n
+	if target {
+		h.target += n
+	}
+	if violation {
+		h.violations += n
+	}
+}
+
+// Total returns the number of recorded outcomes.
+func (h *Histogram) Total() int { return h.total }
+
+// TargetCount returns how many outcomes matched the target behavior.
+func (h *Histogram) TargetCount() int { return h.target }
+
+// Violations returns how many outcomes were disallowed by the model.
+func (h *Histogram) Violations() int { return h.violations }
+
+// Distinct returns the number of distinct outcomes seen.
+func (h *Histogram) Distinct() int { return len(h.counts) }
+
+// Count returns the number of occurrences of an outcome key.
+func (h *Histogram) Count(key string) int { return h.counts[key] }
+
+// Merge adds the contents of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for k, v := range other.counts {
+		h.counts[k] += v
+	}
+	h.total += other.total
+	h.target += other.target
+	h.violations += other.violations
+}
+
+// String renders the histogram sorted by frequency (descending), then
+// key, capped at 16 rows.
+func (h *Histogram) String() string {
+	type row struct {
+		key string
+		n   int
+	}
+	rows := make([]row, 0, len(h.counts))
+	for k, n := range h.counts {
+		rows = append(rows, row{k, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].key < rows[j].key
+	})
+	var b strings.Builder
+	for i, r := range rows {
+		if i == 16 {
+			fmt.Fprintf(&b, "  ... %d more outcomes\n", len(rows)-16)
+			break
+		}
+		fmt.Fprintf(&b, "  %8d  %s\n", r.n, r.key)
+	}
+	fmt.Fprintf(&b, "  total=%d target=%d violations=%d", h.total, h.target, h.violations)
+	return b.String()
+}

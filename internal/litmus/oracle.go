@@ -1,0 +1,194 @@
+package litmus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mm"
+)
+
+// This file provides operational oracles: exhaustive state-space
+// enumeration of a test's reachable outcomes under the textbook
+// operational definitions of sequential consistency (interleaving of
+// atomic steps) and x86-TSO (interleaving plus per-thread FIFO store
+// buffers with forwarding). They exist to cross-validate the axiomatic
+// checker: for every test, the operationally reachable set must equal
+// the axiomatically allowed subset of the candidate-outcome universe.
+// That equivalence is asserted across the whole generated suite in the
+// oracle tests.
+
+// oracleState is one interpreter configuration.
+type oracleState struct {
+	pcs  []int
+	mem  []mm.Val
+	regs []mm.Val
+	// buffers[t] is thread t's FIFO store buffer (TSO only; nil slices
+	// under SC).
+	buffers [][]bufEntry
+}
+
+type bufEntry struct {
+	loc int
+	val mm.Val
+}
+
+// key serializes the state for memoization.
+func (s *oracleState) key() string {
+	var b strings.Builder
+	for _, pc := range s.pcs {
+		fmt.Fprintf(&b, "%d,", pc)
+	}
+	b.WriteByte('|')
+	for _, v := range s.mem {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	b.WriteByte('|')
+	for _, v := range s.regs {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	b.WriteByte('|')
+	for _, buf := range s.buffers {
+		for _, e := range buf {
+			fmt.Fprintf(&b, "%d:%d,", e.loc, e.val)
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+func (s *oracleState) clone() *oracleState {
+	c := &oracleState{
+		pcs:  append([]int(nil), s.pcs...),
+		mem:  append([]mm.Val(nil), s.mem...),
+		regs: append([]mm.Val(nil), s.regs...),
+	}
+	if s.buffers != nil {
+		c.buffers = make([][]bufEntry, len(s.buffers))
+		for i, buf := range s.buffers {
+			c.buffers[i] = append([]bufEntry(nil), buf...)
+		}
+	}
+	return c
+}
+
+// SCOutcomes enumerates the outcomes reachable under sequential
+// consistency: threads interleave, every instruction is one atomic
+// step, fences are no-ops. Keys are Outcome.Key values.
+func (t *Test) SCOutcomes() map[string]bool {
+	return t.operationalOutcomes(false)
+}
+
+// TSOOutcomes enumerates the outcomes reachable under operational
+// x86-TSO: each thread owns a FIFO store buffer; stores enqueue, a
+// buffered entry may drain to memory at any point, loads forward from
+// the newest matching own-buffer entry, and fences, barriers and RMWs
+// require an empty own buffer.
+func (t *Test) TSOOutcomes() map[string]bool {
+	return t.operationalOutcomes(true)
+}
+
+func (t *Test) operationalOutcomes(tso bool) map[string]bool {
+	init := &oracleState{
+		pcs:  make([]int, len(t.Threads)),
+		mem:  make([]mm.Val, t.NumLocs),
+		regs: make([]mm.Val, t.NumRegs),
+	}
+	if tso {
+		init.buffers = make([][]bufEntry, len(t.Threads))
+	}
+	outcomes := map[string]bool{}
+	seen := map[string]bool{}
+	var walk func(s *oracleState)
+	walk = func(s *oracleState) {
+		k := s.key()
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		terminal := true
+		for ti := range t.Threads {
+			if s.pcs[ti] < len(t.Threads[ti].Instrs) {
+				terminal = false
+				if next := t.stepThread(s, ti, tso); next != nil {
+					walk(next)
+				}
+			}
+			if tso && len(s.buffers[ti]) > 0 {
+				terminal = false
+				walk(drainOldest(s, ti))
+			}
+		}
+		if terminal {
+			o := Outcome{
+				Regs:  append([]mm.Val(nil), s.regs...),
+				Final: append([]mm.Val(nil), s.mem...),
+			}
+			outcomes[o.Key()] = true
+		}
+	}
+	walk(init)
+	return outcomes
+}
+
+// stepThread executes thread ti's next instruction on a copy of s, or
+// returns nil when the instruction is not enabled (a fence or RMW with
+// a nonempty buffer).
+func (t *Test) stepThread(s *oracleState, ti int, tso bool) *oracleState {
+	in := t.Threads[ti].Instrs[s.pcs[ti]]
+	switch in.Op {
+	case OpFence:
+		if tso && len(s.buffers[ti]) > 0 {
+			return nil // fences drain the buffer first
+		}
+		n := s.clone()
+		n.pcs[ti]++
+		return n
+	case OpLoad:
+		n := s.clone()
+		v := n.mem[in.Loc]
+		if tso {
+			// Forward from the newest own-buffer entry, if any.
+			for i := len(n.buffers[ti]) - 1; i >= 0; i-- {
+				if n.buffers[ti][i].loc == in.Loc {
+					v = n.buffers[ti][i].val
+					break
+				}
+			}
+		}
+		n.regs[in.Reg] = v
+		n.pcs[ti]++
+		return n
+	case OpStore:
+		n := s.clone()
+		if tso {
+			n.buffers[ti] = append(n.buffers[ti], bufEntry{loc: in.Loc, val: in.Val})
+		} else {
+			n.mem[in.Loc] = in.Val
+		}
+		n.pcs[ti]++
+		return n
+	case OpExchange:
+		if tso && len(s.buffers[ti]) > 0 {
+			return nil // locked operations drain the buffer first
+		}
+		n := s.clone()
+		n.regs[in.Reg] = n.mem[in.Loc]
+		n.mem[in.Loc] = in.Val
+		n.pcs[ti]++
+		return n
+	default:
+		n := s.clone()
+		n.pcs[ti]++
+		return n
+	}
+}
+
+// drainOldest commits thread ti's oldest buffered store to memory on a
+// copy of s.
+func drainOldest(s *oracleState, ti int) *oracleState {
+	n := s.clone()
+	e := n.buffers[ti][0]
+	n.buffers[ti] = append([]bufEntry(nil), n.buffers[ti][1:]...)
+	n.mem[e.loc] = e.val
+	return n
+}

@@ -1,0 +1,148 @@
+package litmus
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/mm"
+)
+
+// axiomaticSet is the allowed subset of the candidate-outcome universe.
+func axiomaticSet(t *Test, model mm.MCS) map[string]bool {
+	return t.AllowedOutcomes(model)
+}
+
+// diffSets renders the symmetric difference for failure messages.
+func diffSets(a, b map[string]bool) (onlyA, onlyB []string) {
+	for k := range a {
+		if !b[k] {
+			onlyA = append(onlyA, k)
+		}
+	}
+	for k := range b {
+		if !a[k] {
+			onlyB = append(onlyB, k)
+		}
+	}
+	sort.Strings(onlyA)
+	sort.Strings(onlyB)
+	return
+}
+
+// TestSCOracleMatchesAxiomaticChecker is the central cross-validation:
+// for every catalog and extended test, the operationally reachable SC
+// outcomes equal the axiomatically SC-allowed candidate outcomes.
+func TestSCOracleMatchesAxiomaticChecker(t *testing.T) {
+	tests := append(Catalog(), ExtendedCatalog()...)
+	for _, tc := range tests {
+		op := tc.SCOutcomes()
+		ax := axiomaticSet(tc, mm.SC)
+		onlyOp, onlyAx := diffSets(op, ax)
+		if len(onlyOp) > 0 {
+			t.Errorf("%s: operationally reachable but axiomatically forbidden under SC: %v",
+				tc.Name, onlyOp)
+		}
+		if len(onlyAx) > 0 {
+			t.Errorf("%s: axiomatically allowed but operationally unreachable under SC: %v",
+				tc.Name, onlyAx)
+		}
+	}
+}
+
+// TestTSOOracleMatchesAxiomaticChecker: same equivalence for the
+// x86-TSO model against the store-buffer machine.
+func TestTSOOracleMatchesAxiomaticChecker(t *testing.T) {
+	tests := append(Catalog(), ExtendedCatalog()...)
+	for _, tc := range tests {
+		op := tc.TSOOutcomes()
+		ax := axiomaticSet(tc, mm.TSO)
+		onlyOp, onlyAx := diffSets(op, ax)
+		if len(onlyOp) > 0 {
+			t.Errorf("%s: reachable on the TSO machine but axiomatically forbidden: %v",
+				tc.Name, onlyOp)
+		}
+		if len(onlyAx) > 0 {
+			t.Errorf("%s: axiomatically TSO-allowed but unreachable on the machine: %v",
+				tc.Name, onlyAx)
+		}
+	}
+}
+
+func TestSCOracleKnownSets(t *testing.T) {
+	// SB under SC: the both-zero outcome is unreachable; the other three
+	// register combinations are.
+	sb := SB()
+	op := sb.SCOutcomes()
+	weak := Outcome{Regs: []mm.Val{0, 0}, Final: []mm.Val{1, 2}}
+	if op[weak.Key()] {
+		t.Fatal("SC oracle reached the SB weak outcome")
+	}
+	if len(op) != 3 {
+		t.Fatalf("SB has %d SC outcomes, want 3", len(op))
+	}
+	// TSO reaches exactly one more: the weak one.
+	tso := sb.TSOOutcomes()
+	if !tso[weak.Key()] {
+		t.Fatal("TSO machine missed store buffering")
+	}
+	if len(tso) != 4 {
+		t.Fatalf("SB has %d TSO outcomes, want 4", len(tso))
+	}
+}
+
+func TestTSOOracleForwarding(t *testing.T) {
+	// A thread must see its own buffered store before it drains.
+	tc := NewBuilder("fwd", mm.TSO).
+		Thread().Store(0, 1).Load(0).
+		Target(Condition{}).
+		Build()
+	op := tc.TSOOutcomes()
+	want := Outcome{Regs: []mm.Val{1}, Final: []mm.Val{1}}
+	if len(op) != 1 || !op[want.Key()] {
+		t.Fatalf("forwarding outcomes = %v", op)
+	}
+}
+
+func TestTSOOracleFenceDrains(t *testing.T) {
+	// SB with full fences: the weak outcome disappears on the machine.
+	tc := NewBuilder("sb-fenced", mm.TSO).
+		Thread().Store(0, 1).Fence().Load(1).
+		Thread().Store(1, 2).Fence().Load(0).
+		Target(Condition{}).
+		Build()
+	weakPrefix := Outcome{Regs: []mm.Val{0, 0}, Final: []mm.Val{1, 2}}
+	if tc.TSOOutcomes()[weakPrefix.Key()] {
+		t.Fatal("fenced SB weak outcome reachable on the TSO machine")
+	}
+}
+
+func TestOraclesOnGeneratedSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite-wide oracle equivalence is slow")
+	}
+	// The generated suite comes from package mutation, which depends on
+	// this package; to avoid an import cycle the suite-wide equivalence
+	// lives in mutation's tests. Here, spot-check the densest shapes.
+	for _, tc := range []*Test{TwoPlusTwoW(), MPRelAcq(), LBRelAcq(), SRelAcq()} {
+		op := tc.SCOutcomes()
+		ax := axiomaticSet(tc, mm.SC)
+		onlyOp, onlyAx := diffSets(op, ax)
+		if len(onlyOp)+len(onlyAx) > 0 {
+			t.Errorf("%s: SC mismatch op-only=%v ax-only=%v", tc.Name, onlyOp, onlyAx)
+		}
+	}
+}
+
+func BenchmarkSCOracleIRIW(b *testing.B) {
+	tc := IRIW()
+	for i := 0; i < b.N; i++ {
+		tc.SCOutcomes()
+	}
+}
+
+func BenchmarkTSOOracleSB(b *testing.B) {
+	tc := SB()
+	for i := 0; i < b.N; i++ {
+		tc.TSOOutcomes()
+	}
+}

@@ -1,0 +1,884 @@
+// Package mm implements the memory consistency specification (MCS)
+// formalism of Section 2 of the MC Mutants paper: executions as sets of
+// events and relations (Table 1), the three MCS models used in the paper
+// (sequential consistency, SC-per-location, and
+// release/acquire-SC-per-location), and the machinery to decide whether a
+// candidate execution is allowed — acyclicity of the happens-before
+// relation, with an existential search over coherence orders when the
+// coherence order was not fully observed.
+//
+// Events carry the values they read and wrote. Because every write in a
+// litmus test stores a unique nonzero value, the reads-from relation is
+// recovered directly from values; the coherence order is recovered from
+// observer threads and final memory state where available, and
+// existentially quantified otherwise.
+package mm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Loc identifies an atomic memory location within a test instance.
+type Loc int
+
+// Val is a value stored in an atomic location. The initial value of every
+// location is 0; writes use unique nonzero values.
+type Val uint32
+
+// Kind classifies an event, following Table 1 of the paper.
+type Kind int
+
+const (
+	// Read is an atomic load from an atomic location.
+	Read Kind = iota
+	// Write is an atomic store to an atomic location.
+	Write
+	// RMW is an atomic read-modify-write: one indivisible read and write.
+	RMW
+	// Fence is a release/acquire fence.
+	Fence
+)
+
+// String returns the conventional one-letter name of the event kind.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "R"
+	case Write:
+		return "W"
+	case RMW:
+		return "RMW"
+	case Fence:
+		return "F"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ReadsMemory reports whether events of this kind observe a value.
+func (k Kind) ReadsMemory() bool { return k == Read || k == RMW }
+
+// WritesMemory reports whether events of this kind store a value.
+func (k Kind) WritesMemory() bool { return k == Write || k == RMW }
+
+// Event is a single memory or fence event in a candidate execution.
+type Event struct {
+	// ID is the event's index in Execution.Events.
+	ID int
+	// Thread is the issuing thread.
+	Thread int
+	// Index is the event's program-order position within its thread.
+	Index int
+	// Kind is the event class.
+	Kind Kind
+	// Loc is the target location; meaningless for fences.
+	Loc Loc
+	// ReadVal is the value observed (Read and RMW events).
+	ReadVal Val
+	// WriteVal is the value stored (Write and RMW events).
+	WriteVal Val
+	// Label is an optional human-readable tag such as "a" used when
+	// rendering executions (Fig. 2 of the paper).
+	Label string
+}
+
+// String renders the event in the herd-style notation used by the paper,
+// e.g. "a: W x=1" or "c: R y=0".
+func (e Event) String() string {
+	name := e.Label
+	if name == "" {
+		name = fmt.Sprintf("e%d", e.ID)
+	}
+	switch e.Kind {
+	case Fence:
+		return fmt.Sprintf("%s: F", name)
+	case Read:
+		return fmt.Sprintf("%s: R %s=%d", name, locName(e.Loc), e.ReadVal)
+	case Write:
+		return fmt.Sprintf("%s: W %s=%d", name, locName(e.Loc), e.WriteVal)
+	case RMW:
+		return fmt.Sprintf("%s: RMW %s=%d->%d", name, locName(e.Loc), e.ReadVal, e.WriteVal)
+	default:
+		return fmt.Sprintf("%s: ?", name)
+	}
+}
+
+func locName(l Loc) string {
+	names := "xyzwvu"
+	if int(l) < len(names) {
+		return string(names[l])
+	}
+	return fmt.Sprintf("m%d", int(l))
+}
+
+// LocName returns the conventional single-letter name for a location
+// (x, y, z, ...), matching the litmus-test literature.
+func LocName(l Loc) string { return locName(l) }
+
+// EdgeKind labels happens-before edges for cycle explanations.
+type EdgeKind int
+
+const (
+	// EdgePO is program order.
+	EdgePO EdgeKind = iota
+	// EdgePOLoc is program order restricted to one location.
+	EdgePOLoc
+	// EdgeRF is reads-from.
+	EdgeRF
+	// EdgeCO is coherence order.
+	EdgeCO
+	// EdgeFR is from-reads.
+	EdgeFR
+	// EdgeSW is synchronizes-with (between fences).
+	EdgeSW
+	// EdgePOSWPO is the composed po;sw;po release/acquire ordering.
+	EdgePOSWPO
+)
+
+// String returns the relation name as written in the paper.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgePO:
+		return "po"
+	case EdgePOLoc:
+		return "po-loc"
+	case EdgeRF:
+		return "rf"
+	case EdgeCO:
+		return "co"
+	case EdgeFR:
+		return "fr"
+	case EdgeSW:
+		return "sw"
+	case EdgePOSWPO:
+		return "po;sw;po"
+	default:
+		return fmt.Sprintf("edge(%d)", int(k))
+	}
+}
+
+// Edge is a labeled happens-before edge between two events.
+type Edge struct {
+	From, To int
+	Kind     EdgeKind
+}
+
+// MCS selects one of the three memory consistency specifications from
+// Section 2.1 of the paper.
+type MCS int
+
+const (
+	// SC is sequential consistency: hb = po ∪ com and hb must be acyclic.
+	SC MCS = iota
+	// SCPerLocation is coherence: hb = po-loc ∪ com.
+	SCPerLocation
+	// RelAcqSCPerLocation extends SCPerLocation with the release/acquire
+	// fence ordering po;sw;po. This is the WebGPU model tested by the
+	// paper's Mutator 3.
+	RelAcqSCPerLocation
+	// TSO is the x86-style total-store-order model, axiomatized with
+	// the standard two conditions: uniproc (po-loc with communication
+	// must be acyclic) and the global order (program order minus
+	// write-to-read pairs, with external reads-from, coherence and
+	// from-reads, must be acyclic). Fences and RMWs drain the store
+	// buffer and restore full order. Section 3.4 of the paper uses such
+	// a model to prune mutants whose behavior a TSO implementation can
+	// never exhibit; the litmus package's store-buffer machine oracle
+	// is proven equivalent to this axiomatization over the whole
+	// generated suite by test.
+	TSO
+)
+
+// String names the model as in the paper.
+func (m MCS) String() string {
+	switch m {
+	case SC:
+		return "SC"
+	case SCPerLocation:
+		return "SC-per-location"
+	case RelAcqSCPerLocation:
+		return "rel-acq-SC-per-location"
+	case TSO:
+		return "TSO"
+	default:
+		return fmt.Sprintf("MCS(%d)", int(m))
+	}
+}
+
+// Execution is a candidate execution: a set of events plus a coherence
+// order per location. The rf and fr relations are derived from values.
+type Execution struct {
+	Events []Event
+	// CoOrder maps each location to the IDs of its writes (and RMWs) in
+	// coherence order. When nil for a location that has multiple writes,
+	// consistency checks existentially quantify over all total orders.
+	CoOrder map[Loc][]int
+	// CoLast optionally pins the coherence-final write of a location
+	// (by event ID). This encodes observed final memory state: the final
+	// value of a location is the value of its co-maximal write.
+	CoLast map[Loc]int
+}
+
+// Clone returns a deep copy of the execution.
+func (x *Execution) Clone() *Execution {
+	c := &Execution{Events: append([]Event(nil), x.Events...)}
+	if x.CoOrder != nil {
+		c.CoOrder = make(map[Loc][]int, len(x.CoOrder))
+		for l, order := range x.CoOrder {
+			c.CoOrder[l] = append([]int(nil), order...)
+		}
+	}
+	if x.CoLast != nil {
+		c.CoLast = make(map[Loc]int, len(x.CoLast))
+		for l, id := range x.CoLast {
+			c.CoLast[l] = id
+		}
+	}
+	return c
+}
+
+// Threads returns the number of threads referenced by the execution.
+func (x *Execution) Threads() int {
+	n := 0
+	for _, e := range x.Events {
+		if e.Thread+1 > n {
+			n = e.Thread + 1
+		}
+	}
+	return n
+}
+
+// WritesTo returns the IDs of write/RMW events targeting loc, in event-ID
+// order (not coherence order).
+func (x *Execution) WritesTo(loc Loc) []int {
+	var ids []int
+	for _, e := range x.Events {
+		if e.Kind.WritesMemory() && e.Loc == loc {
+			ids = append(ids, e.ID)
+		}
+	}
+	return ids
+}
+
+// Locations returns the sorted set of locations used by memory events.
+func (x *Execution) Locations() []Loc {
+	seen := map[Loc]bool{}
+	for _, e := range x.Events {
+		if e.Kind != Fence {
+			seen[e.Loc] = true
+		}
+	}
+	locs := make([]Loc, 0, len(seen))
+	for l := range seen {
+		locs = append(locs, l)
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+	return locs
+}
+
+// Validate checks structural well-formedness: IDs match positions, thread
+// indices are sequential in program order, write values are unique and
+// nonzero per test, and every read value is either 0 (initial) or the
+// value of some write to the same location.
+func (x *Execution) Validate() error {
+	writeVals := map[Loc]map[Val]int{}
+	for i, e := range x.Events {
+		if e.ID != i {
+			return fmt.Errorf("mm: event at position %d has ID %d", i, e.ID)
+		}
+		if e.Kind.WritesMemory() {
+			if e.WriteVal == 0 {
+				return fmt.Errorf("mm: %v writes the reserved initial value 0", e)
+			}
+			if writeVals[e.Loc] == nil {
+				writeVals[e.Loc] = map[Val]int{}
+			}
+			if prev, dup := writeVals[e.Loc][e.WriteVal]; dup {
+				return fmt.Errorf("mm: events %d and %d both write %d to %s",
+					prev, e.ID, e.WriteVal, locName(e.Loc))
+			}
+			writeVals[e.Loc][e.WriteVal] = e.ID
+		}
+	}
+	for _, e := range x.Events {
+		if e.Kind.ReadsMemory() && e.ReadVal != 0 {
+			if _, ok := writeVals[e.Loc][e.ReadVal]; !ok {
+				return fmt.Errorf("mm: %v reads value %d never written to %s",
+					e, e.ReadVal, locName(e.Loc))
+			}
+		}
+	}
+	// Per-thread indices must be strictly increasing in event order.
+	last := map[int]int{}
+	for _, e := range x.Events {
+		if prev, ok := last[e.Thread]; ok && e.Index <= prev {
+			return fmt.Errorf("mm: thread %d indices not increasing at %v", e.Thread, e)
+		}
+		last[e.Thread] = e.Index
+	}
+	if x.CoOrder != nil {
+		for l, order := range x.CoOrder {
+			want := x.WritesTo(l)
+			if len(order) != len(want) {
+				return fmt.Errorf("mm: co order for %s lists %d writes, have %d",
+					locName(l), len(order), len(want))
+			}
+			seen := map[int]bool{}
+			for _, id := range order {
+				if id < 0 || id >= len(x.Events) || !x.Events[id].Kind.WritesMemory() ||
+					x.Events[id].Loc != l || seen[id] {
+					return fmt.Errorf("mm: invalid co order for %s: %v", locName(l), order)
+				}
+				seen[id] = true
+			}
+		}
+	}
+	for l, id := range x.CoLast {
+		if id < 0 || id >= len(x.Events) || !x.Events[id].Kind.WritesMemory() ||
+			x.Events[id].Loc != l {
+			return fmt.Errorf("mm: CoLast for %s names event %d which is not a write to it",
+				locName(l), id)
+		}
+	}
+	return nil
+}
+
+// rf computes the reads-from relation from values. A read of 0 reads from
+// the initial state and contributes no rf edge. The bool result reports
+// whether all nonzero reads found their writer.
+func (x *Execution) rf() ([]Edge, bool) {
+	writer := map[Loc]map[Val]int{}
+	for _, e := range x.Events {
+		if e.Kind.WritesMemory() {
+			if writer[e.Loc] == nil {
+				writer[e.Loc] = map[Val]int{}
+			}
+			writer[e.Loc][e.WriteVal] = e.ID
+		}
+	}
+	var edges []Edge
+	ok := true
+	for _, e := range x.Events {
+		if !e.Kind.ReadsMemory() || e.ReadVal == 0 {
+			continue
+		}
+		w, found := writer[e.Loc][e.ReadVal]
+		if !found {
+			ok = false
+			continue
+		}
+		edges = append(edges, Edge{From: w, To: e.ID, Kind: EdgeRF})
+	}
+	return edges, ok
+}
+
+// po computes program order edges (transitively reduced: adjacent pairs).
+// Acyclicity is preserved under transitive reduction, and cycle reports
+// stay readable.
+func (x *Execution) po() []Edge {
+	byThread := map[int][]int{}
+	for _, e := range x.Events {
+		byThread[e.Thread] = append(byThread[e.Thread], e.ID)
+	}
+	var edges []Edge
+	for _, ids := range byThread {
+		sort.Slice(ids, func(i, j int) bool {
+			return x.Events[ids[i]].Index < x.Events[ids[j]].Index
+		})
+		for i := 0; i+1 < len(ids); i++ {
+			edges = append(edges, Edge{From: ids[i], To: ids[i+1], Kind: EdgePO})
+		}
+	}
+	return edges
+}
+
+// poLoc computes full (non-reduced) program order restricted to pairs of
+// memory events on the same location.
+func (x *Execution) poLoc() []Edge {
+	var edges []Edge
+	for _, a := range x.Events {
+		if a.Kind == Fence {
+			continue
+		}
+		for _, b := range x.Events {
+			if b.Kind == Fence || a.Thread != b.Thread || a.Index >= b.Index || a.Loc != b.Loc {
+				continue
+			}
+			edges = append(edges, Edge{From: a.ID, To: b.ID, Kind: EdgePOLoc})
+		}
+	}
+	return edges
+}
+
+// coFr derives coherence and from-reads edges for a given per-location
+// coherence order. A read of the initial value from-reads every write to
+// its location; a read of write w from-reads every write after w in co.
+func (x *Execution) coFr(co map[Loc][]int) []Edge {
+	var edges []Edge
+	pos := map[int]int{} // event ID -> position in its location's co
+	for _, order := range co {
+		for i, id := range order {
+			pos[id] = i
+			if i+1 < len(order) {
+				edges = append(edges, Edge{From: id, To: order[i+1], Kind: EdgeCO})
+			}
+		}
+	}
+	writerOf := map[Loc]map[Val]int{}
+	for _, e := range x.Events {
+		if e.Kind.WritesMemory() {
+			if writerOf[e.Loc] == nil {
+				writerOf[e.Loc] = map[Val]int{}
+			}
+			writerOf[e.Loc][e.WriteVal] = e.ID
+		}
+	}
+	for _, e := range x.Events {
+		if !e.Kind.ReadsMemory() {
+			continue
+		}
+		order := co[e.Loc]
+		if e.ReadVal == 0 {
+			// Read from initial state: fr to every write to the location.
+			for _, w := range order {
+				if w != e.ID { // an RMW does not from-read itself
+					edges = append(edges, Edge{From: e.ID, To: w, Kind: EdgeFR})
+				}
+			}
+			continue
+		}
+		w, ok := writerOf[e.Loc][e.ReadVal]
+		if !ok {
+			continue
+		}
+		for i := pos[w] + 1; i < len(order); i++ {
+			if order[i] != e.ID {
+				edges = append(edges, Edge{From: e.ID, To: order[i], Kind: EdgeFR})
+			}
+		}
+	}
+	return edges
+}
+
+// sw computes synchronizes-with edges between fences: a fence f_r in one
+// thread synchronizes with a fence f_a in another thread if some write or
+// RMW w is po-after f_r, some read or RMW r is po-before f_a, and r
+// reads-from w (Table 1 of the paper).
+func (x *Execution) sw(rfEdges []Edge) []Edge {
+	readsFrom := map[int]int{} // reader -> writer
+	for _, e := range rfEdges {
+		readsFrom[e.To] = e.From
+	}
+	var edges []Edge
+	for _, fr := range x.Events {
+		if fr.Kind != Fence {
+			continue
+		}
+		for _, fa := range x.Events {
+			if fa.Kind != Fence || fa.Thread == fr.Thread {
+				continue
+			}
+			if x.fencesSync(fr, fa, readsFrom) {
+				edges = append(edges, Edge{From: fr.ID, To: fa.ID, Kind: EdgeSW})
+			}
+		}
+	}
+	return edges
+}
+
+func (x *Execution) fencesSync(fr, fa Event, readsFrom map[int]int) bool {
+	for _, w := range x.Events {
+		if !w.Kind.WritesMemory() || w.Thread != fr.Thread || w.Index <= fr.Index {
+			continue
+		}
+		for _, r := range x.Events {
+			if !r.Kind.ReadsMemory() || r.Thread != fa.Thread || r.Index >= fa.Index {
+				continue
+			}
+			if wID, ok := readsFrom[r.ID]; ok && wID == w.ID {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// poSwPo composes po;sw;po: for each sw pair (f_r, f_a), every event
+// po-before f_r happens before every event po-after f_a.
+func (x *Execution) poSwPo(swEdges []Edge) []Edge {
+	var edges []Edge
+	for _, s := range swEdges {
+		frE, faE := x.Events[s.From], x.Events[s.To]
+		for _, e := range x.Events {
+			if e.Thread != frE.Thread || e.Index >= frE.Index {
+				continue
+			}
+			for _, e2 := range x.Events {
+				if e2.Thread != faE.Thread || e2.Index <= faE.Index {
+					continue
+				}
+				edges = append(edges, Edge{From: e.ID, To: e2.ID, Kind: EdgePOSWPO})
+			}
+		}
+	}
+	return edges
+}
+
+// ppoTSO computes TSO's preserved program order: every program-order
+// pair except a pure write followed by a pure read — regardless of
+// location, since a thread may read its own buffered store before it
+// reaches memory. Pairs separated by a fence, and pairs involving an
+// RMW, stay ordered (fences and atomic operations drain the store
+// buffer). Same-location value correctness is not ppo's job; the
+// separate uniproc condition (po-loc with com) covers it, following
+// the two-condition structure of the x86-TSO axiomatic model.
+func (x *Execution) ppoTSO() []Edge {
+	byThread := map[int][]Event{}
+	for _, e := range x.Events {
+		byThread[e.Thread] = append(byThread[e.Thread], e)
+	}
+	var edges []Edge
+	for _, events := range byThread {
+		sort.Slice(events, func(i, j int) bool { return events[i].Index < events[j].Index })
+		for i := 0; i < len(events); i++ {
+			fenceBetween := false
+			for j := i + 1; j < len(events); j++ {
+				a, b := events[i], events[j]
+				if b.Kind == Fence {
+					fenceBetween = true
+					continue
+				}
+				if a.Kind == Fence {
+					break // edges from fences are implied transitively
+				}
+				relaxed := a.Kind == Write && b.Kind == Read
+				if relaxed && !fenceBetween {
+					continue
+				}
+				edges = append(edges, Edge{From: a.ID, To: b.ID, Kind: EdgePO})
+			}
+		}
+	}
+	return edges
+}
+
+// rfExternal filters reads-from to cross-thread edges (rfe); a
+// thread's early read of its own buffered store does not globally
+// order the store.
+func rfExternal(x *Execution, rfEdges []Edge) []Edge {
+	var out []Edge
+	for _, e := range rfEdges {
+		if x.Events[e.From].Thread != x.Events[e.To].Thread {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// HB constructs the happens-before edge set of the execution under model
+// m, using the supplied coherence order. Labels are preserved so cycles
+// can be explained in the paper's notation.
+func (x *Execution) HB(m MCS, co map[Loc][]int) []Edge {
+	var hb []Edge
+	switch m {
+	case SC:
+		hb = append(hb, x.po()...)
+	case SCPerLocation, RelAcqSCPerLocation, TSO:
+		// TSO's uniproc condition; its global condition is a separate
+		// graph, see conditions().
+		hb = append(hb, x.poLoc()...)
+	}
+	rfEdges, _ := x.rf()
+	hb = append(hb, rfEdges...)
+	hb = append(hb, x.coFr(co)...)
+	if m == RelAcqSCPerLocation {
+		swEdges := x.sw(rfEdges)
+		hb = append(hb, x.poSwPo(swEdges)...)
+	}
+	return hb
+}
+
+// Verdict is the result of checking an execution against a model.
+type Verdict struct {
+	// Allowed reports whether some coherence order makes hb acyclic.
+	Allowed bool
+	// Consistent reports whether all read values traced back to writes;
+	// an inconsistent execution indicates memory corruption rather than
+	// a consistency relaxation.
+	Consistent bool
+	// Cycle, for disallowed executions, is one hb cycle as labeled
+	// edges; empty when Allowed.
+	Cycle []Edge
+	// Co is a coherence order witnessing legality when Allowed and the
+	// execution's co was existentially quantified.
+	Co map[Loc][]int
+}
+
+// conditions returns the model's acyclicity conditions for one
+// coherence order. Single-condition models use HB; TSO follows the
+// x86-TSO axiomatic structure with two conditions: uniproc
+// (po-loc with communication) and the global order (preserved program
+// order with external reads-from, coherence and from-reads).
+func (x *Execution) conditions(m MCS, co map[Loc][]int) [][]Edge {
+	if m != TSO {
+		return [][]Edge{x.HB(m, co)}
+	}
+	uniproc := x.HB(TSO, co)
+	rfEdges, _ := x.rf()
+	global := x.ppoTSO()
+	global = append(global, rfExternal(x, rfEdges)...)
+	global = append(global, x.coFr(co)...)
+	return [][]Edge{uniproc, global}
+}
+
+// Check decides whether the execution is allowed under model m. When the
+// execution's CoOrder is missing entries for multi-write locations, all
+// total coherence orders are enumerated; the execution is allowed if any
+// of them makes every one of the model's conditions acyclic. For
+// disallowed executions the returned cycle is from the enumeration's
+// first coherence order, which by construction lists writes in
+// event-ID order.
+func (x *Execution) Check(m MCS) Verdict {
+	_, consistent := x.rf()
+	var verdict Verdict
+	verdict.Consistent = consistent
+	var firstCycle []Edge
+	forEachCo(x, func(co map[Loc][]int) bool {
+		var cycle []Edge
+		for _, cond := range x.conditions(m, co) {
+			if cycle = findCycle(len(x.Events), cond); cycle != nil {
+				break
+			}
+		}
+		if cycle == nil {
+			verdict.Allowed = true
+			verdict.Co = cloneCo(co)
+			return false // stop: found a witness
+		}
+		if firstCycle == nil {
+			firstCycle = cycle
+		}
+		return true
+	})
+	if !verdict.Allowed {
+		verdict.Cycle = firstCycle
+	}
+	return verdict
+}
+
+func cloneCo(co map[Loc][]int) map[Loc][]int {
+	out := make(map[Loc][]int, len(co))
+	for l, order := range co {
+		out[l] = append([]int(nil), order...)
+	}
+	return out
+}
+
+// forEachCo invokes fn for every combination of total coherence orders
+// consistent with the execution's fixed CoOrder entries and CoLast
+// constraints. fn returns false to stop early. Locations with zero or
+// one write have a single trivial order. If a fixed CoOrder contradicts
+// CoLast there are no candidate orders and fn is never called.
+func forEachCo(x *Execution, fn func(map[Loc][]int) bool) {
+	locs := x.Locations()
+	var free []Loc
+	co := map[Loc][]int{}
+	for _, l := range locs {
+		writes := x.WritesTo(l)
+		if fixed, ok := x.CoOrder[l]; ok {
+			if last, pinned := x.CoLast[l]; pinned &&
+				(len(fixed) == 0 || fixed[len(fixed)-1] != last) {
+				return // contradiction: no consistent co exists
+			}
+			co[l] = fixed
+			continue
+		}
+		co[l] = writes
+		if len(writes) > 1 {
+			free = append(free, l)
+		} else if last, pinned := x.CoLast[l]; pinned &&
+			(len(writes) == 0 || writes[0] != last) {
+			return // single write that is not the pinned final write
+		}
+	}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(free) {
+			return fn(co)
+		}
+		l := free[i]
+		base := x.WritesTo(l)
+		last, pinned := x.CoLast[l]
+		cont := true
+		permute(base, func(order []int) bool {
+			if pinned && order[len(order)-1] != last {
+				return true // skip orders violating the final-value pin
+			}
+			co[l] = order
+			cont = rec(i + 1)
+			return cont
+		})
+		co[l] = base
+		return cont
+	}
+	rec(0)
+}
+
+// permute enumerates permutations of ids via Heap's algorithm, invoking
+// fn with a shared buffer. fn returns false to stop.
+func permute(ids []int, fn func([]int) bool) {
+	buf := append([]int(nil), ids...)
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == 1 {
+			return fn(buf)
+		}
+		for i := 0; i < k; i++ {
+			if !rec(k - 1) {
+				return false
+			}
+			if k%2 == 0 {
+				buf[i], buf[k-1] = buf[k-1], buf[i]
+			} else {
+				buf[0], buf[k-1] = buf[k-1], buf[0]
+			}
+		}
+		return true
+	}
+	if len(buf) == 0 {
+		fn(buf)
+		return
+	}
+	rec(len(buf))
+}
+
+// findCycle returns one cycle in the edge set as labeled edges, or nil if
+// the graph is acyclic. The search is a standard iterative-deepening-free
+// DFS with three-color marking.
+func findCycle(n int, edges []Edge) []Edge {
+	adj := make([][]Edge, n)
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], e)
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, n)
+	parent := make([]Edge, n)
+	hasParent := make([]bool, n)
+	var cycle []Edge
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for _, e := range adj[u] {
+			v := e.To
+			switch color[v] {
+			case white:
+				parent[v] = e
+				hasParent[v] = true
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				// Found a back edge e: v ... u -> v. Reconstruct.
+				cycle = []Edge{e}
+				for w := u; w != v; {
+					pe := parent[w]
+					if !hasParent[w] {
+						break
+					}
+					cycle = append([]Edge{pe}, cycle...)
+					w = pe.From
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := 0; u < n; u++ {
+		if color[u] == white && dfs(u) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// ExplainCycle renders a cycle in the paper's notation, e.g.
+// "b -fr-> c -rf-> a -po-loc-> b".
+func (x *Execution) ExplainCycle(cycle []Edge) string {
+	if len(cycle) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	name := func(id int) string {
+		if l := x.Events[id].Label; l != "" {
+			return l
+		}
+		return fmt.Sprintf("e%d", id)
+	}
+	for i, e := range cycle {
+		if i == 0 {
+			b.WriteString(name(e.From))
+		}
+		fmt.Fprintf(&b, " -%s-> %s", e.Kind, name(e.To))
+	}
+	return b.String()
+}
+
+// Render prints the execution as one line per event grouped by thread,
+// in the style of Fig. 2 of the paper.
+func (x *Execution) Render() string {
+	var b strings.Builder
+	for t := 0; t < x.Threads(); t++ {
+		fmt.Fprintf(&b, "Thread %d:\n", t)
+		for _, e := range x.Events {
+			if e.Thread == t {
+				fmt.Fprintf(&b, "  %s\n", e)
+			}
+		}
+	}
+	return b.String()
+}
+
+// ToDOT renders the execution and its happens-before edges under the
+// given model (for the execution's pinned or first coherence order) in
+// Graphviz DOT form, for visual inspection of Fig. 2-style diagrams.
+func (x *Execution) ToDOT(m MCS, name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n", name)
+	byThread := map[int][]Event{}
+	for _, e := range x.Events {
+		byThread[e.Thread] = append(byThread[e.Thread], e)
+	}
+	for t := 0; t < x.Threads(); t++ {
+		fmt.Fprintf(&b, "  subgraph cluster_t%d {\n    label=\"Thread %d\";\n", t, t)
+		for _, e := range byThread[t] {
+			fmt.Fprintf(&b, "    e%d [label=%q];\n", e.ID, e.String())
+		}
+		b.WriteString("  }\n")
+	}
+	// Use the first coherence order the existential search would try.
+	var edges []Edge
+	forEachCo(x, func(co map[Loc][]int) bool {
+		for _, cond := range x.conditions(m, co) {
+			edges = append(edges, cond...)
+		}
+		return false
+	})
+	seen := map[string]bool{}
+	for _, e := range edges {
+		key := fmt.Sprintf("%d-%d-%s", e.From, e.To, e.Kind)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		fmt.Fprintf(&b, "  e%d -> e%d [label=%q];\n", e.From, e.To, e.Kind)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,566 @@
+package mm
+
+import (
+	"strings"
+	"testing"
+)
+
+// b is a small execution builder for tests.
+type b struct {
+	x     Execution
+	index map[int]int
+}
+
+func build() *b { return &b{index: map[int]int{}} }
+
+func (bb *b) ev(thread int, kind Kind, loc Loc, rv, wv Val, label string) *b {
+	id := len(bb.x.Events)
+	bb.x.Events = append(bb.x.Events, Event{
+		ID: id, Thread: thread, Index: bb.index[thread], Kind: kind,
+		Loc: loc, ReadVal: rv, WriteVal: wv, Label: label,
+	})
+	bb.index[thread]++
+	return bb
+}
+
+func (bb *b) read(t int, l Loc, v Val, label string) *b  { return bb.ev(t, Read, l, v, 0, label) }
+func (bb *b) write(t int, l Loc, v Val, label string) *b { return bb.ev(t, Write, l, 0, v, label) }
+func (bb *b) rmw(t int, l Loc, rv, wv Val, label string) *b {
+	return bb.ev(t, RMW, l, rv, wv, label)
+}
+func (bb *b) fence(t int, label string) *b { return bb.ev(t, Fence, 0, 0, 0, label) }
+func (bb *b) done() *Execution             { return &bb.x }
+
+const x, y = Loc(0), Loc(1)
+
+// corr builds the CoRR execution of Fig. 2a: thread 0 reads x=1 then x=0,
+// thread 1 writes x=1.
+func corr(r0, r1 Val) *Execution {
+	return build().
+		read(0, x, r0, "a").
+		read(0, x, r1, "b").
+		write(1, x, 1, "c").
+		done()
+}
+
+func TestCoRRDisallowedUnderSCPerLocation(t *testing.T) {
+	exec := corr(1, 0)
+	if err := exec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	v := exec.Check(SCPerLocation)
+	if v.Allowed {
+		t.Fatal("CoRR weak outcome allowed under SC-per-location")
+	}
+	if !v.Consistent {
+		t.Fatal("CoRR execution should be value-consistent")
+	}
+	explain := exec.ExplainCycle(v.Cycle)
+	if explain == "" {
+		t.Fatal("no cycle explanation for disallowed execution")
+	}
+	// The canonical cycle is b -fr-> c -rf-> a -po-loc-> b; any rotation
+	// or equivalent cycle must mention fr and rf.
+	if !strings.Contains(explain, "fr") || !strings.Contains(explain, "rf") {
+		t.Fatalf("cycle explanation %q missing fr/rf", explain)
+	}
+}
+
+func TestCoRRSequentialOutcomesAllowed(t *testing.T) {
+	for _, c := range []struct{ r0, r1 Val }{{0, 0}, {0, 1}, {1, 1}} {
+		v := corr(c.r0, c.r1).Check(SCPerLocation)
+		if !v.Allowed {
+			t.Errorf("CoRR r0=%d r1=%d should be allowed", c.r0, c.r1)
+		}
+	}
+}
+
+func TestCoRRMutantAllowed(t *testing.T) {
+	// Mutator 1 swaps a and b in program order; the once-forbidden values
+	// are then explainable by interleaving b, c, a.
+	exec := build().
+		read(0, x, 0, "b").
+		read(0, x, 1, "a").
+		write(1, x, 1, "c").
+		done()
+	v := exec.Check(SCPerLocation)
+	if !v.Allowed {
+		t.Fatal("mutated CoRR outcome should be allowed under SC-per-location")
+	}
+	if v2 := exec.Check(SC); !v2.Allowed {
+		t.Fatal("mutated CoRR outcome is even SC (order b,c,a)")
+	}
+}
+
+// mp builds the two-location message passing execution: thread 0 writes
+// x=1 then y=1; thread 1 reads y then x.
+func mp(ry, rx Val) *Execution {
+	return build().
+		write(0, x, 1, "a").
+		write(0, y, 1, "b").
+		read(1, y, ry, "c").
+		read(1, x, rx, "d").
+		done()
+}
+
+func TestMPWeakBehaviorAllowedUnderCoherence(t *testing.T) {
+	exec := mp(1, 0) // saw the flag, missed the data
+	if v := exec.Check(SCPerLocation); !v.Allowed {
+		t.Fatal("MP weak outcome must be allowed under SC-per-location")
+	}
+	if v := exec.Check(RelAcqSCPerLocation); !v.Allowed {
+		t.Fatal("MP weak outcome must be allowed without fences even under rel-acq model")
+	}
+	if v := exec.Check(SC); v.Allowed {
+		t.Fatal("MP weak outcome must be forbidden under SC")
+	}
+}
+
+// mpRelAcq builds Fig. 2b: MP with release/acquire fences on both sides.
+func mpRelAcq(ry, rx Val) *Execution {
+	return build().
+		write(0, x, 1, "a").
+		fence(0, "b").
+		write(0, y, 1, "c").
+		read(1, y, ry, "d").
+		fence(1, "e").
+		read(1, x, rx, "f").
+		done()
+}
+
+func TestMPRelAcqDisallowed(t *testing.T) {
+	exec := mpRelAcq(1, 0)
+	v := exec.Check(RelAcqSCPerLocation)
+	if v.Allowed {
+		t.Fatal("MP-relacq weak outcome allowed under rel-acq-SC-per-location")
+	}
+	explain := exec.ExplainCycle(v.Cycle)
+	if !strings.Contains(explain, "po;sw;po") {
+		t.Fatalf("cycle %q should use the po;sw;po edge", explain)
+	}
+	// Under plain coherence the same outcome is fine.
+	if v := exec.Check(SCPerLocation); !v.Allowed {
+		t.Fatal("MP-relacq outcome must be allowed under plain SC-per-location")
+	}
+}
+
+func TestMPRelAcqStrongOutcomesAllowed(t *testing.T) {
+	for _, c := range []struct{ ry, rx Val }{{0, 0}, {0, 1}, {1, 1}} {
+		if v := mpRelAcq(c.ry, c.rx).Check(RelAcqSCPerLocation); !v.Allowed {
+			t.Errorf("MP-relacq ry=%d rx=%d should be allowed", c.ry, c.rx)
+		}
+	}
+}
+
+func TestMPRelAcqFenceRemovalAllowsWeakOutcome(t *testing.T) {
+	// Removing either fence (Mutator 3's disruption) removes sw and the
+	// weak outcome becomes legal.
+	noRel := build().
+		write(0, x, 1, "a").
+		write(0, y, 1, "c").
+		read(1, y, 1, "d").
+		fence(1, "e").
+		read(1, x, 0, "f").
+		done()
+	if v := noRel.Check(RelAcqSCPerLocation); !v.Allowed {
+		t.Fatal("removing the release fence must allow the weak outcome")
+	}
+	noAcq := build().
+		write(0, x, 1, "a").
+		fence(0, "b").
+		write(0, y, 1, "c").
+		read(1, y, 1, "d").
+		read(1, x, 0, "f").
+		done()
+	if v := noAcq.Check(RelAcqSCPerLocation); !v.Allowed {
+		t.Fatal("removing the acquire fence must allow the weak outcome")
+	}
+}
+
+func TestSWRequiresReadsFromAcrossFences(t *testing.T) {
+	// If thread 1 misses the flag (reads y=0), the fences do not
+	// synchronize and reading x=0 is legal.
+	exec := mpRelAcq(0, 0)
+	if v := exec.Check(RelAcqSCPerLocation); !v.Allowed {
+		t.Fatal("fences without an rf link must not synchronize")
+	}
+}
+
+func TestStoreBufferingAllowedUnderCoherence(t *testing.T) {
+	// SB: both threads store then load the other location; both loads
+	// seeing 0 is the classic TSO relaxation, allowed by coherence.
+	exec := build().
+		write(0, x, 1, "a").
+		read(0, y, 0, "b").
+		write(1, y, 2, "c").
+		read(1, x, 0, "d").
+		done()
+	if v := exec.Check(SCPerLocation); !v.Allowed {
+		t.Fatal("SB weak outcome must be allowed under SC-per-location")
+	}
+	if v := exec.Check(SC); v.Allowed {
+		t.Fatal("SB weak outcome must be forbidden under SC")
+	}
+}
+
+func TestCoWWObservedOrderMustRespectPO(t *testing.T) {
+	// Thread 0 writes x=1 then x=2; a fixed coherence order 2,1 (i.e.
+	// final value 1) contradicts po-loc.
+	exec := build().
+		write(0, x, 1, "a").
+		write(0, x, 2, "b").
+		done()
+	exec.CoOrder = map[Loc][]int{x: {1, 0}}
+	if v := exec.Check(SCPerLocation); v.Allowed {
+		t.Fatal("co contradicting po-loc must be disallowed")
+	}
+	exec.CoOrder = map[Loc][]int{x: {0, 1}}
+	if v := exec.Check(SCPerLocation); !v.Allowed {
+		t.Fatal("co agreeing with po-loc must be allowed")
+	}
+}
+
+func TestExistentialCoSearch(t *testing.T) {
+	// Three writes to x from three threads, no observer: every outcome is
+	// justifiable by some co, so Check must find a witness.
+	exec := build().
+		write(0, x, 1, "a").
+		write(1, x, 2, "b").
+		write(2, x, 3, "c").
+		done()
+	v := exec.Check(SCPerLocation)
+	if !v.Allowed {
+		t.Fatal("independent writes must be allowed")
+	}
+	if len(v.Co[x]) != 3 {
+		t.Fatalf("witness co should order 3 writes, got %v", v.Co)
+	}
+}
+
+func TestRMWAtomicity(t *testing.T) {
+	// Two RMWs on x both reading 0 would mean both incremented from the
+	// initial state: under coherence one must from-read the other while
+	// also preceding it in co — a cycle.
+	exec := build().
+		rmw(0, x, 0, 1, "a").
+		rmw(1, x, 0, 2, "b").
+		done()
+	if v := exec.Check(SCPerLocation); v.Allowed {
+		t.Fatal("two RMWs reading the initial value must be disallowed")
+	}
+	// One reading the other's result is fine.
+	exec2 := build().
+		rmw(0, x, 0, 1, "a").
+		rmw(1, x, 1, 2, "b").
+		done()
+	if v := exec2.Check(SCPerLocation); !v.Allowed {
+		t.Fatal("chained RMWs must be allowed")
+	}
+}
+
+func TestInconsistentReadDetected(t *testing.T) {
+	exec := build().
+		read(0, x, 7, "a"). // value 7 never written
+		write(1, x, 1, "b").
+		done()
+	if err := exec.Validate(); err == nil {
+		t.Fatal("Validate should reject a read of a never-written value")
+	}
+	v := exec.Check(SCPerLocation)
+	if v.Consistent {
+		t.Fatal("Check should flag value inconsistency")
+	}
+}
+
+func TestValidateRejectsDuplicateWriteValues(t *testing.T) {
+	exec := build().
+		write(0, x, 1, "a").
+		write(1, x, 1, "b").
+		done()
+	if err := exec.Validate(); err == nil {
+		t.Fatal("duplicate write values must be rejected")
+	}
+}
+
+func TestValidateRejectsZeroWrite(t *testing.T) {
+	exec := &Execution{Events: []Event{{ID: 0, Kind: Write, Loc: x, WriteVal: 0}}}
+	if err := exec.Validate(); err == nil {
+		t.Fatal("writing the reserved value 0 must be rejected")
+	}
+}
+
+func TestValidateRejectsBadIDs(t *testing.T) {
+	exec := &Execution{Events: []Event{{ID: 5, Kind: Write, Loc: x, WriteVal: 1}}}
+	if err := exec.Validate(); err == nil {
+		t.Fatal("mismatched IDs must be rejected")
+	}
+}
+
+func TestValidateRejectsBadCoOrder(t *testing.T) {
+	exec := build().
+		write(0, x, 1, "a").
+		write(1, x, 2, "b").
+		done()
+	exec.CoOrder = map[Loc][]int{x: {0}}
+	if err := exec.Validate(); err == nil {
+		t.Fatal("short co order must be rejected")
+	}
+	exec.CoOrder = map[Loc][]int{x: {0, 0}}
+	if err := exec.Validate(); err == nil {
+		t.Fatal("duplicate co entries must be rejected")
+	}
+}
+
+func TestThreadsAndLocations(t *testing.T) {
+	exec := mp(1, 0)
+	if got := exec.Threads(); got != 2 {
+		t.Fatalf("Threads() = %d, want 2", got)
+	}
+	locs := exec.Locations()
+	if len(locs) != 2 || locs[0] != x || locs[1] != y {
+		t.Fatalf("Locations() = %v", locs)
+	}
+}
+
+func TestRenderAndString(t *testing.T) {
+	exec := mpRelAcq(1, 0)
+	out := exec.Render()
+	for _, want := range []string{"Thread 0:", "Thread 1:", "a: W x=1", "b: F", "f: R x=0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q in:\n%s", want, out)
+		}
+	}
+	e := Event{ID: 3, Kind: RMW, Loc: y, ReadVal: 1, WriteVal: 2}
+	if got := e.String(); got != "e3: RMW y=1->2" {
+		t.Fatalf("Event.String() = %q", got)
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	cases := []struct {
+		k      Kind
+		reads  bool
+		writes bool
+	}{
+		{Read, true, false}, {Write, false, true}, {RMW, true, true}, {Fence, false, false},
+	}
+	for _, c := range cases {
+		if c.k.ReadsMemory() != c.reads || c.k.WritesMemory() != c.writes {
+			t.Errorf("%v predicates wrong", c.k)
+		}
+	}
+}
+
+func TestMCSAndEdgeStrings(t *testing.T) {
+	if SC.String() != "SC" || SCPerLocation.String() != "SC-per-location" ||
+		RelAcqSCPerLocation.String() != "rel-acq-SC-per-location" {
+		t.Fatal("MCS names diverge from paper")
+	}
+	for k, want := range map[EdgeKind]string{
+		EdgePO: "po", EdgePOLoc: "po-loc", EdgeRF: "rf", EdgeCO: "co",
+		EdgeFR: "fr", EdgeSW: "sw", EdgePOSWPO: "po;sw;po",
+	} {
+		if k.String() != want {
+			t.Errorf("EdgeKind %d = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	exec := corr(1, 0)
+	exec.CoOrder = map[Loc][]int{x: {2}}
+	c := exec.Clone()
+	c.Events[0].ReadVal = 99
+	c.CoOrder[x][0] = 7
+	if exec.Events[0].ReadVal == 99 || exec.CoOrder[x][0] == 7 {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestSCStrongerThanCoherence(t *testing.T) {
+	// Every SC-allowed execution in our catalog must also be
+	// coherence-allowed (SC refines SC-per-location).
+	execs := []*Execution{corr(0, 0), corr(0, 1), corr(1, 1), mp(0, 0), mp(1, 1), mp(0, 1)}
+	for i, exec := range execs {
+		sc := exec.Check(SC)
+		coh := exec.Check(SCPerLocation)
+		if sc.Allowed && !coh.Allowed {
+			t.Errorf("execution %d: SC-allowed but coherence-forbidden", i)
+		}
+	}
+}
+
+func BenchmarkCheckCoRR(bch *testing.B) {
+	exec := corr(1, 0)
+	for i := 0; i < bch.N; i++ {
+		exec.Check(SCPerLocation)
+	}
+}
+
+func BenchmarkCheckMPRelAcq(bch *testing.B) {
+	exec := mpRelAcq(1, 0)
+	for i := 0; i < bch.N; i++ {
+		exec.Check(RelAcqSCPerLocation)
+	}
+}
+
+func TestCoLastPinsFinalWrite(t *testing.T) {
+	// CoWW with the final value pinned to the first write: disallowed.
+	exec := build().
+		write(0, x, 1, "a").
+		write(0, x, 2, "b").
+		done()
+	exec.CoLast = map[Loc]int{x: 0} // final value is a's
+	if v := exec.Check(SCPerLocation); v.Allowed {
+		t.Fatal("co-last contradicting po-loc must be disallowed")
+	}
+	exec.CoLast = map[Loc]int{x: 1} // final value is b's
+	if v := exec.Check(SCPerLocation); !v.Allowed {
+		t.Fatal("co-last agreeing with po-loc must be allowed")
+	}
+}
+
+func TestCoLastContradictsFixedCoOrder(t *testing.T) {
+	exec := build().
+		write(0, x, 1, "a").
+		write(1, x, 2, "b").
+		done()
+	exec.CoOrder = map[Loc][]int{x: {0, 1}}
+	exec.CoLast = map[Loc]int{x: 0}
+	if v := exec.Check(SCPerLocation); v.Allowed {
+		t.Fatal("fixed co ending elsewhere than CoLast must have no witness")
+	}
+}
+
+func TestCoLastSingleWriteMismatch(t *testing.T) {
+	// CoLast pointing at a non-existent final writer for a single-write
+	// location leaves no candidate co.
+	exec := build().
+		write(0, x, 1, "a").
+		write(0, y, 2, "b").
+		done()
+	exec.CoLast = map[Loc]int{x: 1} // event 1 writes y, not x
+	if err := exec.Validate(); err == nil {
+		t.Fatal("Validate must reject CoLast naming a write to another location")
+	}
+}
+
+func TestCoLastValidate(t *testing.T) {
+	exec := build().
+		write(0, x, 1, "a").
+		done()
+	exec.CoLast = map[Loc]int{x: 0}
+	if err := exec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	exec.CoLast = map[Loc]int{x: 99}
+	if err := exec.Validate(); err == nil {
+		t.Fatal("Validate must reject out-of-range CoLast")
+	}
+}
+
+// ---- TSO model tests ----
+
+func TestTSOAllowsStoreBuffering(t *testing.T) {
+	exec := build().
+		write(0, x, 1, "a").
+		read(0, y, 0, "b").
+		write(1, y, 2, "c").
+		read(1, x, 0, "d").
+		done()
+	if v := exec.Check(TSO); !v.Allowed {
+		t.Fatal("SB weak outcome must be allowed under TSO")
+	}
+}
+
+func TestTSOForbidsMessagePassing(t *testing.T) {
+	if v := mp(1, 0).Check(TSO); v.Allowed {
+		t.Fatal("MP weak outcome must be forbidden under TSO")
+	}
+}
+
+func TestTSOForbidsLoadBuffering(t *testing.T) {
+	exec := build().
+		read(0, x, 2, "a").
+		write(0, y, 1, "b").
+		read(1, y, 1, "c").
+		write(1, x, 2, "d").
+		done()
+	if v := exec.Check(TSO); v.Allowed {
+		t.Fatal("LB weak outcome must be forbidden under TSO")
+	}
+}
+
+func TestTSOForbidsCoherenceViolations(t *testing.T) {
+	if v := corr(1, 0).Check(TSO); v.Allowed {
+		t.Fatal("CoRR violation must be forbidden under TSO")
+	}
+}
+
+func TestTSOFenceRestoresStoreLoadOrder(t *testing.T) {
+	// SB with fences between each thread's store and load: forbidden.
+	exec := build().
+		write(0, x, 1, "a").
+		fence(0, "f0").
+		read(0, y, 0, "b").
+		write(1, y, 2, "c").
+		fence(1, "f1").
+		read(1, x, 0, "d").
+		done()
+	if v := exec.Check(TSO); v.Allowed {
+		t.Fatal("fenced SB must be forbidden under TSO")
+	}
+}
+
+func TestTSORMWOrdersLikeFence(t *testing.T) {
+	// SB where each "load" is an RMW: atomics drain the store buffer,
+	// so both reading the initial value is forbidden.
+	exec := build().
+		write(0, x, 1, "a").
+		rmw(0, y, 0, 3, "b").
+		write(1, y, 2, "c").
+		rmw(1, x, 0, 4, "d").
+		done()
+	if v := exec.Check(TSO); v.Allowed {
+		t.Fatal("SB over RMWs must be forbidden under TSO")
+	}
+}
+
+func TestTSOStrongerThanCoherenceWeakerThanSC(t *testing.T) {
+	// Every TSO-allowed execution here must be coherence-allowed, and
+	// every SC-allowed one must be TSO-allowed.
+	execs := []*Execution{
+		corr(0, 0), corr(0, 1), corr(1, 1), corr(1, 0),
+		mp(0, 0), mp(1, 1), mp(0, 1), mp(1, 0),
+	}
+	for i, exec := range execs {
+		sc := exec.Check(SC).Allowed
+		tso := exec.Check(TSO).Allowed
+		coh := exec.Check(SCPerLocation).Allowed
+		if sc && !tso {
+			t.Errorf("execution %d: SC-allowed but TSO-forbidden", i)
+		}
+		if tso && !coh {
+			t.Errorf("execution %d: TSO-allowed but coherence-forbidden", i)
+		}
+	}
+}
+
+func TestTSOString(t *testing.T) {
+	if TSO.String() != "TSO" {
+		t.Fatal("TSO name wrong")
+	}
+}
+
+func TestToDOT(t *testing.T) {
+	exec := mpRelAcq(1, 0)
+	dot := exec.ToDOT(RelAcqSCPerLocation, "MP-relacq")
+	for _, want := range []string{
+		"digraph \"MP-relacq\"", "cluster_t0", "cluster_t1",
+		"a: W x=1", "po;sw;po", "->",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}

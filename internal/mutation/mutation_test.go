@@ -1,0 +1,594 @@
+package mutation
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/litmus"
+	"repro/internal/mm"
+)
+
+func suite(t testing.TB) *Suite {
+	t.Helper()
+	s, err := Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestTable2Counts asserts the exact totals of Table 2 of the paper.
+func TestTable2Counts(t *testing.T) {
+	s := suite(t)
+	want := map[Mutator][2]int{
+		ReversingPoLoc: {8, 8},
+		WeakeningPoLoc: {6, 6},
+		WeakeningSW:    {6, 18},
+	}
+	got := s.Counts()
+	for m, w := range want {
+		if got[m] != w {
+			t.Errorf("%v: got conf=%d mut=%d, want conf=%d mut=%d",
+				m, got[m][0], got[m][1], w[0], w[1])
+		}
+	}
+	if len(s.Conformance) != 20 {
+		t.Errorf("total conformance tests = %d, want 20", len(s.Conformance))
+	}
+	if len(s.Mutants) != 32 {
+		t.Errorf("total mutants = %d, want 32", len(s.Mutants))
+	}
+}
+
+func TestAllTestsValidate(t *testing.T) {
+	for _, tc := range suite(t).All() {
+		if err := tc.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.Name, err)
+		}
+	}
+}
+
+func TestNamesUniqueAndResolvable(t *testing.T) {
+	s := suite(t)
+	names := s.Names()
+	if len(names) != 52 {
+		t.Fatalf("len(Names()) = %d, want 52", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate name %q", n)
+		}
+		seen[n] = true
+		if _, ok := s.ByName(n); !ok {
+			t.Errorf("ByName(%q) failed", n)
+		}
+	}
+	if _, ok := s.ByName("no-such-test"); ok {
+		t.Error("ByName resolved a nonexistent test")
+	}
+}
+
+// TestConformanceTargetsDisallowed re-verifies every conformance target
+// against its model, independently of Generate's internal check.
+func TestConformanceTargetsDisallowed(t *testing.T) {
+	for _, tc := range suite(t).Conformance {
+		x, err := tc.TargetExecution()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		v := x.Check(tc.Model)
+		if v.Allowed {
+			t.Errorf("%s: conformance target %s allowed under %v", tc.Name, tc.Target, tc.Model)
+			continue
+		}
+		if len(v.Cycle) == 0 {
+			// A disallowed execution with no single-co cycle arises
+			// only when observation pins contradict co directly.
+			continue
+		}
+		if x.ExplainCycle(v.Cycle) == "" {
+			t.Errorf("%s: empty cycle explanation", tc.Name)
+		}
+	}
+}
+
+// TestMutantTargetsAllowed re-verifies every mutant target is allowed.
+func TestMutantTargetsAllowed(t *testing.T) {
+	for _, tc := range suite(t).Mutants {
+		x, err := tc.TargetExecution()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		if v := x.Check(tc.Model); !v.Allowed {
+			t.Errorf("%s: mutant target %s disallowed under %v", tc.Name, tc.Target, tc.Model)
+		}
+	}
+}
+
+// TestReversingPoLocMutantsAreSC: Sec 3.1 notes the reversed behavior is
+// allowed even under sequential consistency (execution order b, c, a).
+func TestReversingPoLocMutantsAreSC(t *testing.T) {
+	s := suite(t)
+	_, mutants := s.OfMutator(ReversingPoLoc)
+	if len(mutants) != 8 {
+		t.Fatalf("got %d reversing po-loc mutants", len(mutants))
+	}
+	for _, tc := range mutants {
+		x, err := tc.TargetExecution()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		if v := x.Check(mm.SC); !v.Allowed {
+			t.Errorf("%s: target should be allowed under SC", tc.Name)
+		}
+	}
+}
+
+// TestWeakeningMutantsNotSC: mutants of mutators 2 and 3 are weak
+// behaviors — allowed by the relaxed model, forbidden under SC.
+func TestWeakeningMutantsNotSC(t *testing.T) {
+	s := suite(t)
+	for _, mutator := range []Mutator{WeakeningPoLoc, WeakeningSW} {
+		_, mutants := s.OfMutator(mutator)
+		for _, tc := range mutants {
+			x, err := tc.TargetExecution()
+			if err != nil {
+				t.Fatalf("%s: %v", tc.Name, err)
+			}
+			if v := x.Check(mm.SC); v.Allowed {
+				t.Errorf("%s (%v): weak target allowed under SC", tc.Name, mutator)
+			}
+		}
+	}
+}
+
+// TestMutantBasesExist checks every mutant points at a real conformance
+// test of the same mutator family.
+func TestMutantBasesExist(t *testing.T) {
+	s := suite(t)
+	for _, mt := range s.Mutants {
+		base, ok := s.ByName(mt.Base)
+		if !ok {
+			t.Errorf("%s: base %q missing", mt.Name, mt.Base)
+			continue
+		}
+		if base.IsMutant {
+			t.Errorf("%s: base %q is itself a mutant", mt.Name, mt.Base)
+		}
+		if base.Mutator != mt.Mutator {
+			t.Errorf("%s: base mutator %q != mutant mutator %q", mt.Name, base.Mutator, mt.Mutator)
+		}
+	}
+}
+
+func TestMutantsOf(t *testing.T) {
+	s := suite(t)
+	if got := s.MutantsOf("MP-relacq"); len(got) != 3 {
+		t.Fatalf("MP-relacq has %d mutants, want 3", len(got))
+	}
+	if got := s.MutantsOf("CoRR"); len(got) != 1 || got[0].Name != "CoRR-mutant" {
+		t.Fatalf("MutantsOf(CoRR) = %v", got)
+	}
+	if got := s.MutantsOf("nonexistent"); got != nil {
+		t.Fatalf("MutantsOf(nonexistent) = %v", got)
+	}
+}
+
+// TestReversingDisruptorSwapsSyntax: each reversing po-loc mutant must
+// be its base with thread 0's two instructions swapped.
+func TestReversingDisruptorSwapsSyntax(t *testing.T) {
+	s := suite(t)
+	conf, _ := s.OfMutator(ReversingPoLoc)
+	for _, base := range conf {
+		muts := s.MutantsOf(base.Name)
+		if len(muts) != 1 {
+			t.Fatalf("%s: %d mutants, want 1", base.Name, len(muts))
+		}
+		mt := muts[0]
+		b0, m0 := base.Threads[0].Instrs, mt.Threads[0].Instrs
+		if len(b0) != 2 || len(m0) != 2 {
+			t.Fatalf("%s: thread 0 length %d/%d", base.Name, len(b0), len(m0))
+		}
+		if b0[0].Label != m0[1].Label || b0[1].Label != m0[0].Label {
+			t.Errorf("%s: mutant thread 0 is not the base swapped", base.Name)
+		}
+		if b0[0].Op != m0[1].Op || b0[1].Op != m0[0].Op {
+			t.Errorf("%s: opcodes not preserved by swap", base.Name)
+		}
+	}
+}
+
+// TestWeakeningPoLocDisruptorMovesLocation: mutants of mutator 2 use
+// two locations where their base used one.
+func TestWeakeningPoLocDisruptorMovesLocation(t *testing.T) {
+	s := suite(t)
+	conf, mutants := s.OfMutator(WeakeningPoLoc)
+	for _, base := range conf {
+		if base.NumLocs != 1 {
+			t.Errorf("%s: conformance test uses %d locations, want 1", base.Name, base.NumLocs)
+		}
+	}
+	for _, mt := range mutants {
+		if mt.NumLocs != 2 {
+			t.Errorf("%s: mutant uses %d locations, want 2", mt.Name, mt.NumLocs)
+		}
+		// b (thread 0, slot 1) and c (thread 1, slot 0) moved to y.
+		if mt.Threads[0].Instrs[1].Loc != 1 || mt.Threads[1].Instrs[0].Loc != 1 {
+			t.Errorf("%s: disruptor did not move b and c to y", mt.Name)
+		}
+		if mt.Threads[0].Instrs[0].Loc != 0 || mt.Threads[1].Instrs[1].Loc != 0 {
+			t.Errorf("%s: a and d should remain on x", mt.Name)
+		}
+	}
+}
+
+// TestWeakeningSWDisruptorRemovesFences: each sw conformance test has 2
+// fences; its mutants have 1, 1 and 0.
+func TestWeakeningSWDisruptorRemovesFences(t *testing.T) {
+	s := suite(t)
+	conf, _ := s.OfMutator(WeakeningSW)
+	countFences := func(tc *litmus.Test) int {
+		n := 0
+		for _, th := range tc.Threads {
+			for _, in := range th.Instrs {
+				if in.Op == litmus.OpFence {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	for _, base := range conf {
+		if got := countFences(base); got != 2 {
+			t.Errorf("%s: %d fences, want 2", base.Name, got)
+		}
+		muts := s.MutantsOf(base.Name)
+		if len(muts) != 3 {
+			t.Fatalf("%s: %d mutants, want 3", base.Name, len(muts))
+		}
+		fenceCounts := map[int]int{}
+		for _, mt := range muts {
+			n := countFences(mt)
+			fenceCounts[n]++
+			if mt.FencesRemoved != 2-n {
+				t.Errorf("%s: FencesRemoved=%d but has %d fences", mt.Name, mt.FencesRemoved, n)
+			}
+		}
+		if fenceCounts[0] != 1 || fenceCounts[1] != 2 {
+			t.Errorf("%s: fence counts across mutants = %v, want {0:1, 1:2}", base.Name, fenceCounts)
+		}
+	}
+}
+
+// TestSWMutantTargetMatchesBase: Mutator 3 preserves the value pattern;
+// only fences are removed.
+func TestSWMutantTargetMatchesBase(t *testing.T) {
+	s := suite(t)
+	for _, base := range s.Conformance {
+		if base.Mutator != WeakeningSW.String() {
+			continue
+		}
+		for _, mt := range s.MutantsOf(base.Name) {
+			if base.Target.String() != mt.Target.String() {
+				t.Errorf("%s: target %q != base target %q",
+					mt.Name, mt.Target, base.Target)
+			}
+		}
+	}
+}
+
+// TestObserverThreadsOnlyWhereNeeded: observers appear exactly on the
+// all-write conformance tests that final state cannot pin.
+func TestObserverThreadsOnlyWhereNeeded(t *testing.T) {
+	s := suite(t)
+	wantObserver := map[string]bool{
+		"CoWW": true, "CoWW-mutant": true, // swapped writes still need a witness
+		"S-CO": true, "R-CO": true, "2+2W-CO": true,
+	}
+	for _, tc := range s.All() {
+		has := false
+		for _, th := range tc.Threads {
+			if th.Observer {
+				has = true
+			}
+		}
+		if has != wantObserver[tc.Name] {
+			t.Errorf("%s: observer=%v, want %v", tc.Name, has, wantObserver[tc.Name])
+		}
+	}
+}
+
+// TestFamousTestsPresent: the tests named in the paper's narrative must
+// exist with the right roles.
+func TestFamousTestsPresent(t *testing.T) {
+	s := suite(t)
+	cases := []struct {
+		name     string
+		isMutant bool
+		mutator  Mutator
+	}{
+		{"CoRR", false, ReversingPoLoc},          // Fig. 1a, Intel bug
+		{"MP-relacq", false, WeakeningSW},        // Fig. 1b, AMD bug
+		{"MP-CO", false, WeakeningPoLoc},         // Sec. 5.4, Kepler bug
+		{"MP", true, WeakeningPoLoc},             // classic weak test as mutant
+		{"CoRR-mutant", true, ReversingPoLoc},    // fine-grained interleaving probe
+		{"MP-relacq-nofence", true, WeakeningSW}, // both fences dropped
+	}
+	for _, c := range cases {
+		tc, ok := s.ByName(c.name)
+		if !ok {
+			t.Errorf("missing test %q", c.name)
+			continue
+		}
+		if tc.IsMutant != c.isMutant {
+			t.Errorf("%s: IsMutant=%v, want %v", c.name, tc.IsMutant, c.isMutant)
+		}
+		if tc.Mutator != c.mutator.String() {
+			t.Errorf("%s: mutator %q, want %q", c.name, tc.Mutator, c.mutator)
+		}
+	}
+}
+
+func TestMutatorNamesRoundTrip(t *testing.T) {
+	for _, m := range Mutators() {
+		got, ok := MutatorByName(m.String())
+		if !ok || got != m {
+			t.Errorf("MutatorByName(%q) = %v, %v", m.String(), got, ok)
+		}
+	}
+	if _, ok := MutatorByName("bogus"); ok {
+		t.Error("MutatorByName accepted a bogus name")
+	}
+}
+
+// TestRMWVariantRules checks Sec 3.1's RMW substitution constraints on
+// the generated reversing po-loc RMW variants.
+func TestRMWVariantRules(t *testing.T) {
+	s := suite(t)
+	// CoRR-rmw: a stays a read (a trailing RMW write would intrude
+	// between a and b).
+	tc, _ := s.ByName("CoRR-rmw")
+	if tc.Threads[0].Instrs[0].Op != litmus.OpLoad {
+		t.Error("CoRR-rmw: event a must remain a plain load")
+	}
+	if tc.Threads[0].Instrs[1].Op != litmus.OpExchange {
+		t.Error("CoRR-rmw: event b must be an RMW")
+	}
+	if tc.Threads[1].Instrs[0].Op != litmus.OpExchange {
+		t.Error("CoRR-rmw: event c must be an RMW")
+	}
+	// CoRW-rmw: b stays a write (a leading RMW read would intrude).
+	tc, _ = s.ByName("CoRW-rmw")
+	if tc.Threads[0].Instrs[1].Op != litmus.OpStore {
+		t.Error("CoRW-rmw: event b must remain a plain store")
+	}
+	// CoWR-rmw: all three become RMWs.
+	tc, _ = s.ByName("CoWR-rmw")
+	for ti, th := range tc.Threads {
+		for ii, in := range th.Instrs {
+			if in.Op != litmus.OpExchange {
+				t.Errorf("CoWR-rmw: t%d i%d is %v, want RMW", ti, ii, in.Op)
+			}
+		}
+	}
+	// CoWW-rmw: b stays a write.
+	tc, _ = s.ByName("CoWW-rmw")
+	if tc.Threads[0].Instrs[1].Op != litmus.OpStore {
+		t.Error("CoWW-rmw: event b must remain a plain store")
+	}
+}
+
+// TestSWConformanceSatisfiesSWPattern: every sw-mutator conformance test
+// must have a write after thread 0's fence and a read before thread 1's
+// fence (the structural requirement for synchronizes-with).
+func TestSWConformanceSatisfiesSWPattern(t *testing.T) {
+	s := suite(t)
+	conf, _ := s.OfMutator(WeakeningSW)
+	for _, tc := range conf {
+		t0, t1 := tc.Threads[0].Instrs, tc.Threads[1].Instrs
+		if len(t0) != 3 || t0[1].Op != litmus.OpFence {
+			t.Errorf("%s: thread 0 shape wrong", tc.Name)
+			continue
+		}
+		if len(t1) != 3 || t1[1].Op != litmus.OpFence {
+			t.Errorf("%s: thread 1 shape wrong", tc.Name)
+			continue
+		}
+		if !t0[2].Writes() {
+			t.Errorf("%s: event after release fence must write", tc.Name)
+		}
+		if !t1[0].Reads() {
+			t.Errorf("%s: event before acquire fence must read", tc.Name)
+		}
+	}
+}
+
+func TestMutatorStringUnknown(t *testing.T) {
+	if got := Mutator(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown mutator String() = %q", got)
+	}
+}
+
+func TestAllOrderIsStable(t *testing.T) {
+	a := suite(t)
+	b := suite(t)
+	an, bn := a.All(), b.All()
+	if len(an) != len(bn) {
+		t.Fatal("suites differ in size")
+	}
+	for i := range an {
+		if an[i].Name != bn[i].Name {
+			t.Fatalf("generation order unstable at %d: %s vs %s", i, an[i].Name, bn[i].Name)
+		}
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestPruneForTSO reproduces Sec. 3.4's example: on a TSO-strength
+// implementation only the reversing po-loc mutants (allowed even under
+// SC) and the store-buffering shape remain observable.
+func TestPruneForTSO(t *testing.T) {
+	s := suite(t)
+	pruned, removed, err := Prune(s, mm.TSO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned.Conformance) != 20 {
+		t.Fatalf("pruning touched conformance tests: %d", len(pruned.Conformance))
+	}
+	if len(pruned.Mutants)+len(removed) != 32 {
+		t.Fatalf("mutant accounting broken: %d + %d", len(pruned.Mutants), len(removed))
+	}
+	// All 8 reversing po-loc mutants survive (they are SC-allowed).
+	_, rev := pruned.OfMutator(ReversingPoLoc)
+	if len(rev) != 8 {
+		t.Errorf("reversing po-loc mutants pruned: %d/8 left", len(rev))
+	}
+	// Of the weakening po-loc mutants, exactly SB and R survive TSO:
+	// their cycles are broken by removing write-to-read program order
+	// (SB has two such pairs, R one); MP, LB, S and 2+2W have none.
+	_, weak := pruned.OfMutator(WeakeningPoLoc)
+	names := make([]string, 0, len(weak))
+	for _, m := range weak {
+		names = append(names, m.Name)
+	}
+	if len(weak) != 2 || names[0] != "SB" || names[1] != "R" {
+		t.Errorf("weakening po-loc survivors = %v, want [SB R]", names)
+	}
+	// Lookup works on the pruned suite.
+	if _, ok := pruned.ByName("SB"); !ok {
+		t.Error("pruned suite lost SB")
+	}
+	if _, ok := pruned.ByName("MP"); ok {
+		t.Error("pruned suite still resolves MP")
+	}
+	t.Logf("TSO pruning keeps %d/32 mutants; removed: %v", len(pruned.Mutants), removed)
+}
+
+// TestPruneIdentityUnderOwnModel: pruning with each test's own
+// (specification) model removes nothing, since every mutant target is
+// allowed by construction.
+func TestPruneIdentityUnderOwnModel(t *testing.T) {
+	s := suite(t)
+	pruned, removed, err := Prune(s, mm.RelAcqSCPerLocation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutants of mutators 1 and 2 are classified under SC-per-location,
+	// which rel-acq only strengthens with fence rules; the fence-free
+	// mutants have no sw edges, so nothing is removed.
+	if len(removed) != 0 {
+		t.Fatalf("rel-acq pruning removed %v", removed)
+	}
+	if len(pruned.Mutants) != 32 {
+		t.Fatalf("%d mutants left", len(pruned.Mutants))
+	}
+}
+
+// TestPruneUnderSC keeps exactly the reversing po-loc mutants: they are
+// the only mutants whose targets are sequentially consistent.
+func TestPruneUnderSC(t *testing.T) {
+	s := suite(t)
+	pruned, removed, err := Prune(s, mm.SC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned.Mutants) != 8 {
+		t.Fatalf("SC pruning kept %d mutants, want 8", len(pruned.Mutants))
+	}
+	for _, m := range pruned.Mutants {
+		if m.Mutator != ReversingPoLoc.String() {
+			t.Errorf("SC survivor %s from %s", m.Name, m.Mutator)
+		}
+	}
+	if len(removed) != 24 {
+		t.Fatalf("removed %d, want 24", len(removed))
+	}
+}
+
+// TestSuiteWideModelInclusions extends the catalog inclusion property
+// to all 52 generated tests: SC ⊆ TSO ⊆ SC-per-location, and the
+// rel-acq model is a subset of plain coherence.
+func TestSuiteWideModelInclusions(t *testing.T) {
+	for _, tc := range suite(t).All() {
+		sc := tc.AllowedOutcomes(mm.SC)
+		tso := tc.AllowedOutcomes(mm.TSO)
+		coh := tc.AllowedOutcomes(mm.SCPerLocation)
+		ra := tc.AllowedOutcomes(mm.RelAcqSCPerLocation)
+		for k := range sc {
+			if !tso[k] {
+				t.Errorf("%s: %s SC-allowed but TSO-forbidden", tc.Name, k)
+			}
+		}
+		for k := range tso {
+			if !coh[k] {
+				t.Errorf("%s: %s TSO-allowed but coherence-forbidden", tc.Name, k)
+			}
+		}
+		for k := range ra {
+			if !coh[k] {
+				t.Errorf("%s: %s rel-acq-allowed but coherence-forbidden", tc.Name, k)
+			}
+		}
+	}
+}
+
+// TestSuiteFormatsRoundTrip: every generated test survives the textual
+// litmus format.
+func TestSuiteFormatsRoundTrip(t *testing.T) {
+	for _, tc := range suite(t).All() {
+		back, err := litmus.ParseString(litmus.Format(tc))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		if back.Name != tc.Name || back.Target.String() != tc.Target.String() ||
+			back.Instructions() != tc.Instructions() || back.IsMutant != tc.IsMutant ||
+			back.Base != tc.Base || back.Mutator != tc.Mutator {
+			t.Errorf("%s: round trip changed the test", tc.Name)
+		}
+	}
+}
+
+// TestSuiteWideOracleEquivalence cross-validates the axiomatic checker
+// against the operational oracles over every generated test: the
+// interleaving machine for SC and the store-buffer machine for TSO
+// must reach exactly the axiomatically allowed outcome sets.
+func TestSuiteWideOracleEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle equivalence over 52 tests is slow")
+	}
+	for _, tc := range suite(t).All() {
+		op := tc.SCOutcomes()
+		ax := tc.AllowedOutcomes(mm.SC)
+		for k := range op {
+			if !ax[k] {
+				t.Errorf("%s: SC machine reached %s, axiomatically forbidden", tc.Name, k)
+			}
+		}
+		for k := range ax {
+			if !op[k] {
+				t.Errorf("%s: axiomatically SC-allowed %s unreachable on the machine", tc.Name, k)
+			}
+		}
+		opT := tc.TSOOutcomes()
+		axT := tc.AllowedOutcomes(mm.TSO)
+		for k := range opT {
+			if !axT[k] {
+				t.Errorf("%s: TSO machine reached %s, axiomatically forbidden", tc.Name, k)
+			}
+		}
+		for k := range axT {
+			if !opT[k] {
+				t.Errorf("%s: axiomatically TSO-allowed %s unreachable on the machine", tc.Name, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package mutation
+
+import (
+	"fmt"
+
+	"repro/internal/litmus"
+	"repro/internal/mm"
+)
+
+// Prune implements Sec. 3.4 of the paper: when the implementation under
+// test is expected to be stronger than the specification (the paper's
+// example is C++ on x86), mutants whose target behavior the
+// implementation can never exhibit contribute nothing to the mutation
+// score and should be removed.
+//
+// Each mutant's target execution is checked against the given model of
+// the implementation's expected behavior; mutants whose targets the
+// model disallows are pruned. The conformance tests are kept untouched
+// — they test the specification, not the implementation's strength.
+//
+// The returned suite shares test values with the original. The second
+// result lists the pruned mutant names in suite order.
+func Prune(s *Suite, implementation mm.MCS) (*Suite, []string, error) {
+	out := &Suite{byName: map[string]*litmus.Test{}}
+	var pruned []string
+	for _, t := range s.Conformance {
+		out.Conformance = append(out.Conformance, t)
+		out.byName[t.Name] = t
+	}
+	for _, mt := range s.Mutants {
+		x, err := mt.TargetExecution()
+		if err != nil {
+			return nil, nil, fmt.Errorf("mutation: prune %s: %w", mt.Name, err)
+		}
+		if v := x.Check(implementation); !v.Allowed {
+			pruned = append(pruned, mt.Name)
+			continue
+		}
+		out.Mutants = append(out.Mutants, mt)
+		out.byName[mt.Name] = mt
+	}
+	return out, pruned, nil
+}

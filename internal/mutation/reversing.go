@@ -1,0 +1,121 @@
+package mutation
+
+import "repro/internal/mm"
+
+// Mutator 1: reversing po-loc on three events (Sec. 3.1, Fig. 3a).
+//
+// The template has two same-location accesses a, b in thread 0 (related
+// by po-loc) and one access c in thread 1, with communication edges
+// closing a happens-before cycle that SC-per-location forbids. The
+// template is instantiated for the four read/write combinations of
+// (a, b) with c a write, then once more per combination with the
+// maximum legal number of RMWs substituted:
+//
+//   - a may become an RMW only when it is a write (a read's trailing
+//     RMW write would intrude between a and b);
+//   - b may become an RMW only when it is a read (a write's leading
+//     RMW read would intrude between a and b);
+//   - c may always become an RMW.
+//
+// The edge disruptor swaps a and b in program order, which removes the
+// cycle: each mutant's target behavior is allowed even under SC, via
+// the interleaving b, c, a, so killing these mutants measures a testing
+// environment's ability to expose fine-grained interleavings.
+func reversingPoLocSpecs() []tspec {
+	const x = 0
+	type shape struct {
+		name string
+		// t0 builds thread 0's two events in conformance order (a, b);
+		// t1 is the single event c. Observers witness coherence chains
+		// for the all-write case; finals pin coherence-last writes.
+		t0       []espec
+		t1       []espec
+		observer []mm.Val
+		finals   map[int]mm.Val
+	}
+	shapes := []shape{
+		{
+			// CoRR: a and b read; seeing the new value then the old one
+			// reverses coherence (Fig. 1a / Fig. 2a).
+			name: "CoRR",
+			t0:   []espec{ereadV(x, 1, "a"), ereadV(x, 0, "b")},
+			t1:   []espec{ewrite(x, 1, "c")},
+		},
+		{
+			// CoRW: a reads c's value yet c lands coherence-last.
+			name:   "CoRW",
+			t0:     []espec{ereadV(x, 2, "a"), ewrite(x, 1, "b")},
+			t1:     []espec{ewrite(x, 2, "c")},
+			finals: map[int]mm.Val{x: 2},
+		},
+		{
+			// CoWR: b reads c's value yet a lands coherence-last.
+			name:   "CoWR",
+			t0:     []espec{ewrite(x, 1, "a"), ereadV(x, 2, "b")},
+			t1:     []espec{ewrite(x, 2, "c")},
+			finals: map[int]mm.Val{x: 1},
+		},
+		{
+			// CoWW: all writes; the observer witnesses the coherence
+			// chain b, c, a, which contradicts a-before-b program order.
+			name:     "CoWW",
+			t0:       []espec{ewrite(x, 1, "a"), ewrite(x, 2, "b")},
+			t1:       []espec{ewrite(x, 3, "c")},
+			observer: []mm.Val{2, 3, 1},
+		},
+		{
+			// CoRR-rmw: b and c become RMWs; c reads b's write, pinning
+			// b coherence-before c while a still sees c and b sees the
+			// initial state.
+			name: "CoRR-rmw",
+			t0:   []espec{ereadV(x, 2, "a"), ermwV(x, 1, 0, "b")},
+			t1:   []espec{ermwV(x, 2, 1, "c")},
+		},
+		{
+			// CoRW-rmw: c becomes an RMW reading b's value.
+			name: "CoRW-rmw",
+			t0:   []espec{ereadV(x, 2, "a"), ewrite(x, 1, "b")},
+			t1:   []espec{ermwV(x, 2, 1, "c")},
+		},
+		{
+			// CoWR-rmw: all three become RMWs; the read chain
+			// c(0) -> b(c's value) -> a(b's value) witnesses the
+			// coherence order c, b, a, which contradicts program order.
+			name:   "CoWR-rmw",
+			t0:     []espec{ermwV(x, 1, 2, "a"), ermwV(x, 2, 3, "b")},
+			t1:     []espec{ermwV(x, 3, 0, "c")},
+			finals: map[int]mm.Val{x: 1},
+		},
+		{
+			// CoWW-rmw: a and c become RMWs whose reads witness the
+			// chain b, c, a without an observer thread.
+			name:   "CoWW-rmw",
+			t0:     []espec{ermwV(x, 1, 3, "a"), ewrite(x, 2, "b")},
+			t1:     []espec{ermwV(x, 3, 2, "c")},
+			finals: map[int]mm.Val{x: 1},
+		},
+	}
+	var specs []tspec
+	for _, sh := range shapes {
+		conf := tspec{
+			name:     sh.name,
+			mutator:  ReversingPoLoc,
+			model:    mm.SCPerLocation,
+			threads:  [][]espec{sh.t0, sh.t1},
+			observer: sh.observer,
+			obsLoc:   x,
+			finals:   sh.finals,
+		}
+		specs = append(specs, conf)
+		// The disruptor: swap a and b in program order. Labels, values
+		// and the target value pattern are preserved; only syntax moves.
+		swapped := []espec{sh.t0[1], sh.t0[0]}
+		mut := conf
+		mut.name = sh.name + "-mutant"
+		mut.isMutant = true
+		mut.base = sh.name
+		mut.threads = [][]espec{swapped, sh.t1}
+		specs = append(specs, mut)
+	}
+	return specs
+}

@@ -1,0 +1,150 @@
+package mutation
+
+import "repro/internal/mm"
+
+// Mutator 2: weakening po-loc on four events (Sec. 3.2, Fig. 3b).
+//
+// The template has two same-location accesses per thread (a, b in
+// thread 0 and c, d in thread 1) with communication edges b -> c and
+// d -> a closing a cycle that SC-per-location forbids. Requiring each
+// communication edge to touch at least one write, and identifying the
+// two thread-symmetric orientations, leaves exactly six shapes — the
+// single-location ("coherence") renditions of the classic weak-memory
+// tests MP, LB, SB, S, R and 2+2W.
+//
+// The edge disruptor weakens po-loc to po by moving b and c to a second
+// location y, which yields precisely the classic two-location weak
+// tests: behaviors that a relaxed MCS allows but that require stress to
+// observe. This disruptor models implementations that mishandle
+// aliased or dynamically computed addresses (the NVIDIA Kepler
+// coherence bug recreated in Sec. 5.4 fails the MP shape, MP-CO).
+//
+// All-write coherence chains that final memory state cannot pin (a
+// location written twice by one thread can never legally end on that
+// thread's first write) are witnessed by observer threads instead.
+func weakeningPoLocSpecs() []tspec {
+	const x, y = 0, 1
+	type shape struct {
+		name       string // conformance name ("<shape>-CO")
+		mutantName string // classic weak-memory name
+		// Conformance events, all on x; index 1 (b) and 2 (c) move to y
+		// in the mutant. Reads whose conformance and mutant target
+		// values differ carry both.
+		t0, t1 [2]espec
+		// mutT0, mutT1 override mutant events where the target value
+		// changes (nil entries reuse the conformance espec with the
+		// location rewritten).
+		confObserver []mm.Val
+		confFinals   map[int]mm.Val
+		mutFinals    map[int]mm.Val
+		// mutOverride replaces specific mutant events (keyed by thread,
+		// then slot) for reads whose expected value changes when the
+		// access moves to y.
+		mutOverride map[[2]int]espec
+	}
+	shapes := []shape{
+		{
+			// MP-CO: thread 1 sees the second write but then reads the
+			// initial state. The mutant is classic message passing.
+			name: "MP-CO", mutantName: "MP",
+			t0: [2]espec{ewrite(x, 1, "a"), ewrite(x, 2, "b")},
+			t1: [2]espec{ereadV(x, 2, "c"), ereadV(x, 0, "d")},
+		},
+		{
+			// LB-CO: each thread's first read sees the other thread's
+			// later write. The mutant is classic load buffering.
+			name: "LB-CO", mutantName: "LB",
+			t0: [2]espec{ereadV(x, 2, "a"), ewrite(x, 1, "b")},
+			t1: [2]espec{ereadV(x, 1, "c"), ewrite(x, 2, "d")},
+		},
+		{
+			// SB-CO: both threads miss their own prior write — on one
+			// location a flat coherence violation; on two locations
+			// (the mutant) the classic store-buffering relaxation.
+			name: "SB-CO", mutantName: "SB",
+			t0: [2]espec{ewrite(x, 1, "a"), ereadV(x, 0, "b")},
+			t1: [2]espec{ewrite(x, 2, "c"), ereadV(x, 0, "d")},
+		},
+		{
+			// S-CO: c reads b while the observer witnesses d landing
+			// coherence-before a. The mutant is the classic S shape,
+			// where the final value of x pins d before a.
+			name: "S-CO", mutantName: "S",
+			t0:           [2]espec{ewrite(x, 1, "a"), ewrite(x, 2, "b")},
+			t1:           [2]espec{ereadV(x, 2, "c"), ewrite(x, 3, "d")},
+			confObserver: []mm.Val{3, 1},
+			mutFinals:    map[int]mm.Val{x: 1},
+		},
+		{
+			// R-CO: d reads c while the observer witnesses the chain
+			// b, c, a. The mutant is the classic R shape: d misses a
+			// entirely and the final value of y pins b before c.
+			name: "R-CO", mutantName: "R",
+			t0:           [2]espec{ewrite(x, 1, "a"), ewrite(x, 2, "b")},
+			t1:           [2]espec{ewrite(x, 3, "c"), ereadV(x, 3, "d")},
+			confObserver: []mm.Val{2, 3, 1},
+			mutFinals:    map[int]mm.Val{y: 3},
+			mutOverride:  map[[2]int]espec{{1, 1}: ereadV(x, 0, "d")},
+		},
+		{
+			// 2+2W-CO: four writes; the observer witnesses the chain
+			// b, c, d, a. The mutant is classic 2+2W, where the final
+			// values of both locations pin both first writes last.
+			name: "2+2W-CO", mutantName: "2+2W",
+			t0:           [2]espec{ewrite(x, 1, "a"), ewrite(x, 2, "b")},
+			t1:           [2]espec{ewrite(x, 3, "c"), ewrite(x, 4, "d")},
+			confObserver: []mm.Val{2, 3, 4, 1},
+			mutFinals:    map[int]mm.Val{x: 1, y: 3},
+		},
+	}
+	var specs []tspec
+	for _, sh := range shapes {
+		conf := tspec{
+			name:     sh.name,
+			mutator:  WeakeningPoLoc,
+			model:    mm.SCPerLocation,
+			threads:  [][]espec{{sh.t0[0], sh.t0[1]}, {sh.t1[0], sh.t1[1]}},
+			observer: sh.confObserver,
+			obsLoc:   x,
+			finals:   sh.confFinals,
+		}
+		specs = append(specs, conf)
+		// The disruptor: move b (thread 0 slot 1) and c (thread 1 slot
+		// 0) to location y, weakening po-loc to po.
+		mutT0 := [2]espec{sh.t0[0], sh.t0[1]}
+		mutT1 := [2]espec{sh.t1[0], sh.t1[1]}
+		mutT0[1].loc = y
+		mutT1[0].loc = y
+		if ov, ok := sh.mutOverride[[2]int{0, 0}]; ok {
+			mutT0[0] = ov
+		}
+		if ov, ok := sh.mutOverride[[2]int{0, 1}]; ok {
+			ov.loc = y
+			mutT0[1] = ov
+		}
+		if ov, ok := sh.mutOverride[[2]int{1, 0}]; ok {
+			ov.loc = y
+			mutT1[0] = ov
+		}
+		if ov, ok := sh.mutOverride[[2]int{1, 1}]; ok {
+			mutT1[1] = ov
+		}
+		// Reads moved to y that expected a same-location value now read
+		// the initial state unless overridden.
+		mut := tspec{
+			name:     sh.mutantName,
+			mutator:  WeakeningPoLoc,
+			isMutant: true,
+			base:     sh.name,
+			model:    mm.SCPerLocation,
+			threads:  [][]espec{{mutT0[0], mutT0[1]}, {mutT1[0], mutT1[1]}},
+			finals:   sh.mutFinals,
+		}
+		// SB's reads move to the other location and now miss writes
+		// they used to own: both still target 0, which the conformance
+		// spec already encodes, so no override needed there; the only
+		// value rewrite is R's d (handled via mutOverride above).
+		specs = append(specs, mut)
+	}
+	return specs
+}

@@ -1,0 +1,121 @@
+package mutation
+
+import (
+	"fmt"
+
+	"repro/internal/mm"
+)
+
+// Mutator 3: weakening sw on four events (Sec. 3.3, Fig. 3c).
+//
+// The template adds release/acquire fences: thread 0 runs a; fence; b
+// and thread 1 runs c; fence; d. Synchronizes-with requires a write
+// (b) after the release fence and a read (c) before the acquire fence
+// with c reading from b, so with plain loads and stores only three
+// shapes instantiate: MP, LB and S. Substituting RMWs for c (whose
+// write half does not disturb the synchronization pattern) yields the
+// SB, R and 2+2W shapes, "mimicking" sequentially consistent fences —
+// six conformance tests, all disallowed under
+// rel-acq-SC-per-location.
+//
+// The edge disruptor weakens sw by removing the release fence, the
+// acquire fence, or both — three mutants per conformance test,
+// eighteen in all. Removing fences models the MP-relacq bug of
+// Sec. 1.1, where an AMD Vulkan compiler weakened atomics in an
+// intermediate representation; killing these mutants requires
+// observing weak behavior under partial synchronization.
+func weakeningSWSpecs() []tspec {
+	const x, y = 0, 1
+	type shape struct {
+		name string
+		// Events around the fences: thread 0 is {pre0, fence, post0},
+		// thread 1 is {pre1, fence, post1}.
+		pre0, post0 espec
+		pre1, post1 espec
+		finals      map[int]mm.Val
+	}
+	shapes := []shape{
+		{
+			// MP-relacq (Fig. 1b): the flag is seen, the data is not.
+			name: "MP-relacq",
+			pre0: ewrite(x, 1, "a"), post0: ewrite(y, 2, "b"),
+			pre1: ereadV(y, 2, "c"), post1: ereadV(x, 0, "d"),
+		},
+		{
+			// LB-relacq: both loads see the other thread's later store.
+			name: "LB-relacq",
+			pre0: ereadV(x, 2, "a"), post0: ewrite(y, 1, "b"),
+			pre1: ereadV(y, 1, "c"), post1: ewrite(x, 2, "d"),
+		},
+		{
+			// S-relacq: the synchronized-away data write still wins the
+			// coherence race.
+			name: "S-relacq",
+			pre0: ewrite(x, 1, "a"), post0: ewrite(y, 2, "b"),
+			pre1: ereadV(y, 2, "c"), post1: ewrite(x, 3, "d"),
+			finals: map[int]mm.Val{x: 1},
+		},
+		{
+			// SB-relacq-rmw: b and c become RMWs on y to satisfy the
+			// write-after-release / read-before-acquire pattern; d
+			// still misses a.
+			name: "SB-relacq-rmw",
+			pre0: ewrite(x, 1, "a"), post0: ermwV(y, 2, 0, "b"),
+			pre1: ermwV(y, 3, 2, "c"), post1: ereadV(x, 0, "d"),
+		},
+		{
+			// R-relacq-rmw: c becomes an RMW reading b, witnessing the
+			// y coherence order while d misses a.
+			name: "R-relacq-rmw",
+			pre0: ewrite(x, 1, "a"), post0: ewrite(y, 2, "b"),
+			pre1: ermwV(y, 3, 2, "c"), post1: ereadV(x, 0, "d"),
+		},
+		{
+			// 2+2W-relacq-rmw: c becomes an RMW reading b; the final
+			// value of x pins d coherence-before a.
+			name: "2+2W-relacq-rmw",
+			pre0: ewrite(x, 1, "a"), post0: ewrite(y, 2, "b"),
+			pre1: ermwV(y, 3, 2, "c"), post1: ewrite(x, 4, "d"),
+			finals: map[int]mm.Val{x: 1},
+		},
+	}
+	var specs []tspec
+	for _, sh := range shapes {
+		full0 := []espec{sh.pre0, efence("f0"), sh.post0}
+		full1 := []espec{sh.pre1, efence("f1"), sh.post1}
+		bare0 := []espec{sh.pre0, sh.post0}
+		bare1 := []espec{sh.pre1, sh.post1}
+		conf := tspec{
+			name:    sh.name,
+			mutator: WeakeningSW,
+			model:   mm.RelAcqSCPerLocation,
+			threads: [][]espec{full0, full1},
+			finals:  sh.finals,
+		}
+		specs = append(specs, conf)
+		// Three disruptions: remove the release-side fence, the
+		// acquire-side fence, or both.
+		disruptions := []struct {
+			suffix  string
+			t0, t1  []espec
+			removed int
+		}{
+			{"-norel", bare0, full1, 1},
+			{"-noacq", full0, bare1, 1},
+			{"-nofence", bare0, bare1, 2},
+		}
+		for _, d := range disruptions {
+			specs = append(specs, tspec{
+				name:          fmt.Sprintf("%s%s", sh.name, d.suffix),
+				mutator:       WeakeningSW,
+				isMutant:      true,
+				base:          sh.name,
+				model:         mm.RelAcqSCPerLocation,
+				threads:       [][]espec{d.t0, d.t1},
+				finals:        sh.finals,
+				fencesRemoved: d.removed,
+			})
+		}
+	}
+	return specs
+}

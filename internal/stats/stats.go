@@ -1,0 +1,206 @@
+// Package stats provides the statistical tools the evaluation uses:
+// summary statistics, the Pearson correlation coefficient between
+// mutant death rates and real-bug observation rates (Table 4), and the
+// Student's t-test significance of a correlation (the paper reports
+// the probability of the observed PCCs arising by chance as below
+// 10^-6 percent).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean; it returns 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Min returns the minimum; it returns 0 for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum; it returns 0 for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// MinPositive returns the smallest strictly positive value and whether
+// one exists.
+func MinPositive(xs []float64) (float64, bool) {
+	m, ok := 0.0, false
+	for _, x := range xs {
+		if x > 0 && (!ok || x < m) {
+			m, ok = x, true
+		}
+	}
+	return m, ok
+}
+
+// Variance returns the population variance; 0 for fewer than 2 points.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mu := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - mu
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Pearson computes the Pearson correlation coefficient between two
+// equal-length samples. It errors on mismatched lengths, fewer than 3
+// points, or zero variance in either sample (the PCC is undefined).
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: mismatched lengths %d and %d", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 3 {
+		return 0, fmt.Errorf("stats: need at least 3 points, have %d", n)
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("stats: zero variance sample")
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	// Clamp tiny floating excursions outside [-1, 1].
+	if r > 1 {
+		r = 1
+	}
+	if r < -1 {
+		r = -1
+	}
+	return r, nil
+}
+
+// PearsonPValue returns the two-sided p-value for the null hypothesis
+// of zero correlation, using the exact t-distribution with n-2 degrees
+// of freedom: t = r*sqrt((n-2)/(1-r^2)).
+func PearsonPValue(r float64, n int) (float64, error) {
+	if n < 3 {
+		return 0, fmt.Errorf("stats: need at least 3 points, have %d", n)
+	}
+	if r <= -1 || r >= 1 {
+		return 0, nil // perfectly correlated: p vanishes
+	}
+	df := float64(n - 2)
+	t := r * math.Sqrt(df/(1-r*r))
+	return studentTTwoSided(t, df), nil
+}
+
+// studentTTwoSided returns P(|T| >= |t|) for T ~ t(df), via the
+// regularized incomplete beta function:
+// P = I_{df/(df+t^2)}(df/2, 1/2).
+func studentTTwoSided(t, df float64) float64 {
+	x := df / (df + t*t)
+	return regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function
+// I_x(a, b) using the continued-fraction expansion (Numerical Recipes
+// style), accurate to ~1e-12 for the parameter ranges used here.
+func regIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 1e-14
+		tiny    = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

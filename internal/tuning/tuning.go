@@ -1,0 +1,370 @@
+// Package tuning orchestrates the paper's evaluation (Sec. 5): random
+// testing environments are generated per family (SITE Baseline, SITE,
+// PTE Baseline, PTE), every mutant is executed in every environment on
+// every device, and the resulting dataset yields the mutation scores
+// and mutant death rates of Fig. 5, the rate tables Algorithm 1 merges
+// for Fig. 6, and the correlation study of Table 4.
+//
+// Datasets serialize to JSON, mirroring the artifact's per-device
+// result files.
+package tuning
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/confidence"
+	"repro/internal/gpu"
+	"repro/internal/harness"
+	"repro/internal/litmus"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Family enumerates the four environment families of Sec. 5.1.
+type Family int
+
+const (
+	// SITEBaseline is a single test instance with no stress.
+	SITEBaseline Family = iota
+	// SITE is single-instance with randomly tuned stress (prior work).
+	SITE
+	// PTEBaseline is parallel instances with no stress.
+	PTEBaseline
+	// PTE is parallel instances with randomly tuned stress.
+	PTE
+)
+
+// String names the family as in the paper.
+func (f Family) String() string {
+	switch f {
+	case SITEBaseline:
+		return "SITE-Baseline"
+	case SITE:
+		return "SITE"
+	case PTEBaseline:
+		return "PTE-Baseline"
+	case PTE:
+		return "PTE"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// Parallel reports whether the family runs parallel instances.
+func (f Family) Parallel() bool { return f == PTEBaseline || f == PTE }
+
+// Baseline reports whether the family is stress-free.
+func (f Family) Baseline() bool { return f == SITEBaseline || f == PTEBaseline }
+
+// Families returns all four families in paper order.
+func Families() []Family { return []Family{SITEBaseline, SITE, PTEBaseline, PTE} }
+
+// FamilyByName resolves a family name.
+func FamilyByName(name string) (Family, bool) {
+	for _, f := range Families() {
+		if f.String() == name {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// Config sizes a tuning run. The paper's run (PaperConfig) uses 150
+// environments with 300 SITE / 100 PTE iterations; SmallConfig scales
+// everything down for simulation-backed tests.
+type Config struct {
+	// Environments is the number of random environments per tuned
+	// family (baselines always use exactly one, their preset).
+	Environments int
+	// SITEIterations and PTEIterations are kernel launches per (env,
+	// test, device). The paper runs SITE longer to give it more
+	// opportunities (Sec. 5.1).
+	SITEIterations int
+	PTEIterations  int
+	// PTEWorkgroups and PTEWorkgroupSize size the PTE Baseline preset.
+	PTEWorkgroups    int
+	PTEWorkgroupSize int
+	// Scale bounds random environment generation.
+	Scale harness.Scale
+	// Devices lists profile short names; empty means the four study
+	// devices of Table 3.
+	Devices []string
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// PaperConfig mirrors Sec. 5.1's sizes. Running it under simulation
+// takes hours; it exists for the CLI's full mode.
+func PaperConfig() Config {
+	return Config{
+		Environments:   150,
+		SITEIterations: 300,
+		PTEIterations:  100,
+		PTEWorkgroups:  1024, PTEWorkgroupSize: 256,
+		Scale: harness.PaperScale(),
+		Seed:  2023,
+	}
+}
+
+// SmallConfig is a scaled-down run preserving the qualitative shape;
+// tests and benchmarks use it.
+func SmallConfig() Config {
+	return Config{
+		Environments:   6,
+		SITEIterations: 20,
+		PTEIterations:  4,
+		PTEWorkgroups:  8, PTEWorkgroupSize: 16,
+		Scale: harness.DefaultScale(),
+		Seed:  2023,
+	}
+}
+
+func (c *Config) devices() []string {
+	if len(c.Devices) > 0 {
+		return c.Devices
+	}
+	names := make([]string, 0, 4)
+	for _, p := range gpu.Profiles() {
+		names = append(names, p.ShortName)
+	}
+	return names
+}
+
+func (c *Config) iterations(f Family) int {
+	if f.Parallel() {
+		return c.PTEIterations
+	}
+	return c.SITEIterations
+}
+
+// Record is one (environment, device, test) measurement.
+type Record struct {
+	Family      string         `json:"family"`
+	EnvID       string         `json:"env_id"`
+	Env         harness.Params `json:"env"`
+	Device      string         `json:"device"`
+	Test        string         `json:"test"`
+	Mutator     string         `json:"mutator"`
+	IsMutant    bool           `json:"is_mutant"`
+	Iterations  int            `json:"iterations"`
+	Instances   int            `json:"instances"`
+	TargetCount int            `json:"target_count"`
+	Violations  int            `json:"violations"`
+	SimSeconds  float64        `json:"sim_seconds"`
+	TargetRate  float64        `json:"target_rate"`
+}
+
+// Dataset is a tuning run's full results.
+type Dataset struct {
+	Config  Config   `json:"config"`
+	Records []Record `json:"records"`
+}
+
+// Save writes the dataset as JSON.
+func (ds *Dataset) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ds)
+}
+
+// Load reads a dataset written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	var ds Dataset
+	if err := json.NewDecoder(r).Decode(&ds); err != nil {
+		return nil, fmt.Errorf("tuning: decode dataset: %w", err)
+	}
+	return &ds, nil
+}
+
+// environments materializes a family's environment list.
+func environments(f Family, cfg *Config, rng *xrand.Rand) []harness.Params {
+	switch f {
+	case SITEBaseline:
+		return []harness.Params{harness.SITEBaseline()}
+	case PTEBaseline:
+		return []harness.Params{harness.PTEBaseline(cfg.PTEWorkgroups, cfg.PTEWorkgroupSize)}
+	default:
+		envs := make([]harness.Params, cfg.Environments)
+		for i := range envs {
+			envs[i] = harness.Random(rng, f.Parallel(), cfg.Scale)
+		}
+		return envs
+	}
+}
+
+// Run executes a tuning run over the given tests (typically the 32
+// mutants) across all families and devices. progress, when non-nil,
+// receives one line per (family, environment, device).
+func Run(cfg Config, tests []*litmus.Test, progress func(string)) (*Dataset, error) {
+	if len(tests) == 0 {
+		return nil, fmt.Errorf("tuning: no tests")
+	}
+	ds := &Dataset{Config: cfg}
+	root := xrand.New(cfg.Seed)
+	for _, fam := range Families() {
+		envRng := root.Split()
+		envs := environments(fam, &cfg, envRng)
+		iters := cfg.iterations(fam)
+		for ei, env := range envs {
+			envID := fmt.Sprintf("%s-%03d", fam, ei)
+			for _, devName := range cfg.devices() {
+				prof, ok := gpu.ProfileByName(devName)
+				if !ok {
+					return nil, fmt.Errorf("tuning: unknown device %q", devName)
+				}
+				dev, err := gpu.NewDevice(prof, gpu.Bugs{})
+				if err != nil {
+					return nil, err
+				}
+				runner, err := harness.NewRunner(dev, env)
+				if err != nil {
+					return nil, fmt.Errorf("tuning: %s: %w", envID, err)
+				}
+				if progress != nil {
+					progress(fmt.Sprintf("%s on %s (%d tests x %d iterations)",
+						envID, devName, len(tests), iters))
+				}
+				testRng := root.Split()
+				for _, test := range tests {
+					res, err := runner.Run(test, iters, testRng)
+					if err != nil {
+						return nil, fmt.Errorf("tuning: %s/%s/%s: %w", envID, devName, test.Name, err)
+					}
+					ds.Records = append(ds.Records, Record{
+						Family:      fam.String(),
+						EnvID:       envID,
+						Env:         env,
+						Device:      devName,
+						Test:        test.Name,
+						Mutator:     test.Mutator,
+						IsMutant:    test.IsMutant,
+						Iterations:  res.Iterations,
+						Instances:   res.Instances,
+						TargetCount: res.TargetCount,
+						Violations:  res.Violations,
+						SimSeconds:  res.SimSeconds,
+						TargetRate:  res.TargetRate(),
+					})
+				}
+			}
+		}
+	}
+	return ds, nil
+}
+
+// MutationScore computes the Fig. 5 mutation score: the fraction of
+// mutants killed in at least one environment of the family on the
+// device. Empty device ("") aggregates over all devices; empty mutator
+// aggregates over all mutators.
+func (ds *Dataset) MutationScore(family, device, mutator string) (killed, total int) {
+	type key struct{ test, device string }
+	kills := map[key]bool{}
+	seen := map[key]bool{}
+	for _, r := range ds.Records {
+		if !r.IsMutant || r.Family != family {
+			continue
+		}
+		if device != "" && r.Device != device {
+			continue
+		}
+		if mutator != "" && r.Mutator != mutator {
+			continue
+		}
+		k := key{r.Test, r.Device}
+		seen[k] = true
+		if r.TargetCount > 0 {
+			kills[k] = true
+		}
+	}
+	return len(kills), len(seen)
+}
+
+// AvgDeathRate computes the Fig. 5 average mutant death rate: the mean
+// over (mutant, device) pairs of the maximum kill rate across the
+// family's environments. Filters as in MutationScore.
+func (ds *Dataset) AvgDeathRate(family, device, mutator string) float64 {
+	type key struct{ test, device string }
+	maxRate := map[key]float64{}
+	for _, r := range ds.Records {
+		if !r.IsMutant || r.Family != family {
+			continue
+		}
+		if device != "" && r.Device != device {
+			continue
+		}
+		if mutator != "" && r.Mutator != mutator {
+			continue
+		}
+		k := key{r.Test, r.Device}
+		if _, ok := maxRate[k]; !ok {
+			maxRate[k] = 0
+		}
+		if r.TargetRate > maxRate[k] {
+			maxRate[k] = r.TargetRate
+		}
+	}
+	if len(maxRate) == 0 {
+		return 0
+	}
+	rates := make([]float64, 0, len(maxRate))
+	for _, v := range maxRate {
+		rates = append(rates, v)
+	}
+	return stats.Mean(rates)
+}
+
+// RateTables builds per-mutant confidence rate tables for one family:
+// environment key -> device -> death rate, the input to Algorithm 1
+// and the Fig. 6 sweep.
+func (ds *Dataset) RateTables(family string) []confidence.TestRates {
+	byTest := map[string]confidence.RateTable{}
+	var order []string
+	for _, r := range ds.Records {
+		if !r.IsMutant || r.Family != family {
+			continue
+		}
+		rt, ok := byTest[r.Test]
+		if !ok {
+			rt = confidence.RateTable{}
+			byTest[r.Test] = rt
+			order = append(order, r.Test)
+		}
+		if rt[r.EnvID] == nil {
+			rt[r.EnvID] = map[string]float64{}
+		}
+		rt[r.EnvID][r.Device] = r.TargetRate
+	}
+	out := make([]confidence.TestRates, 0, len(order))
+	for _, name := range order {
+		out = append(out, confidence.TestRates{Test: name, Rates: byTest[name]})
+	}
+	return out
+}
+
+// Devices returns the distinct device names in record order.
+func (ds *Dataset) Devices() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range ds.Records {
+		if !seen[r.Device] {
+			seen[r.Device] = true
+			out = append(out, r.Device)
+		}
+	}
+	return out
+}
+
+// Mutators returns the distinct mutator names in record order.
+func (ds *Dataset) Mutators() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range ds.Records {
+		if r.Mutator != "" && !seen[r.Mutator] {
+			seen[r.Mutator] = true
+			out = append(out, r.Mutator)
+		}
+	}
+	return out
+}

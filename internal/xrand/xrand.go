@@ -1,0 +1,186 @@
+// Package xrand provides a deterministic, splittable pseudo-random number
+// generator used throughout the simulator and the testing harness.
+//
+// All randomness in this repository flows through xrand so that a single
+// seed reproduces an entire experiment: the same environments are
+// generated, the same schedules are chosen, and the same weak behaviors
+// are observed. The generator is xoshiro256** seeded via SplitMix64,
+// following the reference constructions by Blackman and Vigna.
+//
+// The zero value is not usable; construct generators with New or Split.
+package xrand
+
+import "math/bits"
+
+// Rand is a xoshiro256** generator. It is not safe for concurrent use;
+// use Split to derive independent generators for concurrent workers.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via SplitMix64, which spreads
+// low-entropy seeds (0, 1, 2, ...) across the full state space.
+func New(seed uint64) *Rand {
+	var r Rand
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return &r
+}
+
+// Split derives a new generator from r. The derived generator's stream is
+// independent of r's subsequent output for all practical purposes: the
+// child state is produced by drawing from r and remixing through
+// SplitMix64 with a distinct stream constant.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64() ^ 0xa0761d6478bd642f)
+}
+
+// Uint64 returns the next value in the stream.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Uint32 returns a uniformly distributed 32-bit value.
+func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniformly distributed uint64 in [0, n) using Lemire's
+// multiply-shift rejection method. It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n called with n == 0")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p (clamped to [0, 1]).
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// IntBetween returns a uniformly distributed int in [lo, hi]. It panics
+// if hi < lo.
+func (r *Rand) IntBetween(lo, hi int) int {
+	if hi < lo {
+		panic("xrand: IntBetween called with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Perm returns a random permutation of [0, n) as a slice, using the
+// Fisher-Yates shuffle.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle randomizes the order of n elements using swap, as in
+// math/rand.Shuffle.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Geometric returns a sample from a geometric distribution with success
+// probability p: the number of failures before the first success. For
+// p <= 0 it returns maxTrials; samples are capped at maxTrials to keep
+// simulation steps bounded.
+func (r *Rand) Geometric(p float64, maxTrials int) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		return maxTrials
+	}
+	n := 0
+	for n < maxTrials && !r.Bool(p) {
+		n++
+	}
+	return n
+}
+
+// GCD returns the greatest common divisor of a and b.
+func GCD(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Coprime returns a value p in [2, n) with gcd(p, n) == 1, chosen
+// uniformly among candidates. For n <= 2 it returns 1 (the identity
+// permutation multiplier). The result is the multiplier for the parallel
+// permutation function v -> (v*p) mod n used by the PTE thread/instance
+// assignment (Section 4.1 of the paper); the paper notes simple mappings
+// such as v -> v+1 are ineffective, so candidates near 1 and n-1 are
+// excluded when enough candidates exist.
+func (r *Rand) Coprime(n uint64) uint64 {
+	if n <= 2 {
+		return 1
+	}
+	// Rejection sample; density of coprimes is at least ~1/log log n,
+	// so this terminates quickly. Cap attempts for safety.
+	lo, hi := uint64(2), n-1
+	if n > 8 {
+		lo, hi = 3, n-2 // avoid near-identity multipliers
+	}
+	for i := 0; i < 256; i++ {
+		p := lo + r.Uint64n(hi-lo)
+		if GCD(p, n) == 1 {
+			return p
+		}
+	}
+	// Fall back to a linear scan (n has many prime factors).
+	for p := lo; p < hi; p++ {
+		if GCD(p, n) == 1 {
+			return p
+		}
+	}
+	return 1
+}
