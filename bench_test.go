@@ -8,7 +8,9 @@ package repro
 // EXPERIMENTS.md for the paper-vs-measured discussion.
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/confidence"
 	"repro/internal/gpu"
@@ -297,6 +299,57 @@ func BenchmarkBugDiscovery(b *testing.B) {
 		rate = res.ViolationRate()
 	}
 	b.ReportMetric(rate, "violations/s")
+}
+
+// BenchmarkCampaign measures the campaign scheduler: the same tuning
+// sweep runs serially and on an 8-worker pool, and the observed
+// speedup is attached as a metric. The datasets are verified identical
+// before any time is reported — parallelism that changed the science
+// would be a bug, not a speedup. The achievable speedup tracks
+// GOMAXPROCS (reported alongside); on a single-core host the two runs
+// tie and the metric documents that honestly.
+func BenchmarkCampaign(b *testing.B) {
+	suite := mutation.MustGenerate()
+	var tests []*litmus.Test
+	for _, name := range []string{"CoRR-mutant", "MP", "SB", "LB", "MP-relacq"} {
+		t, ok := suite.ByName(name)
+		if !ok {
+			b.Fatalf("unknown test %q", name)
+		}
+		tests = append(tests, t)
+	}
+	cfg := tuning.SmallConfig()
+	cfg.Environments = 2
+	cfg.SITEIterations = 10
+	cfg.PTEIterations = 3
+	cfg.Devices = []string{"AMD", "Intel", "NVIDIA", "M1"}
+	run := func(workers int) (*tuning.Dataset, time.Duration) {
+		start := time.Now()
+		ds, err := tuning.RunCampaign(cfg, tests, tuning.RunOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return ds, time.Since(start)
+	}
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		dsSerial, ts := run(1)
+		dsParallel, tp := run(8)
+		if len(dsSerial.Records) != len(dsParallel.Records) {
+			b.Fatal("worker count changed the record count")
+		}
+		for j := range dsSerial.Records {
+			if dsSerial.Records[j] != dsParallel.Records[j] {
+				b.Fatalf("record %d differs between worker counts", j)
+			}
+		}
+		serial += ts
+		parallel += tp
+	}
+	b.ReportMetric(serial.Seconds()/float64(b.N), "serial-s")
+	b.ReportMetric(parallel.Seconds()/float64(b.N), "parallel8-s")
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 }
 
 // BenchmarkAxiomaticChecker measures outcome classification over the

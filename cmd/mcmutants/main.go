@@ -10,7 +10,8 @@
 //	mcmutants devices
 //	mcmutants run -test NAME [-device NAME] [-env pte|site|pte-baseline|site-baseline] [-iters N] [-seed N] [-buggy]
 //	mcmutants conformance [-device NAME] [-iters N] [-seed N] [-fence-bug] [-coherence-bug] [-stale-cache-bug]
-//	mcmutants tune [-out FILE] [-envs N] [-site-iters N] [-pte-iters N] [-paper-scale] [-devices A,B] [-seed N]
+//	mcmutants campaign -kind conformance|evaluate [-devices A,B] [-envs pte,site] [-iters N] [-seed N] [-parallel N] [-checkpoint FILE] [-resume]
+//	mcmutants tune [-out FILE] [-envs N] [-site-iters N] [-pte-iters N] [-paper-scale] [-devices A,B] [-seed N] [-parallel N] [-checkpoint FILE] [-resume]
 //	mcmutants analyze -action mutation-score|merge|correlation [-stats FILE] [-family NAME] [-rep PCT] [-budget SECONDS] [-envs N] [-iters N]
 //	mcmutants cts -stats FILE [-family NAME] [-rep PCT] [-budget SECONDS]
 package main
@@ -56,6 +57,8 @@ func run(args []string) error {
 		return cmdRun(args[1:])
 	case "conformance":
 		return cmdConformance(args[1:])
+	case "campaign":
+		return cmdCampaign(args[1:])
 	case "tune":
 		return cmdTune(args[1:])
 	case "analyze":
@@ -83,6 +86,7 @@ subcommands:
   devices      print the device fleet (Table 3)
   run          run one test in one environment on one device
   conformance  run the conformance suite against a platform
+  campaign     run a scheduled fleet campaign (conformance or evaluate)
   tune         run a tuning study and save the dataset (JSON)
   analyze      mutation-score / merge / correlation analyses
   cts          curate a conformance-test-suite plan from a dataset
@@ -321,6 +325,109 @@ func cmdConformance(args []string) error {
 	return nil
 }
 
+// cmdCampaign runs a scheduled campaign over the device fleet: either
+// the conformance suite on every platform, or a multi-environment
+// mutation-score evaluation on one device.
+func cmdCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	kind := fs.String("kind", "conformance", "campaign kind: conformance or evaluate")
+	devices := fs.String("devices", "", "comma-separated device names (default: the Table 3 fleet)")
+	envNames := fs.String("envs", "pte,site", "comma-separated environment presets")
+	iters := fs.Int("iters", 10, "kernel launches per cell")
+	seed := fs.Uint64("seed", 1, "campaign seed")
+	parallel := fs.Int("parallel", 4, "scheduler workers (any count yields identical results)")
+	checkpoint := fs.String("checkpoint", "", "checkpoint path for resumable campaigns")
+	resume := fs.Bool("resume", false, "resume from the checkpoint, replaying completed cells")
+	retries := fs.Int("retries", 0, "retries per cell on transient failures")
+	quiet := fs.Bool("quiet", false, "suppress progress output")
+	fenceBug := fs.Bool("fence-bug", false, "inject the fence-dropping driver on every platform")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	study, err := core.NewStudy()
+	if err != nil {
+		return err
+	}
+	names := strings.Split(*devices, ",")
+	if *devices == "" {
+		names = names[:0]
+		for _, prof := range gpu.Profiles() {
+			names = append(names, prof.ShortName)
+		}
+	}
+	opts := core.CampaignOptions{
+		Workers:        *parallel,
+		Retries:        *retries,
+		CheckpointPath: *checkpoint,
+		Resume:         *resume,
+	}
+	if !*quiet {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		opts.Report = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	var envs []harness.Params
+	for _, name := range strings.Split(*envNames, ",") {
+		env, err := envByName(strings.TrimSpace(name), 16, 32)
+		if err != nil {
+			return err
+		}
+		envs = append(envs, env)
+	}
+	switch *kind {
+	case "conformance":
+		var platforms []core.Platform
+		for _, name := range names {
+			p := core.Platform{Device: strings.TrimSpace(name)}
+			if *fenceBug {
+				p.Driver = wgsl.DriverFenceDropping
+			}
+			platforms = append(platforms, p)
+		}
+		reports, err := study.CheckFleetConformance(platforms, envs[0], *iters, *seed, opts)
+		if err != nil {
+			return err
+		}
+		bad := 0
+		for _, rep := range reports {
+			buggy := rep.Buggy()
+			bad += len(buggy)
+			fmt.Printf("%-8s %d/%d conformance tests violated\n",
+				rep.Platform.Device, len(buggy), len(rep.Findings))
+			for _, f := range buggy {
+				fmt.Printf("  %-22s %d/%d (%.4g/s)\n    outcome: %s\n    cycle:   %s\n",
+					f.Test, f.Violations, f.Instances, f.ViolationRate, f.Outcome, f.Explanation)
+			}
+		}
+		if bad > 0 {
+			fmt.Printf("\n%d violation(s) across the fleet\n", bad)
+		} else {
+			fmt.Println("\nfleet conforms")
+		}
+		return nil
+	case "evaluate":
+		for _, name := range names {
+			p := core.Platform{Device: strings.TrimSpace(name)}
+			if *fenceBug {
+				p.Driver = wgsl.DriverFenceDropping
+			}
+			devOpts := opts
+			if devOpts.CheckpointPath != "" {
+				// One campaign per device; keep their checkpoints apart.
+				devOpts.CheckpointPath = fmt.Sprintf("%s.%s", opts.CheckpointPath, p.Device)
+			}
+			score, err := study.EvaluateEnvironments(p, envs, *iters, *seed, devOpts)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-8s mutation score %.1f%% (%d/%d killed across %d environments), avg death rate %.4g/s\n",
+				p.Device, 100*score.Score(), score.Killed, score.Total, len(envs), score.AvgDeathRate)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown campaign kind %q (conformance, evaluate)", *kind)
+	}
+}
+
 func cmdTune(args []string) error {
 	fs := flag.NewFlagSet("tune", flag.ContinueOnError)
 	out := fs.String("out", "tuning.json", "output dataset path")
@@ -331,6 +438,10 @@ func cmdTune(args []string) error {
 	devices := fs.String("devices", "", "comma-separated device names (default: the Table 3 fleet)")
 	seed := fs.Uint64("seed", 2023, "random seed")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
+	parallel := fs.Int("parallel", 1, "scheduler workers (any count yields the identical dataset)")
+	checkpoint := fs.String("checkpoint", "", "checkpoint path (default <out>.ckpt when -resume is set)")
+	resume := fs.Bool("resume", false, "resume from the checkpoint, replaying completed cells")
+	retries := fs.Int("retries", 0, "retries per cell on transient failures")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -350,11 +461,20 @@ func cmdTune(args []string) error {
 	if *devices != "" {
 		cfg.Devices = strings.Split(*devices, ",")
 	}
-	progress := func(line string) { fmt.Fprintln(os.Stderr, line) }
-	if *quiet {
-		progress = nil
+	opts := tuning.RunOptions{
+		Workers:        *parallel,
+		CheckpointPath: *checkpoint,
+		Resume:         *resume,
+		Retries:        *retries,
 	}
-	ds, err := tuning.Run(cfg, suite.Mutants, progress)
+	if opts.Resume && opts.CheckpointPath == "" {
+		opts.CheckpointPath = *out + ".ckpt"
+	}
+	if !*quiet {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		opts.Report = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	ds, err := tuning.RunCampaign(cfg, suite.Mutants, opts)
 	if err != nil {
 		return err
 	}

@@ -158,6 +158,125 @@ func TestConformanceCommandFindsBug(t *testing.T) {
 	}
 }
 
+func TestCampaignConformanceCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"campaign", "-kind", "conformance", "-devices", "AMD,Intel",
+			"-iters", "4", "-parallel", "4", "-quiet"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"AMD", "Intel", "fleet conforms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("campaign output missing %q:\n%s", want, out)
+		}
+	}
+	// A fleet-wide injected driver bug is caught and explained.
+	out, err = capture(t, func() error {
+		return run([]string{"campaign", "-kind", "conformance", "-devices", "AMD",
+			"-iters", "6", "-parallel", "2", "-fence-bug", "-quiet"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "MP-relacq") || !strings.Contains(out, "violation(s) across the fleet") {
+		t.Errorf("fleet campaign missed the fence bug:\n%s", out)
+	}
+}
+
+func TestCampaignEvaluateCommand(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "eval.ckpt")
+	args := []string{"campaign", "-kind", "evaluate", "-devices", "AMD",
+		"-envs", "pte,site", "-iters", "2", "-parallel", "4",
+		"-checkpoint", ckpt, "-quiet"}
+	out, err := capture(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "mutation score") || !strings.Contains(out, "killed across 2 environments") {
+		t.Errorf("evaluate output wrong:\n%s", out)
+	}
+	// Resume replays the finished checkpoint and reproduces the result.
+	resumed, err := capture(t, func() error { return run(append(args, "-resume")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != out {
+		t.Errorf("resumed campaign differs:\n%s\nvs\n%s", resumed, out)
+	}
+}
+
+func TestCampaignCommandErrors(t *testing.T) {
+	if err := run([]string{"campaign", "-kind", "bogus"}); err == nil {
+		t.Error("bogus kind accepted")
+	}
+	if err := run([]string{"campaign", "-devices", "bogus", "-quiet"}); err == nil {
+		t.Error("bogus device accepted")
+	}
+	if err := run([]string{"campaign", "-envs", "bogus", "-quiet"}); err == nil {
+		t.Error("bogus env accepted")
+	}
+}
+
+func TestTunePipelineParallelMatchesSerial(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"tune", "-envs", "2", "-site-iters", "4", "-pte-iters", "2",
+		"-devices", "AMD,Intel", "-quiet"}
+	serialPath := filepath.Join(dir, "serial.json")
+	parallelPath := filepath.Join(dir, "parallel.json")
+	if _, err := capture(t, func() error {
+		return run(append(base, "-out", serialPath, "-parallel", "1"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error {
+		return run(append(base, "-out", parallelPath, "-parallel", "8"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	serial, err := os.ReadFile(serialPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := os.ReadFile(parallelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(serial) != string(parallel) {
+		t.Fatal("tune -parallel 8 dataset is not byte-identical to -parallel 1")
+	}
+}
+
+func TestTuneResume(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tuning.json")
+	base := []string{"tune", "-out", path, "-envs", "1", "-site-iters", "2",
+		"-pte-iters", "1", "-devices", "AMD", "-quiet"}
+	// First run with -resume creates <out>.ckpt by default.
+	if _, err := capture(t, func() error { return run(append(base, "-resume")) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".ckpt"); err != nil {
+		t.Fatalf("default checkpoint not created: %v", err)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second resumed run replays everything and writes the same dataset.
+	if _, err := capture(t, func() error { return run(append(base, "-resume")) }); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatal("resumed tune dataset differs")
+	}
+}
+
 func TestTuneAnalyzeCTSPipeline(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "tuning.json")

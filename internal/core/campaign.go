@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/harness"
+	"repro/internal/litmus"
+	"repro/internal/sched"
+	"repro/internal/xrand"
+)
+
+// CampaignOptions configures the scheduler behind the core workflows:
+// parallelism, retry policy, checkpointing and progress streams. The
+// zero value is a serial, checkpoint-free run. Every worker count
+// yields identical scores and findings — cell RNG streams derive from
+// the campaign seed and cell identity alone.
+type CampaignOptions struct {
+	// Workers bounds the scheduler's pool; < 1 means serial.
+	Workers int
+	// Retries and Backoff configure transient-failure handling per cell.
+	Retries int
+	Backoff time.Duration
+	// CheckpointPath, when non-empty, records completed cells as JSONL
+	// so an interrupted campaign can resume.
+	CheckpointPath string
+	// Resume replays cells already in the checkpoint instead of
+	// re-running them. Requires CheckpointPath.
+	Resume bool
+	// Progress, when non-nil, receives one line as each cell starts.
+	Progress func(string)
+	// Report, when non-nil, receives throughput lines (cells/sec,
+	// instances/sec, per-device utilization) at most every ReportEvery
+	// (default 2s).
+	Report      func(string)
+	ReportEvery time.Duration
+}
+
+// applyCampaignOptions populates the scheduler options from o. The
+// returned closer must run once the campaign finishes; it closes the
+// checkpoint, if any.
+func applyCampaignOptions[R any](o CampaignOptions, spec sched.Spec, opts *sched.Options[R]) (func(), error) {
+	opts.Workers = o.Workers
+	opts.MaxRetries = o.Retries
+	opts.Backoff = o.Backoff
+	if o.Progress != nil {
+		progress := o.Progress
+		opts.OnCellStart = func(c sched.Cell) {
+			progress(fmt.Sprintf("%s on %s", c.Key, c.Device))
+		}
+	}
+	if o.Report != nil {
+		every := o.ReportEvery
+		if every <= 0 {
+			every = 2 * time.Second
+		}
+		opts.Reporter = sched.NewReporter(o.Report, every)
+	}
+	closer := func() {}
+	if o.Resume && o.CheckpointPath == "" {
+		return closer, fmt.Errorf("core: Resume requires CheckpointPath")
+	}
+	if o.CheckpointPath != "" {
+		ck, err := sched.OpenCheckpoint(o.CheckpointPath, spec, o.Resume)
+		if err != nil {
+			return closer, err
+		}
+		opts.Checkpoint = ck
+		closer = func() { ck.Close() }
+	}
+	return closer, nil
+}
+
+// EvaluateEnvironments runs every mutant in every environment on the
+// platform as one campaign and scores the ensemble: per-mutant results
+// are merged across environments (a mutant counts as killed when any
+// environment kills it), the multi-environment generalization of the
+// paper's single-environment mutation score.
+func (st *Study) EvaluateEnvironments(p Platform, envs []harness.Params, iterations int, seed uint64, opts CampaignOptions) (*EnvScore, error) {
+	if len(envs) == 0 {
+		return nil, fmt.Errorf("core: no environments")
+	}
+	if _, ok := gpu.ProfileByName(p.Device); !ok {
+		return nil, fmt.Errorf("core: unknown device %q", p.Device)
+	}
+	type evalCell struct {
+		env    harness.Params
+		mutant *litmus.Test
+	}
+	spec := sched.Spec{Name: "evaluate", Seed: seed}
+	work := map[string]evalCell{}
+	for ei, env := range envs {
+		for _, mt := range st.Suite.Mutants {
+			key := fmt.Sprintf("env-%02d/%s", ei, mt.Name)
+			spec.Cells = append(spec.Cells, sched.Cell{Key: key, Device: p.Device})
+			work[key] = evalCell{env: env, mutant: mt}
+		}
+	}
+	schedOpts := sched.Options[*harness.Result]{
+		Instances: func(r *harness.Result) int { return r.Instances },
+	}
+	closer, err := applyCampaignOptions(opts, spec, &schedOpts)
+	if err != nil {
+		return nil, err
+	}
+	defer closer()
+	rep, err := sched.Run(spec, func(c sched.Cell, rng *xrand.Rand) (*harness.Result, error) {
+		w := work[c.Key]
+		r, err := p.runner(w.env)
+		if err != nil {
+			return nil, err
+		}
+		return r.Run(w.mutant, iterations, rng)
+	}, schedOpts)
+	if err != nil {
+		return nil, err
+	}
+	// Fold each mutant's per-environment results into one, in suite
+	// order; cells are env-major so result i belongs to mutant i mod N.
+	nm := len(st.Suite.Mutants)
+	merged := make([]*harness.Result, nm)
+	for i, res := range rep.Values() {
+		mi := i % nm
+		if merged[mi] == nil {
+			merged[mi] = &harness.Result{
+				TestName: res.TestName, IsMutant: res.IsMutant, Mutator: res.Mutator,
+			}
+		}
+		if err := merged[mi].Merge(res); err != nil {
+			return nil, err
+		}
+	}
+	score := &EnvScore{PerMutant: merged, Total: nm}
+	rates := 0.0
+	for _, res := range merged {
+		if res.TargetCount > 0 {
+			score.Killed++
+		}
+		rates += res.TargetRate()
+	}
+	score.AvgDeathRate = rates / float64(nm)
+	return score, nil
+}
+
+// CheckFleetConformance runs the conformance suite on every platform
+// as one campaign and returns one report per platform, in input order.
+// This is the fleet-wide version of CheckConformance: all
+// (platform, test) cells share the scheduler's pool, so a slow device
+// does not serialize the rest of the fleet.
+func (st *Study) CheckFleetConformance(platforms []Platform, env harness.Params, iterations int, seed uint64, opts CampaignOptions) ([]*ConformanceReport, error) {
+	if len(platforms) == 0 {
+		return nil, fmt.Errorf("core: no platforms")
+	}
+	type confCell struct {
+		platform Platform
+		test     *litmus.Test
+	}
+	spec := sched.Spec{Name: "conformance", Seed: seed}
+	work := map[string]confCell{}
+	for pi, p := range platforms {
+		if _, ok := gpu.ProfileByName(p.Device); !ok {
+			return nil, fmt.Errorf("core: unknown device %q", p.Device)
+		}
+		for _, test := range st.Suite.Conformance {
+			key := fmt.Sprintf("fleet-%02d-%s/%s", pi, p.Device, test.Name)
+			spec.Cells = append(spec.Cells, sched.Cell{Key: key, Device: p.Device})
+			work[key] = confCell{platform: p, test: test}
+		}
+	}
+	schedOpts := sched.Options[Finding]{
+		Instances: func(f Finding) int { return f.Instances },
+	}
+	closer, err := applyCampaignOptions(opts, spec, &schedOpts)
+	if err != nil {
+		return nil, err
+	}
+	defer closer()
+	rep, err := sched.Run(spec, func(c sched.Cell, rng *xrand.Rand) (Finding, error) {
+		w := work[c.Key]
+		r, err := w.platform.runner(env)
+		if err != nil {
+			return Finding{}, err
+		}
+		res, err := r.Run(w.test, iterations, rng)
+		if err != nil {
+			return Finding{}, err
+		}
+		f := Finding{
+			Test:          w.test.Name,
+			Mutator:       w.test.Mutator,
+			Instances:     res.Instances,
+			Violations:    res.Violations,
+			ViolationRate: res.ViolationRate(),
+		}
+		if res.FirstViolation != nil {
+			f.Outcome = res.FirstViolation.Key()
+			f.Explanation = explainViolation(w.test, *res.FirstViolation)
+		}
+		return f, nil
+	}, schedOpts)
+	if err != nil {
+		return nil, err
+	}
+	values := rep.Values()
+	nc := len(st.Suite.Conformance)
+	reports := make([]*ConformanceReport, len(platforms))
+	for pi := range platforms {
+		reports[pi] = &ConformanceReport{
+			Platform: platforms[pi],
+			Findings: values[pi*nc : (pi+1)*nc : (pi+1)*nc],
+		}
+	}
+	return reports, nil
+}

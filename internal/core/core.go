@@ -26,7 +26,6 @@ import (
 	"repro/internal/mutation"
 	"repro/internal/tuning"
 	"repro/internal/wgsl"
-	"repro/internal/xrand"
 )
 
 // Study bundles the generated suite with the device fleet.
@@ -95,31 +94,11 @@ func (s *EnvScore) Score() float64 {
 }
 
 // EvaluateEnvironment runs every mutant in the environment on the
-// platform and scores the environment, the core MC Mutants loop.
+// platform and scores the environment, the core MC Mutants loop. It is
+// EvaluateEnvironments on a single environment with default campaign
+// options (serial, no checkpoint).
 func (st *Study) EvaluateEnvironment(p Platform, env harness.Params, iterations int, seed uint64) (*EnvScore, error) {
-	r, err := p.runner(env)
-	if err != nil {
-		return nil, err
-	}
-	rng := xrand.New(seed)
-	score := &EnvScore{}
-	rates := 0.0
-	for _, mt := range st.Suite.Mutants {
-		res, err := r.Run(mt, iterations, rng)
-		if err != nil {
-			return nil, err
-		}
-		score.PerMutant = append(score.PerMutant, res)
-		score.Total++
-		if res.TargetCount > 0 {
-			score.Killed++
-		}
-		rates += res.TargetRate()
-	}
-	if score.Total > 0 {
-		score.AvgDeathRate = rates / float64(score.Total)
-	}
-	return score, nil
+	return st.EvaluateEnvironments(p, []harness.Params{env}, iterations, seed, CampaignOptions{})
 }
 
 // Finding is one conformance test's result on a platform.
@@ -160,33 +139,15 @@ func (r *ConformanceReport) Buggy() []Finding {
 }
 
 // CheckConformance runs all 20 conformance tests on the platform in
-// the environment, explaining each discovered violation.
+// the environment, explaining each discovered violation. It is
+// CheckFleetConformance on a single-platform fleet with default
+// campaign options (serial, no checkpoint).
 func (st *Study) CheckConformance(p Platform, env harness.Params, iterations int, seed uint64) (*ConformanceReport, error) {
-	r, err := p.runner(env)
+	reports, err := st.CheckFleetConformance([]Platform{p}, env, iterations, seed, CampaignOptions{})
 	if err != nil {
 		return nil, err
 	}
-	rng := xrand.New(seed)
-	report := &ConformanceReport{Platform: p}
-	for _, test := range st.Suite.Conformance {
-		res, err := r.Run(test, iterations, rng)
-		if err != nil {
-			return nil, err
-		}
-		f := Finding{
-			Test:          test.Name,
-			Mutator:       test.Mutator,
-			Instances:     res.Instances,
-			Violations:    res.Violations,
-			ViolationRate: res.ViolationRate(),
-		}
-		if res.FirstViolation != nil {
-			f.Outcome = res.FirstViolation.Key()
-			f.Explanation = explainViolation(test, *res.FirstViolation)
-		}
-		report.Findings = append(report.Findings, f)
-	}
-	return report, nil
+	return reports[0], nil
 }
 
 // explainViolation renders the hb cycle of a disallowed outcome, or a

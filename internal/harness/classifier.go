@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/litmus"
+)
+
+// Classifier memoizes outcome classification — the axiomatic-checker
+// verdict plus the target match — keyed by (test, outcome key). One
+// litmus test sees the same few distinct outcomes across thousands of
+// instances, iterations and campaign cells, while classifying an
+// outcome means reconstructing and checking a candidate execution; the
+// classifier pays that cost once per distinct outcome per test for the
+// whole process instead of once per Run call.
+//
+// Tests are keyed by pointer identity: the same *litmus.Test object
+// always classifies an outcome the same way, and suite generation hands
+// every runner the same test objects, so cache hits span all campaign
+// cells that share a suite. The classifier is safe for concurrent use
+// by every worker of a campaign.
+type Classifier struct {
+	tests  sync.Map // *litmus.Test -> *testClassCache
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// testClassCache holds one test's classified outcomes.
+type testClassCache struct {
+	mu sync.RWMutex
+	m  map[string]outcomeClass
+}
+
+// sharedClassifier is the process-wide instance used by every Runner
+// that does not set its own.
+var sharedClassifier = &Classifier{}
+
+// SharedClassifier returns the process-wide memoized classifier.
+func SharedClassifier() *Classifier { return sharedClassifier }
+
+// Classify returns the cached classification of the outcome under the
+// test, computing and memoizing it on first sight.
+func (c *Classifier) Classify(test *litmus.Test, o litmus.Outcome) (target, violation bool, err error) {
+	tc := c.cacheFor(test)
+	key := o.Key()
+	tc.mu.RLock()
+	cls, ok := tc.m[key]
+	tc.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return cls.target, cls.violation, nil
+	}
+	c.misses.Add(1)
+	verdict, err := test.Classify(o)
+	if err != nil {
+		return false, false, fmt.Errorf("harness: classify %s: %w", test.Name, err)
+	}
+	cls = outcomeClass{
+		target:    test.Target.Matches(o),
+		violation: !verdict.Allowed,
+	}
+	tc.mu.Lock()
+	tc.m[key] = cls
+	tc.mu.Unlock()
+	return cls.target, cls.violation, nil
+}
+
+// cacheFor returns the test's outcome cache, creating it on first use.
+func (c *Classifier) cacheFor(test *litmus.Test) *testClassCache {
+	if v, ok := c.tests.Load(test); ok {
+		return v.(*testClassCache)
+	}
+	v, _ := c.tests.LoadOrStore(test, &testClassCache{m: map[string]outcomeClass{}})
+	return v.(*testClassCache)
+}
+
+// Stats reports cumulative cache hits and misses, for observability
+// and tests.
+func (c *Classifier) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

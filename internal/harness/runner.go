@@ -18,6 +18,10 @@ type Runner struct {
 	// the hook through which the wgsl toolchain's backend lowering
 	// (including defective driver builds) is applied.
 	Lower func(gpu.Program) gpu.Program
+	// Classifier memoizes outcome classification; nil means the
+	// process-wide shared classifier, so classifications are reused
+	// across iterations, runners and campaign cells.
+	Classifier *Classifier
 }
 
 // NewRunner validates the environment against the device and returns a
@@ -78,6 +82,46 @@ func (r *Result) ViolationRate() float64 {
 	return float64(r.Violations) / r.SimSeconds
 }
 
+// Merge folds another result for the same test into r: counts,
+// histograms and sim/wall seconds are summed, and FirstViolation keeps
+// the earliest in merge order (r's own if set, else other's). Merging
+// results from different tests is an error, catching misassembled
+// campaign aggregations.
+func (r *Result) Merge(other *Result) error {
+	if other == nil {
+		return nil
+	}
+	if other.TestName != r.TestName {
+		return fmt.Errorf("harness: merging result of %q into %q", other.TestName, r.TestName)
+	}
+	r.Iterations += other.Iterations
+	r.Instances += other.Instances
+	r.SimSeconds += other.SimSeconds
+	r.WallSeconds += other.WallSeconds
+	if other.Hist != nil {
+		if r.Hist == nil {
+			r.Hist = litmus.NewHistogram()
+		}
+		r.Hist.Merge(other.Hist)
+	}
+	if r.FirstViolation == nil && other.FirstViolation != nil {
+		saved := *other.FirstViolation
+		r.FirstViolation = &saved
+	}
+	// Recompute the derived counts from the histogram rather than
+	// summing fields independently, so the invariants TargetCount ==
+	// Hist.TargetCount() and Violations == Hist.Violations() survive
+	// any merge order.
+	if r.Hist != nil {
+		r.TargetCount = r.Hist.TargetCount()
+		r.Violations = r.Hist.Violations()
+	} else {
+		r.TargetCount += other.TargetCount
+		r.Violations += other.Violations
+	}
+	return nil
+}
+
 // outcomeClass caches the classification of one outcome key.
 type outcomeClass struct {
 	target    bool
@@ -101,7 +145,10 @@ func (r *Runner) Run(test *litmus.Test, iterations int, rng *xrand.Rand) (*Resul
 		Mutator:  test.Mutator,
 		Hist:     litmus.NewHistogram(),
 	}
-	cache := map[string]outcomeClass{}
+	classifier := r.Classifier
+	if classifier == nil {
+		classifier = sharedClassifier
+	}
 	for iter := 0; iter < iterations; iter++ {
 		plan, err := buildIteration(test, &r.Params, rng)
 		if err != nil {
@@ -121,24 +168,15 @@ func (r *Runner) Run(test *litmus.Test, iterations int, rng *xrand.Rand) (*Resul
 		res.SimSeconds += run.SimSeconds
 		for i := 0; i < plan.instances; i++ {
 			o := extractOutcome(test, plan, run, i)
-			key := o.Key()
-			cls, ok := cache[key]
-			if !ok {
-				verdict, err := test.Classify(o)
-				if err != nil {
-					return nil, fmt.Errorf("harness: classify %s: %w", test.Name, err)
-				}
-				cls = outcomeClass{
-					target:    test.Target.Matches(o),
-					violation: !verdict.Allowed,
-				}
-				cache[key] = cls
+			target, violation, err := classifier.Classify(test, o)
+			if err != nil {
+				return nil, err
 			}
-			if cls.violation && res.FirstViolation == nil {
+			if violation && res.FirstViolation == nil {
 				saved := o
 				res.FirstViolation = &saved
 			}
-			res.Hist.Add(o, cls.target, cls.violation)
+			res.Hist.Add(o, target, violation)
 		}
 	}
 	res.TargetCount = res.Hist.TargetCount()

@@ -16,6 +16,7 @@
 package litmus
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -552,6 +553,43 @@ func (h *Histogram) Merge(other *Histogram) {
 	h.total += other.total
 	h.target += other.target
 	h.violations += other.violations
+}
+
+// histogramJSON is the serialized form of a Histogram; keys are the
+// outcome keys. encoding/json sorts map keys, so equal histograms
+// marshal to identical bytes — a property campaign checkpointing and
+// the byte-identical-output guarantee rely on.
+type histogramJSON struct {
+	Counts     map[string]int `json:"counts"`
+	Total      int            `json:"total"`
+	Target     int            `json:"target"`
+	Violations int            `json:"violations"`
+}
+
+// MarshalJSON serializes the histogram for result checkpointing.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{
+		Counts:     h.counts,
+		Total:      h.total,
+		Target:     h.target,
+		Violations: h.violations,
+	})
+}
+
+// UnmarshalJSON restores a histogram written by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var hj histogramJSON
+	if err := json.Unmarshal(b, &hj); err != nil {
+		return err
+	}
+	h.counts = hj.Counts
+	if h.counts == nil {
+		h.counts = map[string]int{}
+	}
+	h.total = hj.Total
+	h.target = hj.Target
+	h.violations = hj.Violations
+	return nil
 }
 
 // String renders the histogram sorted by frequency (descending), then

@@ -1,0 +1,179 @@
+package sched
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Checkpoint persists completed cells as JSONL so an interrupted
+// campaign resumes by replaying them. The file layout is:
+//
+//	{"campaign":"<name>","manifest":"<hex>"}     // header, line 1
+//	{"key":"<cell key>","value":<result JSON>}   // one line per cell
+//
+// The manifest is Spec.Manifest(); resuming against a checkpoint whose
+// manifest differs (different cells, order or seed) is an error, since
+// its recorded results would not match what a clean run produces. A
+// torn final line — the tail of a run killed mid-write — is discarded
+// on open and the file truncated back to the last complete record.
+type Checkpoint struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	manifest string
+	done     map[string]json.RawMessage
+}
+
+// checkpointHeader is line 1 of the file.
+type checkpointHeader struct {
+	Campaign string `json:"campaign"`
+	Manifest string `json:"manifest"`
+}
+
+// checkpointRecord is one completed cell.
+type checkpointRecord struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// OpenCheckpoint opens (or creates) a checkpoint for the spec. With
+// resume false any existing file is truncated and a fresh header
+// written; with resume true an existing file is validated against the
+// spec's manifest and its completed cells become replayable via Done.
+func OpenCheckpoint(path string, spec Spec, resume bool) (*Checkpoint, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Checkpoint{
+		path:     path,
+		manifest: spec.Manifest(),
+		done:     map[string]json.RawMessage{},
+	}
+	if resume {
+		if err := c.load(spec.Name); err != nil {
+			return nil, err
+		}
+		if c.f != nil {
+			return c, nil
+		}
+		// No existing file: fall through and start fresh.
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("sched: create checkpoint: %w", err)
+	}
+	hdr, _ := json.Marshal(checkpointHeader{Campaign: spec.Name, Manifest: c.manifest})
+	if _, err := f.Write(append(hdr, '\n')); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sched: write checkpoint header: %w", err)
+	}
+	c.f = f
+	return c, nil
+}
+
+// load reads an existing checkpoint file, validates it, collects the
+// done map, truncates any torn trailing line, and opens the file for
+// appending. A missing file leaves c.f nil.
+func (c *Checkpoint) load(campaign string) error {
+	f, err := os.OpenFile(c.path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("sched: open checkpoint: %w", err)
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	if !sc.Scan() {
+		// Empty or unreadable: treat as fresh.
+		f.Close()
+		return nil
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("sched: checkpoint %s: malformed header: %w", c.path, err)
+	}
+	if hdr.Manifest != c.manifest {
+		f.Close()
+		return fmt.Errorf("sched: checkpoint %s was written by a different campaign spec (manifest %.12s, want %.12s); rerun without -resume or delete it",
+			c.path, hdr.Manifest, c.manifest)
+	}
+	good := int64(len(sc.Bytes()) + 1) // header plus newline
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec checkpointRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+			break // torn tail from a killed run; discard the rest
+		}
+		c.done[rec.Key] = append(json.RawMessage(nil), rec.Value...)
+		good += int64(len(line) + 1)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return fmt.Errorf("sched: read checkpoint: %w", err)
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return fmt.Errorf("sched: truncate checkpoint: %w", err)
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("sched: seek checkpoint: %w", err)
+	}
+	c.f = f
+	return nil
+}
+
+// Done returns the recorded result for a cell key, if present.
+func (c *Checkpoint) Done(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	raw, ok := c.done[key]
+	return raw, ok
+}
+
+// Completed returns how many cells the checkpoint holds.
+func (c *Checkpoint) Completed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// record appends one completed cell and syncs the line to disk so a
+// kill at any point loses at most the in-flight record.
+func (c *Checkpoint) record(key string, value any) error {
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("sched: checkpoint %s: %w", key, err)
+	}
+	line, err := json.Marshal(checkpointRecord{Key: key, Value: raw})
+	if err != nil {
+		return fmt.Errorf("sched: checkpoint %s: %w", key, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return fmt.Errorf("sched: checkpoint closed")
+	}
+	if _, err := c.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("sched: append checkpoint: %w", err)
+	}
+	c.done[key] = raw
+	return nil
+}
+
+// Close flushes and closes the file.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Close()
+	c.f = nil
+	return err
+}

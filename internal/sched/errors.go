@@ -1,0 +1,27 @@
+package sched
+
+import "errors"
+
+// transientError marks a failure worth retrying: the cell reported a
+// condition that may clear (a busy simulated device, a throttled
+// backend) rather than a deterministic defect in the work itself.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return "transient: " + e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so the scheduler retries the cell (up to
+// Options.MaxRetries, with backoff). A nil err returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) was marked
+// with Transient.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}

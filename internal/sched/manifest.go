@@ -1,0 +1,37 @@
+package sched
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Manifest returns a stable hex digest of the campaign spec: its name,
+// seed and ordered cell identities. Two specs share a manifest exactly
+// when a checkpoint written by one is a valid resume point for the
+// other — same cells, same order, same seed, so every cell's RNG
+// stream and therefore its result is the same.
+func (s *Spec) Manifest() string {
+	h := sha256.New()
+	var seed [8]byte
+	binary.LittleEndian.PutUint64(seed[:], s.Seed)
+	writeField(h, s.Name)
+	h.Write(seed[:])
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(s.Cells)))
+	h.Write(n[:])
+	for _, c := range s.Cells {
+		writeField(h, c.Key)
+		writeField(h, c.Device)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeField writes a length-prefixed string so field boundaries cannot
+// alias ("ab","c" vs "a","bc").
+func writeField(h interface{ Write([]byte) (int, error) }, s string) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+	h.Write(n[:])
+	h.Write([]byte(s))
+}

@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Reporter streams campaign throughput: cells/sec, instances/sec, and
+// each device's share of the fleet's busy time. It is safe for use
+// from every worker goroutine.
+type Reporter struct {
+	out      func(string)
+	interval time.Duration
+
+	mu         sync.Mutex
+	name       string
+	total      int
+	done       int
+	nReplayed  int
+	failed     int
+	instances  int
+	deviceBusy map[string]time.Duration
+	start      time.Time
+	lastEmit   time.Time
+	now        func() time.Time // test hook
+}
+
+// NewReporter builds a reporter that emits a line via out at most once
+// per interval (plus a final summary). A zero interval emits on every
+// completed cell.
+func NewReporter(out func(string), interval time.Duration) *Reporter {
+	return &Reporter{out: out, interval: interval, now: time.Now}
+}
+
+func (p *Reporter) begin(name string, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.name = name
+	p.total = total
+	p.done, p.nReplayed, p.failed, p.instances = 0, 0, 0, 0
+	p.deviceBusy = map[string]time.Duration{}
+	p.start = p.now()
+	p.lastEmit = time.Time{}
+}
+
+func (p *Reporter) replayed(Cell) {
+	p.mu.Lock()
+	p.nReplayed++
+	p.done++
+	p.mu.Unlock()
+}
+
+func (p *Reporter) cellDone(c Cell, wall time.Duration, instances int, ok bool) {
+	p.mu.Lock()
+	p.done++
+	p.instances += instances
+	if !ok {
+		p.failed++
+	}
+	if c.Device != "" {
+		p.deviceBusy[c.Device] += wall
+	}
+	emit := p.lastEmit.IsZero() || p.now().Sub(p.lastEmit) >= p.interval
+	var line string
+	if emit {
+		p.lastEmit = p.now()
+		line = p.line()
+	}
+	p.mu.Unlock()
+	if emit && p.out != nil {
+		p.out(line)
+	}
+}
+
+func (p *Reporter) finish(_, _, _ int) {
+	p.mu.Lock()
+	line := p.line() + " done"
+	p.mu.Unlock()
+	if p.out != nil {
+		p.out(line)
+	}
+}
+
+// line renders one progress line; the caller holds p.mu.
+func (p *Reporter) line() string {
+	elapsed := p.now().Sub(p.start).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	executed := p.done - p.nReplayed
+	cellsPerSec := float64(executed) / elapsed
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d/%d cells", p.name, p.done, p.total)
+	if p.nReplayed > 0 {
+		fmt.Fprintf(&b, " (%d replayed)", p.nReplayed)
+	}
+	if p.failed > 0 {
+		fmt.Fprintf(&b, " %d FAILED", p.failed)
+	}
+	fmt.Fprintf(&b, " | %.1f cells/s", cellsPerSec)
+	if p.instances > 0 {
+		fmt.Fprintf(&b, ", %.0f instances/s", float64(p.instances)/elapsed)
+	}
+	if util := p.utilization(); util != "" {
+		fmt.Fprintf(&b, " | %s", util)
+	}
+	return b.String()
+}
+
+// utilization renders each device's share of total busy time; the
+// caller holds p.mu.
+func (p *Reporter) utilization() string {
+	if len(p.deviceBusy) == 0 {
+		return ""
+	}
+	var total time.Duration
+	for _, d := range p.deviceBusy {
+		total += d
+	}
+	if total <= 0 {
+		return ""
+	}
+	devs := make([]string, 0, len(p.deviceBusy))
+	for d := range p.deviceBusy {
+		devs = append(devs, d)
+	}
+	sort.Strings(devs)
+	parts := make([]string, 0, len(devs))
+	for _, d := range devs {
+		parts = append(parts, fmt.Sprintf("%s %.0f%%", d, 100*float64(p.deviceBusy[d])/float64(total)))
+	}
+	return "util " + strings.Join(parts, " ")
+}

@@ -1,0 +1,324 @@
+// Package sched is the campaign scheduler of the simulated device
+// fleet: it turns any campaign — an ordered set of cells, typically
+// (test × device × environment × iteration-budget) — into a job list
+// executed by a bounded worker pool.
+//
+// The scheduler guarantees three properties the serial loops it
+// replaces could not offer together:
+//
+//   - Determinism under parallelism. Each cell derives its own RNG
+//     stream from the campaign seed via xrand.DeriveSeed, a pure
+//     function of (seed, cell key): no cell's randomness depends on
+//     which worker runs it or in what order, so workers=1 and
+//     workers=16 produce bit-identical aggregate results.
+//
+//   - Robustness. Every cell attempt runs under panic recovery; errors
+//     marked Transient are retried with exponential backoff up to a
+//     bound; the campaign-level error policy is either fail-fast
+//     (default: cancel outstanding work on the first permanent
+//     failure) or collect (run everything, report all failures).
+//
+//   - Resumability and observability. Completed cells are checkpointed
+//     as JSONL records under a manifest hash of the campaign spec, so
+//     an interrupted campaign resumes by replaying done cells instead
+//     of re-running them, and a progress reporter streams cells/sec,
+//     instances/sec and per-device utilization.
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// Cell is one schedulable unit of a campaign. Key is the cell's stable
+// identity: the RNG derivation path, the checkpoint record key, and the
+// handle exec uses to look up its work. Device, when set, labels the
+// simulated device the cell occupies, feeding per-device utilization.
+type Cell struct {
+	Key    string
+	Device string
+}
+
+// Spec describes a campaign: a name, the root seed all cell streams
+// derive from, and the ordered cell list. The order fixes the order of
+// Report.Results and is part of the checkpoint manifest.
+type Spec struct {
+	Name  string
+	Seed  uint64
+	Cells []Cell
+}
+
+// Validate checks the spec is runnable: it has a name, at least one
+// cell, and no duplicate cell keys.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("sched: campaign has no name")
+	}
+	if len(s.Cells) == 0 {
+		return fmt.Errorf("sched: campaign %q has no cells", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Cells))
+	for _, c := range s.Cells {
+		if c.Key == "" {
+			return fmt.Errorf("sched: campaign %q has a cell with an empty key", s.Name)
+		}
+		if seen[c.Key] {
+			return fmt.Errorf("sched: campaign %q has duplicate cell key %q", s.Name, c.Key)
+		}
+		seen[c.Key] = true
+	}
+	return nil
+}
+
+// CellRand returns the RNG for one attempt of one cell. It is a pure
+// function of (seed, campaign name, cell key, attempt): retries draw
+// fresh randomness, but nothing depends on scheduling order.
+func (s *Spec) CellRand(key string, attempt int) *xrand.Rand {
+	return xrand.NewFromPath(s.Seed, s.Name, key, fmt.Sprintf("attempt-%d", attempt))
+}
+
+// Exec runs one cell attempt. The rng is the cell's private stream; the
+// returned value must round-trip through JSON when checkpointing is
+// enabled. Exec is called from multiple goroutines and must not mutate
+// shared state.
+type Exec[R any] func(cell Cell, rng *xrand.Rand) (R, error)
+
+// Options configures one campaign run.
+type Options[R any] struct {
+	// Workers bounds the pool; values < 1 mean 1.
+	Workers int
+	// MaxRetries is how many times a transiently-failing cell is
+	// retried after its first attempt.
+	MaxRetries int
+	// Backoff is the sleep before the first retry; it doubles per
+	// retry. Zero means retry immediately (tests).
+	Backoff time.Duration
+	// Collect switches the error policy from fail-fast (default) to
+	// collect: every cell runs, failures accumulate in the report.
+	Collect bool
+	// Checkpoint, when non-nil, records completed cells and replays
+	// cells already done in a previous run.
+	Checkpoint *Checkpoint
+	// Reporter, when non-nil, receives completion events and streams
+	// throughput lines.
+	Reporter *Reporter
+	// OnCellStart, when non-nil, is called as each cell begins
+	// executing (not for replayed cells). It may be called from any
+	// worker goroutine.
+	OnCellStart func(Cell)
+	// Instances extracts a cell result's instance count for the
+	// reporter's instances/sec stream. Optional.
+	Instances func(R) int
+}
+
+// CellResult is one cell's outcome in the report.
+type CellResult[R any] struct {
+	Cell  Cell
+	Value R
+	// Err is non-nil when the cell permanently failed (or was aborted
+	// by fail-fast before running).
+	Err error
+	// Attempts counts executions, 0 for replayed or aborted cells.
+	Attempts int
+	// Replayed marks cells restored from the checkpoint.
+	Replayed bool
+	// WallSeconds is host time spent executing the cell.
+	WallSeconds float64
+}
+
+// Report is a completed campaign: per-cell results in spec order plus
+// aggregate counters.
+type Report[R any] struct {
+	Spec     Spec
+	Results  []CellResult[R]
+	Executed int
+	Replayed int
+	Failed   int
+	Aborted  int
+	// WallSeconds is the campaign's host duration end to end.
+	WallSeconds float64
+}
+
+// Values returns the result values in spec order; it panics if any cell
+// failed, so callers check Run's error (fail-fast) or Failed first.
+func (r *Report[R]) Values() []R {
+	out := make([]R, len(r.Results))
+	for i, c := range r.Results {
+		if c.Err != nil {
+			panic(fmt.Sprintf("sched: Values on failed campaign: cell %s: %v", c.Cell.Key, c.Err))
+		}
+		out[i] = c.Value
+	}
+	return out
+}
+
+// FirstErr returns the first failed cell's error in spec order, or nil.
+func (r *Report[R]) FirstErr() error {
+	for _, c := range r.Results {
+		if c.Err != nil {
+			return fmt.Errorf("sched: cell %s: %w", c.Cell.Key, c.Err)
+		}
+	}
+	return nil
+}
+
+// ErrAborted marks cells that never ran because fail-fast cancelled the
+// campaign.
+var ErrAborted = fmt.Errorf("sched: campaign aborted")
+
+// Run executes the campaign. Results are returned in spec order
+// regardless of completion order, so any aggregation over them is
+// deterministic under parallelism. Under the fail-fast policy the
+// first permanent cell failure is returned as Run's error (the partial
+// report is still returned); under collect, Run returns a nil error
+// and the caller inspects Report.Failed / FirstErr.
+func Run[R any](spec Spec, exec Exec[R], opts Options[R]) (*Report[R], error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(spec.Cells) {
+		workers = len(spec.Cells)
+	}
+	rep := &Report[R]{Spec: spec, Results: make([]CellResult[R], len(spec.Cells))}
+	start := time.Now()
+	if opts.Reporter != nil {
+		opts.Reporter.begin(spec.Name, len(spec.Cells))
+	}
+
+	// Replay checkpointed cells and queue the rest.
+	var mu sync.Mutex // guards rep counters and checkpoint appends
+	pending := make([]int, 0, len(spec.Cells))
+	for i, cell := range spec.Cells {
+		rep.Results[i].Cell = cell
+		if opts.Checkpoint != nil {
+			if raw, done := opts.Checkpoint.Done(cell.Key); done {
+				var v R
+				if err := json.Unmarshal(raw, &v); err != nil {
+					return nil, fmt.Errorf("sched: checkpoint replay of %s: %w", cell.Key, err)
+				}
+				rep.Results[i].Value = v
+				rep.Results[i].Replayed = true
+				rep.Replayed++
+				if opts.Reporter != nil {
+					opts.Reporter.replayed(cell)
+				}
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+
+	jobs := make(chan int)
+	var abort bool       // fail-fast tripped; guarded by mu
+	var abortCause error // the failure that tripped it; guarded by mu
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				cell := spec.Cells[i]
+				mu.Lock()
+				aborted := abort
+				mu.Unlock()
+				if aborted {
+					rep.Results[i].Err = ErrAborted
+					mu.Lock()
+					rep.Aborted++
+					mu.Unlock()
+					continue
+				}
+				if opts.OnCellStart != nil {
+					opts.OnCellStart(cell)
+				}
+				cellStart := time.Now()
+				value, attempts, err := runCell(&spec, cell, exec, &opts)
+				wall := time.Since(cellStart)
+				rep.Results[i].Value = value
+				rep.Results[i].Err = err
+				rep.Results[i].Attempts = attempts
+				rep.Results[i].WallSeconds = wall.Seconds()
+				instances := 0
+				if err == nil && opts.Instances != nil {
+					instances = opts.Instances(value)
+				}
+				mu.Lock()
+				rep.Executed++
+				if err != nil {
+					rep.Failed++
+					if !opts.Collect && !abort {
+						abort = true
+						abortCause = fmt.Errorf("sched: cell %s: %w", cell.Key, err)
+					}
+				} else if opts.Checkpoint != nil {
+					if cerr := opts.Checkpoint.record(cell.Key, value); cerr != nil {
+						rep.Results[i].Err = cerr
+						rep.Failed++
+						if !abort {
+							abort = true
+							abortCause = cerr
+						}
+					}
+				}
+				mu.Unlock()
+				if opts.Reporter != nil {
+					opts.Reporter.cellDone(cell, wall, instances, rep.Results[i].Err == nil)
+				}
+			}
+		}()
+	}
+	for _, i := range pending {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	rep.WallSeconds = time.Since(start).Seconds()
+	if opts.Reporter != nil {
+		opts.Reporter.finish(rep.Executed, rep.Replayed, rep.Failed)
+	}
+	if !opts.Collect && abortCause != nil {
+		return rep, abortCause
+	}
+	return rep, nil
+}
+
+// runCell executes one cell's attempt/retry loop under panic recovery.
+func runCell[R any](spec *Spec, cell Cell, exec Exec[R], opts *Options[R]) (value R, attempts int, err error) {
+	backoff := opts.Backoff
+	for attempt := 0; ; attempt++ {
+		attempts++
+		value, err = attemptCell(spec, cell, attempt, exec)
+		if err == nil {
+			return value, attempts, nil
+		}
+		if !IsTransient(err) || attempt >= opts.MaxRetries {
+			return value, attempts, err
+		}
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+}
+
+// attemptCell runs a single attempt, converting panics into errors so
+// one bad cell cannot take down the whole fleet run.
+func attemptCell[R any](spec *Spec, cell Cell, attempt int, exec func(Cell, *xrand.Rand) (R, error)) (value R, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 4096)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = fmt.Errorf("sched: cell %s panicked: %v\n%s", cell.Key, r, buf)
+		}
+	}()
+	return exec(cell, spec.CellRand(cell.Key, attempt))
+}

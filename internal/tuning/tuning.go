@@ -13,11 +13,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
+	"time"
 
 	"repro/internal/confidence"
 	"repro/internal/gpu"
 	"repro/internal/harness"
 	"repro/internal/litmus"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -178,14 +181,18 @@ func Load(r io.Reader) (*Dataset, error) {
 	return &ds, nil
 }
 
-// environments materializes a family's environment list.
-func environments(f Family, cfg *Config, rng *xrand.Rand) []harness.Params {
+// environments materializes a family's environment list. Tuned
+// families draw from an RNG derived purely from (seed, family), so the
+// environment grid is a function of the config alone — independent of
+// scheduling, worker count, and any other family's draws.
+func environments(f Family, cfg *Config) []harness.Params {
 	switch f {
 	case SITEBaseline:
 		return []harness.Params{harness.SITEBaseline()}
 	case PTEBaseline:
 		return []harness.Params{harness.PTEBaseline(cfg.PTEWorkgroups, cfg.PTEWorkgroupSize)}
 	default:
+		rng := xrand.NewFromPath(cfg.Seed, "tuning-envs", f.String())
 		envs := make([]harness.Params, cfg.Environments)
 		for i := range envs {
 			envs[i] = harness.Random(rng, f.Parallel(), cfg.Scale)
@@ -194,64 +201,164 @@ func environments(f Family, cfg *Config, rng *xrand.Rand) []harness.Params {
 	}
 }
 
-// Run executes a tuning run over the given tests (typically the 32
-// mutants) across all families and devices. progress, when non-nil,
-// receives one line per (family, environment, device).
-func Run(cfg Config, tests []*litmus.Test, progress func(string)) (*Dataset, error) {
-	if len(tests) == 0 {
-		return nil, fmt.Errorf("tuning: no tests")
-	}
-	ds := &Dataset{Config: cfg}
-	root := xrand.New(cfg.Seed)
+// RunOptions configures campaign execution: parallelism, checkpointing
+// and progress. The zero value is a serial, checkpoint-free run.
+type RunOptions struct {
+	// Workers bounds the scheduler's pool; < 1 means serial. Any
+	// worker count produces bit-identical datasets.
+	Workers int
+	// CheckpointPath, when non-empty, records completed cells as JSONL
+	// so an interrupted run can resume.
+	CheckpointPath string
+	// Resume replays cells already present in the checkpoint instead
+	// of re-running them. Requires CheckpointPath.
+	Resume bool
+	// Progress, when non-nil, receives one line as each cell starts.
+	Progress func(string)
+	// Report, when non-nil, receives throughput lines (cells/sec,
+	// instances/sec, per-device utilization) at most every
+	// ReportEvery (default 2s).
+	Report      func(string)
+	ReportEvery time.Duration
+	// Retries and Backoff configure transient-failure handling per
+	// cell.
+	Retries int
+	Backoff time.Duration
+}
+
+// tuningCell is one campaign cell's work order.
+type tuningCell struct {
+	family Family
+	envID  string
+	env    harness.Params
+	device string
+	test   *litmus.Test
+	iters  int
+}
+
+// buildCampaign expands the config into the scheduler spec and the
+// per-key work map. Cell order is the dataset's record order.
+func buildCampaign(cfg *Config, tests []*litmus.Test) (sched.Spec, map[string]tuningCell, error) {
+	spec := sched.Spec{Name: "tune", Seed: cfg.Seed}
+	work := map[string]tuningCell{}
 	for _, fam := range Families() {
-		envRng := root.Split()
-		envs := environments(fam, &cfg, envRng)
+		envs := environments(fam, cfg)
 		iters := cfg.iterations(fam)
 		for ei, env := range envs {
 			envID := fmt.Sprintf("%s-%03d", fam, ei)
 			for _, devName := range cfg.devices() {
-				prof, ok := gpu.ProfileByName(devName)
-				if !ok {
-					return nil, fmt.Errorf("tuning: unknown device %q", devName)
+				if _, ok := gpu.ProfileByName(devName); !ok {
+					return sched.Spec{}, nil, fmt.Errorf("tuning: unknown device %q", devName)
 				}
-				dev, err := gpu.NewDevice(prof, gpu.Bugs{})
-				if err != nil {
-					return nil, err
-				}
-				runner, err := harness.NewRunner(dev, env)
-				if err != nil {
-					return nil, fmt.Errorf("tuning: %s: %w", envID, err)
-				}
-				if progress != nil {
-					progress(fmt.Sprintf("%s on %s (%d tests x %d iterations)",
-						envID, devName, len(tests), iters))
-				}
-				testRng := root.Split()
 				for _, test := range tests {
-					res, err := runner.Run(test, iters, testRng)
-					if err != nil {
-						return nil, fmt.Errorf("tuning: %s/%s/%s: %w", envID, devName, test.Name, err)
+					key := fmt.Sprintf("%s/%s/%s", envID, devName, test.Name)
+					spec.Cells = append(spec.Cells, sched.Cell{Key: key, Device: devName})
+					work[key] = tuningCell{
+						family: fam, envID: envID, env: env,
+						device: devName, test: test, iters: iters,
 					}
-					ds.Records = append(ds.Records, Record{
-						Family:      fam.String(),
-						EnvID:       envID,
-						Env:         env,
-						Device:      devName,
-						Test:        test.Name,
-						Mutator:     test.Mutator,
-						IsMutant:    test.IsMutant,
-						Iterations:  res.Iterations,
-						Instances:   res.Instances,
-						TargetCount: res.TargetCount,
-						Violations:  res.Violations,
-						SimSeconds:  res.SimSeconds,
-						TargetRate:  res.TargetRate(),
-					})
 				}
 			}
 		}
 	}
-	return ds, nil
+	return spec, work, nil
+}
+
+// runCell executes one (environment, device, test) cell on a fresh
+// device and returns its dataset record.
+func runCell(w tuningCell, rng *xrand.Rand) (Record, error) {
+	prof, ok := gpu.ProfileByName(w.device)
+	if !ok {
+		return Record{}, fmt.Errorf("tuning: unknown device %q", w.device)
+	}
+	dev, err := gpu.NewDevice(prof, gpu.Bugs{})
+	if err != nil {
+		return Record{}, err
+	}
+	runner, err := harness.NewRunner(dev, w.env)
+	if err != nil {
+		return Record{}, fmt.Errorf("tuning: %s: %w", w.envID, err)
+	}
+	res, err := runner.Run(w.test, w.iters, rng)
+	if err != nil {
+		return Record{}, fmt.Errorf("tuning: %s/%s/%s: %w", w.envID, w.device, w.test.Name, err)
+	}
+	return Record{
+		Family:      w.family.String(),
+		EnvID:       w.envID,
+		Env:         w.env,
+		Device:      w.device,
+		Test:        w.test.Name,
+		Mutator:     w.test.Mutator,
+		IsMutant:    w.test.IsMutant,
+		Iterations:  res.Iterations,
+		Instances:   res.Instances,
+		TargetCount: res.TargetCount,
+		Violations:  res.Violations,
+		SimSeconds:  res.SimSeconds,
+		TargetRate:  res.TargetRate(),
+	}, nil
+}
+
+// Run executes a tuning run over the given tests (typically the 32
+// mutants) across all families and devices, serially. progress, when
+// non-nil, receives one line per campaign cell. Use RunCampaign for
+// parallel, checkpointed runs; Run is RunCampaign at one worker.
+func Run(cfg Config, tests []*litmus.Test, progress func(string)) (*Dataset, error) {
+	return RunCampaign(cfg, tests, RunOptions{Progress: progress})
+}
+
+// RunCampaign executes the tuning study as a scheduled campaign: every
+// (environment, device, test) cell derives its RNG stream purely from
+// the config seed and the cell's identity, so any worker count — and
+// any interleaving of checkpoint resume — produces a bit-identical
+// dataset.
+func RunCampaign(cfg Config, tests []*litmus.Test, opts RunOptions) (*Dataset, error) {
+	if len(tests) == 0 {
+		return nil, fmt.Errorf("tuning: no tests")
+	}
+	spec, work, err := buildCampaign(&cfg, tests)
+	if err != nil {
+		return nil, err
+	}
+	schedOpts := sched.Options[Record]{
+		Workers:    opts.Workers,
+		MaxRetries: opts.Retries,
+		Backoff:    opts.Backoff,
+		Instances:  func(r Record) int { return r.Instances },
+	}
+	if opts.Progress != nil {
+		progress := opts.Progress
+		schedOpts.OnCellStart = func(c sched.Cell) {
+			w := work[c.Key]
+			progress(fmt.Sprintf("%s on %s: %s (%d iterations)", w.envID, w.device, w.test.Name, w.iters))
+		}
+	}
+	if opts.Report != nil {
+		every := opts.ReportEvery
+		if every <= 0 {
+			every = 2 * time.Second
+		}
+		schedOpts.Reporter = sched.NewReporter(opts.Report, every)
+	}
+	if opts.Resume && opts.CheckpointPath == "" {
+		return nil, fmt.Errorf("tuning: Resume requires CheckpointPath")
+	}
+	if opts.CheckpointPath != "" {
+		ck, err := sched.OpenCheckpoint(opts.CheckpointPath, spec, opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer ck.Close()
+		schedOpts.Checkpoint = ck
+	}
+	rep, err := sched.Run(spec, func(c sched.Cell, rng *xrand.Rand) (Record, error) {
+		return runCell(work[c.Key], rng)
+	}, schedOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Config: cfg, Records: rep.Values()}, nil
 }
 
 // MutationScore computes the Fig. 5 mutation score: the fraction of
@@ -312,6 +419,9 @@ func (ds *Dataset) AvgDeathRate(family, device, mutator string) float64 {
 	for _, v := range maxRate {
 		rates = append(rates, v)
 	}
+	// Map iteration order is random; fix the summation order so the
+	// mean is bit-identical across calls on equal datasets.
+	sort.Float64s(rates)
 	return stats.Mean(rates)
 }
 

@@ -41,6 +41,44 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64() ^ 0xa0761d6478bd642f)
 }
 
+// splitmix64 is the SplitMix64 finalizer used by both New and DeriveSeed.
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed deterministically derives a child seed from a root seed and
+// a path of labels. Unlike Split, which consumes state from a live
+// generator and therefore depends on draw order, DeriveSeed is a pure
+// function of (seed, path): any party that knows a campaign's seed and a
+// cell's identity computes the same child seed regardless of the order —
+// or the goroutine — in which cells execute. This is the splittable seed
+// function the campaign scheduler builds its determinism-under-
+// parallelism guarantee on.
+//
+// Each path component is absorbed byte-by-byte into the running state
+// through SplitMix64, with a component separator that distinguishes
+// ("ab", "c") from ("a", "bc").
+func DeriveSeed(seed uint64, path ...string) uint64 {
+	h := splitmix64(seed + 0x9e3779b97f4a7c15)
+	for _, comp := range path {
+		for i := 0; i < len(comp); i++ {
+			h = splitmix64(h ^ uint64(comp[i]))
+		}
+		// Separator: absorb the component length under a distinct
+		// stream constant so component boundaries matter.
+		h = splitmix64(h ^ (uint64(len(comp)) + 0xa0761d6478bd642f))
+	}
+	return h
+}
+
+// NewFromPath is New(DeriveSeed(seed, path...)): an order-independent
+// generator for one campaign cell.
+func NewFromPath(seed uint64, path ...string) *Rand {
+	return New(DeriveSeed(seed, path...))
+}
+
 // Uint64 returns the next value in the stream.
 func (r *Rand) Uint64() uint64 {
 	s := &r.s
