@@ -10,13 +10,18 @@
 //	mcmutants devices
 //	mcmutants run -test NAME [-device NAME] [-env pte|site|pte-baseline|site-baseline] [-iters N] [-seed N] [-buggy]
 //	mcmutants conformance [-device NAME] [-iters N] [-seed N] [-fence-bug] [-coherence-bug] [-stale-cache-bug]
-//	mcmutants campaign -kind conformance|evaluate [-devices A,B] [-envs pte,site] [-iters N] [-seed N] [-parallel N] [-checkpoint FILE] [-resume]
-//	mcmutants tune [-out FILE] [-envs N] [-site-iters N] [-pte-iters N] [-paper-scale] [-devices A,B] [-seed N] [-parallel N] [-checkpoint FILE] [-resume]
+//	mcmutants campaign -kind conformance|evaluate [-devices A,B] [-envs pte,site] [-iters N] [-seed N] [-parallel N] [-checkpoint FILE] [-resume] [-faults] [-fault-rate P] [-watchdog N] [-loss-after N]
+//	mcmutants tune [-out FILE] [-envs N] [-site-iters N] [-pte-iters N] [-paper-scale] [-devices A,B] [-seed N] [-parallel N] [-checkpoint FILE] [-resume] [-faults] [-fault-rate P] [-watchdog N] [-loss-after N]
+//
+// Exit status: 0 on success, 1 on usage or fatal errors, 2 when a
+// campaign or tuning run completed but some cells produced no data
+// (device failures or quarantined cells).
 //	mcmutants analyze -action mutation-score|merge|correlation [-stats FILE] [-family NAME] [-rep PCT] [-budget SECONDS] [-envs N] [-iters N]
 //	mcmutants cts -stats FILE [-family NAME] [-rep PCT] [-budget SECONDS]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +35,7 @@ import (
 	"repro/internal/litmus"
 	"repro/internal/mutation"
 	"repro/internal/report"
+	"repro/internal/sched"
 	"repro/internal/tuning"
 	"repro/internal/wgsl"
 	"repro/internal/xrand"
@@ -38,8 +44,30 @@ import (
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "mcmutants:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// partialFailure signals a campaign that completed on a degraded fleet:
+// usable results were produced and written, but some cells failed or
+// were quarantined. It maps to exit code 2 so scripts can distinguish
+// "complete", "usable but degraded" and "fatal".
+type partialFailure struct{ msg string }
+
+func (e *partialFailure) Error() string { return e.msg }
+
+// ExitCode selects the degraded-completion exit status.
+func (e *partialFailure) ExitCode() int { return 2 }
+
+// exitCode maps an error to the process exit status: errors carrying an
+// ExitCode method choose their own (partial failures exit 2); anything
+// else — usage mistakes, fatal campaign errors — exits 1.
+func exitCode(err error) int {
+	var ec interface{ ExitCode() int }
+	if errors.As(err, &ec) {
+		return ec.ExitCode()
+	}
+	return 1
 }
 
 func run(args []string) error {
@@ -325,6 +353,47 @@ func cmdConformance(args []string) error {
 	return nil
 }
 
+// faultFlags is the shared -faults/-fault-rate/-watchdog/-loss-after
+// flag group of the campaign and tune subcommands.
+type faultFlags struct {
+	enable    *bool
+	rate      *float64
+	watchdog  *int64
+	lossAfter *int
+}
+
+// addFaultFlags registers the fault-injection flags on fs.
+func addFaultFlags(fs *flag.FlagSet) *faultFlags {
+	return &faultFlags{
+		enable:    fs.Bool("faults", false, "inject deterministic device-stack faults and enable the circuit breaker"),
+		rate:      fs.Float64("fault-rate", 0.05, "per-launch probability of each injected fault kind (with -faults)"),
+		watchdog:  fs.Int64("watchdog", 0, "kernel watchdog deadline in simulated ticks (0: default bound)"),
+		lossAfter: fs.Int("loss-after", 0, "permanently lose a device after N injected faults (0: never; with -faults)"),
+	}
+}
+
+// model builds the fault model the flags select, seeding the fault
+// stream from the campaign seed. Without -faults it is the zero model
+// (plus any explicit watchdog), which injects nothing.
+func (ff *faultFlags) model(seed uint64) gpu.FaultModel {
+	var fm gpu.FaultModel
+	if *ff.enable {
+		fm = gpu.UniformFaults(seed, *ff.rate)
+		fm.LossAfter = *ff.lossAfter
+	}
+	fm.WatchdogTicks = *ff.watchdog
+	return fm
+}
+
+// breaker returns circuit-breaker options: enabled with defaults
+// exactly when fault injection is on.
+func (ff *faultFlags) breaker() *sched.BreakerOptions {
+	if !*ff.enable {
+		return nil
+	}
+	return &sched.BreakerOptions{}
+}
+
 // cmdCampaign runs a scheduled campaign over the device fleet: either
 // the conformance suite on every platform, or a multi-environment
 // mutation-score evaluation on one device.
@@ -341,6 +410,7 @@ func cmdCampaign(args []string) error {
 	retries := fs.Int("retries", 0, "retries per cell on transient failures")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
 	fenceBug := fs.Bool("fence-bug", false, "inject the fence-dropping driver on every platform")
+	ff := addFaultFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -360,7 +430,10 @@ func cmdCampaign(args []string) error {
 		Retries:        *retries,
 		CheckpointPath: *checkpoint,
 		Resume:         *resume,
+		Collect:        *ff.enable,
+		Breaker:        ff.breaker(),
 	}
+	faultModel := ff.model(*seed)
 	if !*quiet {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 		opts.Report = func(line string) { fmt.Fprintln(os.Stderr, line) }
@@ -377,7 +450,7 @@ func cmdCampaign(args []string) error {
 	case "conformance":
 		var platforms []core.Platform
 		for _, name := range names {
-			p := core.Platform{Device: strings.TrimSpace(name)}
+			p := core.Platform{Device: strings.TrimSpace(name), Faults: faultModel}
 			if *fenceBug {
 				p.Driver = wgsl.DriverFenceDropping
 			}
@@ -387,7 +460,7 @@ func cmdCampaign(args []string) error {
 		if err != nil {
 			return err
 		}
-		bad := 0
+		bad, failedCells, quarantined := 0, 0, 0
 		for _, rep := range reports {
 			buggy := rep.Buggy()
 			bad += len(buggy)
@@ -397,16 +470,37 @@ func cmdCampaign(args []string) error {
 				fmt.Printf("  %-22s %d/%d (%.4g/s)\n    outcome: %s\n    cycle:   %s\n",
 					f.Test, f.Violations, f.Instances, f.ViolationRate, f.Outcome, f.Explanation)
 			}
+			for _, f := range rep.Failed() {
+				failedCells++
+				if f.Quarantined {
+					quarantined++
+				}
+				fmt.Printf("  %-22s NO DATA: %s\n", f.Test, f.Error)
+			}
+			for _, h := range rep.Health {
+				if h.Quarantined > 0 || h.Open {
+					state := "recovered"
+					if h.Open {
+						state = "still open"
+					}
+					fmt.Printf("  breaker: %d/%d cells quarantined (%s)\n", h.Quarantined, h.Cells, state)
+				}
+			}
 		}
 		if bad > 0 {
 			fmt.Printf("\n%d violation(s) across the fleet\n", bad)
 		} else {
 			fmt.Println("\nfleet conforms")
 		}
+		if failedCells > 0 {
+			return &partialFailure{fmt.Sprintf(
+				"campaign degraded: %d cell(s) produced no data (%d quarantined)", failedCells, quarantined)}
+		}
 		return nil
 	case "evaluate":
+		failedCells, quarantined := 0, 0
 		for _, name := range names {
-			p := core.Platform{Device: strings.TrimSpace(name)}
+			p := core.Platform{Device: strings.TrimSpace(name), Faults: faultModel}
 			if *fenceBug {
 				p.Driver = wgsl.DriverFenceDropping
 			}
@@ -421,6 +515,21 @@ func cmdCampaign(args []string) error {
 			}
 			fmt.Printf("%-8s mutation score %.1f%% (%d/%d killed across %d environments), avg death rate %.4g/s\n",
 				p.Device, 100*score.Score(), score.Killed, score.Total, len(envs), score.AvgDeathRate)
+			if len(score.Failures) > 0 {
+				nq := 0
+				for _, cf := range score.Failures {
+					if cf.Quarantined {
+						nq++
+					}
+				}
+				failedCells += len(score.Failures)
+				quarantined += nq
+				fmt.Printf("  %d cell(s) produced no data (%d quarantined)\n", len(score.Failures), nq)
+			}
+		}
+		if failedCells > 0 {
+			return &partialFailure{fmt.Sprintf(
+				"campaign degraded: %d cell(s) produced no data (%d quarantined)", failedCells, quarantined)}
 		}
 		return nil
 	default:
@@ -442,6 +551,7 @@ func cmdTune(args []string) error {
 	checkpoint := fs.String("checkpoint", "", "checkpoint path (default <out>.ckpt when -resume is set)")
 	resume := fs.Bool("resume", false, "resume from the checkpoint, replaying completed cells")
 	retries := fs.Int("retries", 0, "retries per cell on transient failures")
+	ff := addFaultFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -461,11 +571,15 @@ func cmdTune(args []string) error {
 	if *devices != "" {
 		cfg.Devices = strings.Split(*devices, ",")
 	}
+	if fm := ff.model(*seed); fm.Enabled() || fm.WatchdogTicks > 0 {
+		cfg.Faults = &fm
+	}
 	opts := tuning.RunOptions{
 		Workers:        *parallel,
 		CheckpointPath: *checkpoint,
 		Resume:         *resume,
 		Retries:        *retries,
+		Breaker:        ff.breaker(),
 	}
 	if opts.Resume && opts.CheckpointPath == "" {
 		opts.CheckpointPath = *out + ".ckpt"
@@ -487,8 +601,22 @@ func cmdTune(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %d records to %s\n", len(ds.Records), *out)
+	nq := 0
+	for _, d := range ds.Dropped {
+		if d.Quarantined {
+			nq++
+		}
+	}
+	if len(ds.Dropped) > 0 {
+		fmt.Printf("%d cell(s) dropped (%d quarantined) — recorded in the dataset's dropped list\n",
+			len(ds.Dropped), nq)
+	}
 	fmt.Println()
 	fmt.Print(report.Fig5(ds))
+	if len(ds.Dropped) > 0 {
+		return &partialFailure{fmt.Sprintf(
+			"tuning run degraded: %d cell(s) dropped (%d quarantined)", len(ds.Dropped), nq)}
+	}
 	return nil
 }
 

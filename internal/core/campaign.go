@@ -28,6 +28,16 @@ type CampaignOptions struct {
 	// Resume replays cells already in the checkpoint instead of
 	// re-running them. Requires CheckpointPath.
 	Resume bool
+	// Collect switches the scheduler from fail-fast to collect: every
+	// cell runs, and failed cells surface in the result (EnvScore
+	// failures, error-carrying findings) instead of aborting the
+	// campaign.
+	Collect bool
+	// Breaker, when non-nil, enables the per-device circuit breaker:
+	// a device failing Threshold cells in a row is quarantined for
+	// Cooldown cells and the campaign continues on the surviving fleet.
+	// Implies Collect.
+	Breaker *sched.BreakerOptions
 	// Progress, when non-nil, receives one line as each cell starts.
 	Progress func(string)
 	// Report, when non-nil, receives throughput lines (cells/sec,
@@ -44,6 +54,8 @@ func applyCampaignOptions[R any](o CampaignOptions, spec sched.Spec, opts *sched
 	opts.Workers = o.Workers
 	opts.MaxRetries = o.Retries
 	opts.Backoff = o.Backoff
+	opts.Collect = o.Collect
+	opts.Breaker = o.Breaker
 	if o.Progress != nil {
 		progress := o.Progress
 		opts.OnCellStart = func(c sched.Cell) {
@@ -70,6 +82,39 @@ func applyCampaignOptions[R any](o CampaignOptions, spec sched.Spec, opts *sched
 		closer = func() { ck.Close() }
 	}
 	return closer, nil
+}
+
+// CellFailure records one campaign cell that produced no usable data: a
+// permanent device failure, or a cell the device circuit breaker
+// quarantined. Failed cells are always reported, never dropped.
+type CellFailure struct {
+	// Key is the campaign cell key.
+	Key string
+	// Device is the cell's device short name.
+	Device string
+	// Err is the failure rendered as text.
+	Err string
+	// Quarantined marks breaker-skipped cells.
+	Quarantined bool
+	// Attempts counts executions, 0 when the cell never ran.
+	Attempts int
+}
+
+// cellFailures extracts a report's failed cells in spec order.
+func cellFailures[R any](rep *sched.Report[R]) []CellFailure {
+	var out []CellFailure
+	for _, r := range rep.Results {
+		if r.Err != nil {
+			out = append(out, CellFailure{
+				Key:         r.Cell.Key,
+				Device:      r.Cell.Device,
+				Err:         r.Err.Error(),
+				Quarantined: r.Quarantined,
+				Attempts:    r.Attempts,
+			})
+		}
+	}
+	return out
 }
 
 // EvaluateEnvironments runs every mutant in every environment on the
@@ -118,20 +163,27 @@ func (st *Study) EvaluateEnvironments(p Platform, envs []harness.Params, iterati
 	}
 	// Fold each mutant's per-environment results into one, in suite
 	// order; cells are env-major so result i belongs to mutant i mod N.
+	// Failed cells (possible under Collect or a breaker) contribute
+	// nothing to the merge but are reported in Failures.
 	nm := len(st.Suite.Mutants)
 	merged := make([]*harness.Result, nm)
-	for i, res := range rep.Values() {
-		mi := i % nm
-		if merged[mi] == nil {
-			merged[mi] = &harness.Result{
-				TestName: res.TestName, IsMutant: res.IsMutant, Mutator: res.Mutator,
-			}
+	for mi, mt := range st.Suite.Mutants {
+		merged[mi] = &harness.Result{
+			TestName: mt.Name, IsMutant: mt.IsMutant, Mutator: mt.Mutator,
 		}
-		if err := merged[mi].Merge(res); err != nil {
+	}
+	for i, cr := range rep.Results {
+		if cr.Err != nil {
+			continue
+		}
+		if err := merged[i%nm].Merge(cr.Value); err != nil {
 			return nil, err
 		}
 	}
-	score := &EnvScore{PerMutant: merged, Total: nm}
+	score := &EnvScore{
+		PerMutant: merged, Total: nm,
+		Failures: cellFailures(rep), Health: rep.Health,
+	}
 	rates := 0.0
 	for _, res := range merged {
 		if res.TargetCount > 0 {
@@ -202,14 +254,31 @@ func (st *Study) CheckFleetConformance(platforms []Platform, env harness.Params,
 	if err != nil {
 		return nil, err
 	}
-	values := rep.Values()
+	// Assemble per-platform reports from the per-cell results. A failed
+	// cell (possible under Collect or a breaker) becomes an
+	// error-carrying finding — recorded, never dropped.
 	nc := len(st.Suite.Conformance)
 	reports := make([]*ConformanceReport, len(platforms))
 	for pi := range platforms {
-		reports[pi] = &ConformanceReport{
-			Platform: platforms[pi],
-			Findings: values[pi*nc : (pi+1)*nc : (pi+1)*nc],
+		r := &ConformanceReport{Platform: platforms[pi]}
+		for ti := 0; ti < nc; ti++ {
+			cr := rep.Results[pi*nc+ti]
+			f := cr.Value
+			if cr.Err != nil {
+				test := st.Suite.Conformance[ti]
+				f = Finding{
+					Test: test.Name, Mutator: test.Mutator,
+					Error: cr.Err.Error(), Quarantined: cr.Quarantined,
+				}
+			}
+			r.Findings = append(r.Findings, f)
 		}
+		for _, h := range rep.Health {
+			if h.Device == platforms[pi].Device {
+				r.Health = append(r.Health, h)
+			}
+		}
+		reports[pi] = r
 	}
 	return reports, nil
 }

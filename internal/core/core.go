@@ -24,6 +24,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/litmus"
 	"repro/internal/mutation"
+	"repro/internal/sched"
 	"repro/internal/tuning"
 	"repro/internal/wgsl"
 )
@@ -53,6 +54,11 @@ type Platform struct {
 	Bugs gpu.Bugs
 	// Driver selects the toolchain build.
 	Driver wgsl.DriverVersion
+	// Faults injects deterministic device-stack faults (lost launches,
+	// hangs, result corruption, device loss) and configures the
+	// executor watchdog. The zero value injects nothing and leaves every
+	// run bit-identical to a fault-free platform.
+	Faults gpu.FaultModel
 }
 
 // runner builds a harness runner for the platform and environment.
@@ -63,6 +69,9 @@ func (p Platform) runner(env harness.Params) (*harness.Runner, error) {
 	}
 	dev, err := gpu.NewDevice(prof, p.Bugs)
 	if err != nil {
+		return nil, err
+	}
+	if err := dev.SetFaults(p.Faults); err != nil {
 		return nil, err
 	}
 	r, err := harness.NewRunner(dev, env)
@@ -81,8 +90,16 @@ type EnvScore struct {
 	// AvgDeathRate is the mean kill rate over killed-or-not mutants
 	// (kills per simulated second).
 	AvgDeathRate float64
-	// PerMutant holds the individual results in suite order.
+	// PerMutant holds the individual results in suite order. Entries
+	// whose every cell failed carry zero counts (never nil).
 	PerMutant []*harness.Result
+	// Failures records campaign cells that produced no usable data —
+	// permanent device failures and quarantined cells. Empty on a
+	// healthy fleet; never silently dropped on a faulty one.
+	Failures []CellFailure
+	// Health summarizes per-device fleet health when the campaign ran
+	// with a circuit breaker.
+	Health []sched.DeviceHealth
 }
 
 // Score returns the mutation score in [0, 1].
@@ -119,12 +136,32 @@ type Finding struct {
 	// Explanation is the happens-before cycle that makes the outcome
 	// illegal, in the paper's notation.
 	Explanation string
+	// Error is set when the test's cell failed permanently — a device
+	// fault or a quarantine — and the finding carries no outcome data.
+	Error string
+	// Quarantined marks cells skipped by the device circuit breaker.
+	Quarantined bool
 }
 
 // ConformanceReport is the result of running the conformance suite.
 type ConformanceReport struct {
 	Platform Platform
 	Findings []Finding
+	// Health summarizes the platform device's campaign health when the
+	// fleet ran with a circuit breaker.
+	Health []sched.DeviceHealth
+}
+
+// Failed returns the findings whose cells produced no data (device
+// failures and quarantined cells).
+func (r *ConformanceReport) Failed() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Error != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // Buggy returns the findings with violations.

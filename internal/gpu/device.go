@@ -7,12 +7,18 @@ import (
 )
 
 // Device is a simulated GPU: a profile plus a (possibly empty) set of
-// injected defects. Devices are stateless between runs; all mutable
+// injected defects and an optional fault model. All per-run mutable
 // state lives in the per-run executor, so one Device may be shared by
-// sequential runs.
+// sequential runs; a device with a loss-escalating fault model also
+// accumulates an injected-fault count across runs (the path to
+// ErrDeviceLost) and must then not be shared across goroutines.
 type Device struct {
-	prof Profile
-	bugs Bugs
+	prof   Profile
+	bugs   Bugs
+	faults FaultModel
+	// faultCount tallies injected faults across this device's runs,
+	// driving FaultModel.LossAfter escalation.
+	faultCount int
 }
 
 // NewDevice builds a device from a profile and defect set.
@@ -38,15 +44,64 @@ func (d *Device) Profile() Profile { return d.prof }
 // Bugs returns the device's injected defects.
 func (d *Device) Bugs() Bugs { return d.bugs }
 
+// SetFaults installs a fault model (see FaultModel). The zero model
+// restores fault-free operation and consumes no launch randomness.
+func (d *Device) SetFaults(f FaultModel) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	d.faults = f
+	d.faultCount = 0
+	return nil
+}
+
+// Faults returns the device's fault model.
+func (d *Device) Faults() FaultModel { return d.faults }
+
 // maxSimTicks bounds one kernel's simulated duration; exceeding it
 // indicates a scheduling bug, not a slow kernel.
 const maxSimTicks = int64(1) << 34
 
+// watchdogDeadline is the tick past which a still-running kernel is
+// declared hung.
+func (d *Device) watchdogDeadline() int64 {
+	if d.faults.WatchdogTicks > 0 {
+		return d.faults.WatchdogTicks
+	}
+	return maxSimTicks
+}
+
 // Run executes one kernel dispatch to completion. Identical (spec,
 // rng-state) pairs produce identical results.
+//
+// When a fault model is installed, one extra draw of rng seeds the
+// launch's private fault stream; the launch may then fail with a typed
+// *DeviceError (ErrLaunchFailed, ErrDeviceHang, ErrDeviceLost) or —
+// worse — succeed with silently corrupted results, which callers
+// detect by validating outcomes against their expected value domain.
 func (d *Device) Run(spec LaunchSpec, rng *xrand.Rand) (*RunResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	var frng *xrand.Rand
+	corrupt := false
+	if d.faults.Enabled() {
+		frng = xrand.NewFromPath(rng.Uint64()^d.faults.Seed, d.prof.ShortName)
+		if d.faults.LossAfter > 0 && d.faultCount >= d.faults.LossAfter {
+			return nil, &DeviceError{Kind: FaultLost, Device: d.prof.ShortName, Injected: true}
+		}
+		if frng.Bool(d.faults.LaunchFailProb) {
+			d.faultCount++
+			return nil, &DeviceError{Kind: FaultLaunch, Device: d.prof.ShortName, Injected: true}
+		}
+		if frng.Bool(d.faults.HangProb) {
+			// The kernel would never finish; the watchdog reclaims the
+			// device at its deadline without simulating the dead time.
+			d.faultCount++
+			return nil, &DeviceError{Kind: FaultHang, Device: d.prof.ShortName,
+				Tick: d.watchdogDeadline(), Injected: true}
+		}
+		corrupt = frng.Bool(d.faults.CorruptProb)
 	}
 	e := newExec(d, spec, rng)
 	if err := e.run(); err != nil {
@@ -57,12 +112,17 @@ func (d *Device) Run(spec LaunchSpec, rng *xrand.Rand) (*RunResult, error) {
 		regs[i] = t.regs
 	}
 	e.stats.Ticks = e.now
-	return &RunResult{
+	res := &RunResult{
 		Registers:  regs,
 		Memory:     e.mem,
 		SimSeconds: float64(e.now+d.prof.LaunchOverheadTicks) / d.prof.ClockHz,
 		Stats:      e.stats,
-	}, nil
+	}
+	if corrupt {
+		d.faultCount++
+		corruptResult(res, frng)
+	}
+	return res, nil
 }
 
 // ---- executor ----
@@ -242,9 +302,12 @@ func (e *exec) admit(wg *wgState, c *cuState) {
 
 func (e *exec) run() error {
 	total := len(e.threads)
+	deadline := e.d.watchdogDeadline()
 	for e.retired < total {
-		if e.now > maxSimTicks {
-			return fmt.Errorf("gpu: simulation exceeded %d ticks (scheduler bug?)", maxSimTicks)
+		if e.now > deadline {
+			// The watchdog converts a hung kernel into a typed, retryable
+			// failure instead of spinning toward the simulation bound.
+			return &DeviceError{Kind: FaultHang, Device: e.d.prof.ShortName, Tick: e.now}
 		}
 		for len(e.heap) > 0 && e.heap[0].time <= e.now {
 			ev := e.popEvent()

@@ -1,0 +1,216 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// FaultKind classifies a device failure, whether injected by a
+// FaultModel or detected organically (a kernel tripping the watchdog).
+type FaultKind int
+
+const (
+	// FaultLaunch is a kernel launch that never reached the device —
+	// the driver queue hiccuped. Retrying usually succeeds.
+	FaultLaunch FaultKind = iota
+	// FaultHang is a kernel that exceeded the watchdog deadline.
+	FaultHang
+	// FaultCorrupt is a run whose results were poisoned with
+	// out-of-domain values.
+	FaultCorrupt
+	// FaultLost is a device that dropped off the bus; every subsequent
+	// launch fails the same way, so retrying is pointless.
+	FaultLost
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultLaunch:
+		return "launch-failed"
+	case FaultHang:
+		return "hang"
+	case FaultCorrupt:
+		return "result-corrupt"
+	case FaultLost:
+		return "device-lost"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// Sentinel errors for the device failure taxonomy; match with
+// errors.Is. DeviceError values unwrap to the sentinel of their kind.
+var (
+	// ErrLaunchFailed marks a kernel launch that never executed.
+	ErrLaunchFailed = errors.New("gpu: kernel launch failed")
+	// ErrDeviceHang marks a kernel killed by the watchdog deadline.
+	ErrDeviceHang = errors.New("gpu: kernel hang: watchdog deadline exceeded")
+	// ErrResultCorrupt marks results poisoned with out-of-domain values.
+	ErrResultCorrupt = errors.New("gpu: result corruption")
+	// ErrDeviceLost marks a device that permanently dropped off the bus.
+	ErrDeviceLost = errors.New("gpu: device lost")
+)
+
+// DeviceError is a typed device failure. It unwraps to the sentinel of
+// its kind and reports whether the failure is worth retrying.
+type DeviceError struct {
+	// Kind classifies the failure.
+	Kind FaultKind
+	// Device is the failing device's short name.
+	Device string
+	// Tick is the simulated tick at failure, when meaningful (hangs).
+	Tick int64
+	// Injected distinguishes FaultModel-injected failures from ones the
+	// executor detected organically.
+	Injected bool
+}
+
+// Error renders the failure.
+func (e *DeviceError) Error() string {
+	s := fmt.Sprintf("%v on %s", e.Unwrap(), e.Device)
+	if e.Kind == FaultHang {
+		s += fmt.Sprintf(" (tick %d)", e.Tick)
+	}
+	if e.Injected {
+		s += " [injected]"
+	}
+	return s
+}
+
+// Unwrap maps the failure to its kind's sentinel.
+func (e *DeviceError) Unwrap() error {
+	switch e.Kind {
+	case FaultLaunch:
+		return ErrLaunchFailed
+	case FaultHang:
+		return ErrDeviceHang
+	case FaultCorrupt:
+		return ErrResultCorrupt
+	case FaultLost:
+		return ErrDeviceLost
+	default:
+		return fmt.Errorf("gpu: unknown fault %d", int(e.Kind))
+	}
+}
+
+// Transient reports whether the failure may clear on retry: launch
+// failures, hangs and corruption are flaky-stack noise; a lost device
+// stays lost. The campaign scheduler consults this through
+// sched.IsTransient, so typed device errors are retried without any
+// explicit wrapping.
+func (e *DeviceError) Transient() bool { return e.Kind != FaultLost }
+
+// FaultModel injects deterministic faults into a device's launches,
+// reproducing the flaky real-hardware stacks GPU litmus campaigns run
+// on: lost launches, hung kernels, silently corrupted results, and a
+// device that eventually falls off the bus. The zero value injects
+// nothing and leaves every launch bit-identical to a fault-free device.
+//
+// All fault decisions derive from the model's Seed mixed with one draw
+// of the launch's own RNG stream, so they are a pure function of
+// (model, device, launch randomness): a campaign on a faulty fleet
+// produces identical faults at any worker count, and a retried cell —
+// whose attempt RNG differs — re-rolls its faults.
+type FaultModel struct {
+	// Seed decorrelates the fault stream from the workload stream.
+	Seed uint64
+	// LaunchFailProb is the chance a launch fails before executing.
+	LaunchFailProb float64
+	// HangProb is the chance a kernel hangs until the watchdog kills it.
+	HangProb float64
+	// CorruptProb is the chance a completed run's results are poisoned
+	// with out-of-domain register and memory values.
+	CorruptProb float64
+	// LossAfter, when positive, permanently kills the device once it
+	// has injected that many faults — the escalation from "flaky" to
+	// "gone" that real unstable stacks exhibit. Zero disables loss.
+	LossAfter int
+	// WatchdogTicks is the executor's deadline: a kernel still running
+	// past it fails with ErrDeviceHang instead of spinning toward the
+	// internal simulation bound. Zero keeps the default bound.
+	WatchdogTicks int64
+}
+
+// Enabled reports whether the model can inject any fault. A model that
+// only sets WatchdogTicks is not "enabled": the watchdog is a defense,
+// not a fault source, and consumes no randomness.
+func (f FaultModel) Enabled() bool {
+	return f.LaunchFailProb > 0 || f.HangProb > 0 || f.CorruptProb > 0
+}
+
+// Validate checks the model's parameters.
+func (f FaultModel) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"LaunchFailProb", f.LaunchFailProb},
+		{"HangProb", f.HangProb},
+		{"CorruptProb", f.CorruptProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("gpu: fault model %s=%v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if f.LossAfter < 0 {
+		return fmt.Errorf("gpu: fault model LossAfter=%d", f.LossAfter)
+	}
+	if f.WatchdogTicks < 0 {
+		return fmt.Errorf("gpu: fault model WatchdogTicks=%d", f.WatchdogTicks)
+	}
+	return nil
+}
+
+// UniformFaults builds a model injecting every transient fault kind at
+// the same rate, with device loss disabled and the default watchdog.
+func UniformFaults(seed uint64, rate float64) FaultModel {
+	return FaultModel{
+		Seed:           seed,
+		LaunchFailProb: rate,
+		HangProb:       rate,
+		CorruptProb:    rate,
+	}
+}
+
+// garbageBase is the low bound of injected garbage values. Litmus tests
+// write small distinct values per location, so anything at or above
+// this is out of every test's value domain and therefore detectable by
+// harness-level outcome validation.
+const garbageBase = 0xDEAD0000
+
+// IsGarbage reports whether v is a fault-model-injected garbage value.
+func IsGarbage(v uint32) bool { return v >= garbageBase }
+
+// garbage draws one out-of-domain value.
+func garbage(frng *xrand.Rand) uint32 {
+	return garbageBase | (frng.Uint32() & 0xFFFF)
+}
+
+// corruptResult poisons a sample of the run's registers and memory
+// words with out-of-domain values, guaranteeing at least one observable
+// is poisoned so a validating harness always detects the corruption.
+func corruptResult(res *RunResult, frng *xrand.Rand) {
+	var n int64
+	for _, regs := range res.Registers {
+		for i := range regs {
+			if frng.Bool(0.5) {
+				regs[i] = garbage(frng)
+				n++
+			}
+		}
+	}
+	for i := range res.Memory {
+		if frng.Bool(0.05) {
+			res.Memory[i] = garbage(frng)
+			n++
+		}
+	}
+	if n == 0 && len(res.Memory) > 0 {
+		res.Memory[frng.Intn(len(res.Memory))] = garbage(frng)
+		n++
+	}
+	res.Stats.CorruptedValues = n
+}

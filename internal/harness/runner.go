@@ -42,8 +42,15 @@ type Result struct {
 	IsMutant bool
 	// Mutator is the generating mutator family, if any.
 	Mutator string
-	// Iterations is the number of kernel launches.
+	// Iterations is the number of kernel launches that produced valid
+	// results and were counted.
 	Iterations int
+	// Discarded counts iterations thrown away because an outcome carried
+	// a value outside the test's write-value domain — the signature of
+	// device-level result corruption. Discarded iterations contribute
+	// nothing to Instances, SimSeconds or the histogram: poisoned data
+	// must never be classified as a memory-model violation.
+	Discarded int
 	// Instances is the total number of test instances executed.
 	Instances int
 	// TargetCount is how many instances exhibited the target behavior;
@@ -95,6 +102,7 @@ func (r *Result) Merge(other *Result) error {
 		return fmt.Errorf("harness: merging result of %q into %q", other.TestName, r.TestName)
 	}
 	r.Iterations += other.Iterations
+	r.Discarded += other.Discarded
 	r.Instances += other.Instances
 	r.SimSeconds += other.SimSeconds
 	r.WallSeconds += other.WallSeconds
@@ -149,6 +157,7 @@ func (r *Runner) Run(test *litmus.Test, iterations int, rng *xrand.Rand) (*Resul
 	if classifier == nil {
 		classifier = sharedClassifier
 	}
+	dom := test.ValueDomain()
 	for iter := 0; iter < iterations; iter++ {
 		plan, err := buildIteration(test, &r.Params, rng)
 		if err != nil {
@@ -161,13 +170,31 @@ func (r *Runner) Run(test *litmus.Test, iterations int, rng *xrand.Rand) (*Resul
 		}
 		run, err := r.Device.Run(plan.spec, rng)
 		if err != nil {
+			// Typed device failures (gpu.DeviceError) carry their own
+			// transience verdict, which the scheduler reads through
+			// sched.IsTransient — no wrapping needed here.
 			return nil, err
+		}
+		// Validate every instance outcome against the test's write-value
+		// domain before anything is counted. A single out-of-domain value
+		// means the run's results cannot be trusted, so the whole
+		// iteration is discarded rather than classified.
+		outcomes := make([]litmus.Outcome, plan.instances)
+		valid := true
+		for i := range outcomes {
+			outcomes[i] = extractOutcome(test, plan, run, i)
+			if !test.InDomain(outcomes[i], dom) {
+				valid = false
+			}
+		}
+		if !valid {
+			res.Discarded++
+			continue
 		}
 		res.Iterations++
 		res.Instances += plan.instances
 		res.SimSeconds += run.SimSeconds
-		for i := 0; i < plan.instances; i++ {
-			o := extractOutcome(test, plan, run, i)
+		for _, o := range outcomes {
 			target, violation, err := classifier.Classify(test, o)
 			if err != nil {
 				return nil, err
@@ -178,6 +205,12 @@ func (r *Runner) Run(test *litmus.Test, iterations int, rng *xrand.Rand) (*Resul
 			}
 			res.Hist.Add(o, target, violation)
 		}
+	}
+	if res.Iterations == 0 {
+		// Every iteration was poisoned: the cell produced no usable data.
+		// Fail with a transient corruption error so the scheduler retries
+		// the cell under a fresh attempt seed (which re-rolls the faults).
+		return nil, &gpu.DeviceError{Kind: gpu.FaultCorrupt, Device: r.Device.Profile().ShortName}
 	}
 	res.TargetCount = res.Hist.TargetCount()
 	res.Violations = res.Hist.Violations()

@@ -307,6 +307,40 @@ func (t *Test) HasFences() bool {
 	return false
 }
 
+// ValueDomain returns the set of values any execution of the test can
+// legitimately produce in an outcome: zero (the initial value of every
+// location) plus every value the test stores. A register or final
+// value outside this set cannot trace to any write — it is evidence of
+// device-level result corruption, which the harness uses to detect and
+// discard poisoned iterations before they reach classification.
+func (t *Test) ValueDomain() map[mm.Val]bool {
+	dom := map[mm.Val]bool{0: true}
+	for _, th := range t.Threads {
+		for _, in := range th.Instrs {
+			if in.Writes() {
+				dom[in.Val] = true
+			}
+		}
+	}
+	return dom
+}
+
+// InDomain reports whether every register and final value of the
+// outcome lies in the test's value domain.
+func (t *Test) InDomain(o Outcome, dom map[mm.Val]bool) bool {
+	for _, v := range o.Regs {
+		if !dom[v] {
+			return false
+		}
+	}
+	for _, v := range o.Final {
+		if !dom[v] {
+			return false
+		}
+	}
+	return true
+}
+
 // AnyFinal is a sentinel final value meaning "unconstrained": the
 // corresponding location's coherence-final write is not pinned when
 // reconstructing an execution.

@@ -418,3 +418,39 @@ func BenchmarkClassifyMPRelAcq(b *testing.B) {
 		}
 	}
 }
+
+// TestValueDomain: the domain is {0} plus stored values, and InDomain
+// flags any outcome carrying a value outside it — the corruption
+// detector the harness builds on.
+func TestValueDomain(t *testing.T) {
+	mp := MP()
+	dom := mp.ValueDomain()
+	if !dom[0] || !dom[1] {
+		t.Fatalf("MP domain missing 0 or 1: %v", dom)
+	}
+	good := Outcome{Regs: []mm.Val{1, 0}, Final: []mm.Val{1, 1}}
+	if !mp.InDomain(good, dom) {
+		t.Fatal("legitimate outcome flagged out of domain")
+	}
+	for _, bad := range []Outcome{
+		{Regs: []mm.Val{0xDEAD0001, 0}, Final: []mm.Val{1, 1}},
+		{Regs: []mm.Val{1, 0}, Final: []mm.Val{0xDEADBEEF, 1}},
+		{Regs: []mm.Val{2, 0}, Final: []mm.Val{1, 1}},
+	} {
+		if mp.InDomain(bad, dom) {
+			t.Fatalf("corrupted outcome %v passed domain validation", bad)
+		}
+	}
+	// Every value a catalog test stores is inside its own domain, so
+	// domain validation can never flag a legitimate execution.
+	for _, tc := range Catalog() {
+		d := tc.ValueDomain()
+		for _, th := range tc.Threads {
+			for _, in := range th.Instrs {
+				if in.Writes() && !d[in.Val] {
+					t.Fatalf("%s: stored value %d missing from domain", tc.Name, in.Val)
+				}
+			}
+		}
+	}
+}

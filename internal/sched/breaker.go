@@ -1,0 +1,271 @@
+package sched
+
+import (
+	"sort"
+	"sync"
+)
+
+// BreakerOptions configures the fleet's per-device circuit breaker.
+// After Threshold consecutive cell failures on one device, the device
+// is quarantined: its next Cooldown cells are skipped (recorded as
+// ErrQuarantined, never executed when the skip can be decided in time),
+// then one probation cell runs — success closes the breaker, failure
+// re-opens it for another cooldown. The campaign keeps running on the
+// surviving fleet either way.
+//
+// Breaker decisions are evaluated in spec order per device, as a pure
+// function of per-cell outcomes — which are themselves deterministic
+// under the scheduler's seed-splitting — so the final report is
+// byte-identical at any worker count. Under high parallelism a cell may
+// execute speculatively before its quarantine verdict is known; its
+// result is then discarded and replaced by ErrQuarantined, keeping the
+// report identical to a serial run that skipped it outright.
+type BreakerOptions struct {
+	// Threshold is the consecutive-failure count that opens a device's
+	// breaker. Values < 1 mean 3.
+	Threshold int
+	// Cooldown is how many subsequent cells on the device are
+	// quarantined before a probation cell is let through. Values < 1
+	// mean 2.
+	Cooldown int
+}
+
+func (b BreakerOptions) threshold() int {
+	if b.Threshold < 1 {
+		return 3
+	}
+	return b.Threshold
+}
+
+func (b BreakerOptions) cooldown() int {
+	if b.Cooldown < 1 {
+		return 2
+	}
+	return b.Cooldown
+}
+
+// DeviceHealth summarizes one device's campaign health; Report.Health
+// carries one entry per device when the breaker is enabled. All counts
+// are derived from the deterministic post-pass, so they are identical
+// at any worker count.
+type DeviceHealth struct {
+	// Device is the device's short name.
+	Device string
+	// Cells is the number of campaign cells on the device.
+	Cells int
+	// Failed counts cells whose own outcome was a permanent failure
+	// (quarantined cells are not double-counted here).
+	Failed int
+	// Quarantined counts cells skipped by the breaker.
+	Quarantined int
+	// Retries counts extra attempts across the device's surviving cells.
+	Retries int
+	// Open reports whether the breaker was still open when the campaign
+	// ended — the device finished in quarantine.
+	Open bool
+}
+
+// cellOutcome is one cell's resolution from the breaker's viewpoint.
+type cellOutcome int8
+
+const (
+	cellPending cellOutcome = iota
+	cellOK
+	cellFailed
+	cellSkipped
+)
+
+// breakerWalk is the breaker state machine. It consumes one device's
+// cells in spec order; quarantine() reports the verdict for the next
+// position, and the walk advances via skip() (position quarantined) or
+// outcome() (position executed, with its success bit).
+type breakerWalk struct {
+	opts     BreakerOptions
+	streak   int
+	coolLeft int
+}
+
+// quarantine reports whether the next position must be skipped.
+func (w *breakerWalk) quarantine() bool { return w.coolLeft > 0 }
+
+// skip consumes one quarantined position.
+func (w *breakerWalk) skip() {
+	w.coolLeft--
+	if w.coolLeft == 0 {
+		// Cooldown served: the next cell is probation. One failure
+		// re-opens the breaker, one success closes it.
+		w.streak = w.opts.threshold() - 1
+	}
+}
+
+// outcome consumes one executed position.
+func (w *breakerWalk) outcome(ok bool) {
+	if ok {
+		w.streak = 0
+		return
+	}
+	w.streak++
+	if w.streak >= w.opts.threshold() {
+		w.coolLeft = w.opts.cooldown()
+	}
+}
+
+// fleetBreaker tracks live per-device resolutions so workers can skip
+// quarantined cells without executing them when the verdict is already
+// decidable (all earlier cells on the device resolved). When it is not,
+// the cell runs speculatively and the post-pass settles the record.
+type fleetBreaker struct {
+	mu   sync.Mutex
+	opts BreakerOptions
+	dev  map[string]*deviceCells
+}
+
+// deviceCells is one device's spec-ordered cell list and resolutions.
+type deviceCells struct {
+	cells []int       // spec indices in spec order
+	pos   map[int]int // spec index -> position in cells
+	res   []cellOutcome
+}
+
+// newFleetBreaker indexes the spec's cells by device. Cells without a
+// device label are outside the breaker's jurisdiction.
+func newFleetBreaker(spec *Spec, opts BreakerOptions) *fleetBreaker {
+	b := &fleetBreaker{opts: opts, dev: map[string]*deviceCells{}}
+	for i, c := range spec.Cells {
+		if c.Device == "" {
+			continue
+		}
+		dc := b.dev[c.Device]
+		if dc == nil {
+			dc = &deviceCells{pos: map[int]int{}}
+			b.dev[c.Device] = dc
+		}
+		dc.pos[i] = len(dc.cells)
+		dc.cells = append(dc.cells, i)
+		dc.res = append(dc.res, cellPending)
+	}
+	return b
+}
+
+// walkTo replays the state machine over positions [0, p) of dc. At
+// positions the machine quarantines, any recorded outcome is ignored —
+// a speculative execution's result does not feed the streak.
+func (b *fleetBreaker) walkTo(dc *deviceCells, p int) breakerWalk {
+	w := breakerWalk{opts: b.opts}
+	for q := 0; q < p; q++ {
+		if w.quarantine() {
+			w.skip()
+			continue
+		}
+		w.outcome(dc.res[q] == cellOK)
+	}
+	return w
+}
+
+// shouldSkip decides, if possible, whether spec cell i must be
+// quarantined before executing it. It returns true only when every
+// earlier cell on the device has resolved and the state machine says
+// skip; the cell is then resolved as skipped. Any undecidable case
+// returns false and the cell executes speculatively.
+func (b *fleetBreaker) shouldSkip(device string, i int) bool {
+	if b == nil || device == "" {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	dc := b.dev[device]
+	p := dc.pos[i]
+	for q := 0; q < p; q++ {
+		if dc.res[q] == cellPending {
+			return false
+		}
+	}
+	w := b.walkTo(dc, p)
+	if w.quarantine() {
+		dc.res[p] = cellSkipped
+		return true
+	}
+	return false
+}
+
+// resolve records cell i's executed outcome.
+func (b *fleetBreaker) resolve(device string, i int, ok bool) {
+	if b == nil || device == "" {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	dc := b.dev[device]
+	if ok {
+		dc.res[dc.pos[i]] = cellOK
+	} else {
+		dc.res[dc.pos[i]] = cellFailed
+	}
+}
+
+// applyBreaker settles the report: every device's cells are walked in
+// spec order, cells the machine quarantines have their (possibly
+// speculative) results replaced by ErrQuarantined, and the report's
+// failure/quarantine counters and per-device health are recomputed.
+// The pass is a pure function of per-cell outcomes, so its verdicts —
+// and therefore the whole report — are worker-count-independent.
+func applyBreaker[R any](rep *Report[R], opts BreakerOptions) {
+	byDev := map[string][]int{}
+	for i, r := range rep.Results {
+		if r.Cell.Device != "" {
+			byDev[r.Cell.Device] = append(byDev[r.Cell.Device], i)
+		}
+	}
+	devices := make([]string, 0, len(byDev))
+	for d := range byDev {
+		devices = append(devices, d)
+	}
+	sort.Strings(devices)
+
+	rep.Health = rep.Health[:0]
+	for _, dev := range devices {
+		h := DeviceHealth{Device: dev, Cells: len(byDev[dev])}
+		w := breakerWalk{opts: opts}
+		for _, i := range byDev[dev] {
+			r := &rep.Results[i]
+			if w.quarantine() {
+				var zero R
+				r.Value = zero
+				r.Err = ErrQuarantined
+				r.Quarantined = true
+				// A speculative execution's attempt count would differ
+				// from a live skip's; zero it so quarantined records are
+				// identical either way.
+				r.Attempts = 0
+				h.Quarantined++
+				w.skip()
+				continue
+			}
+			r.Quarantined = false
+			ok := r.Err == nil
+			w.outcome(ok)
+			if !ok {
+				h.Failed++
+			}
+			if r.Attempts > 1 {
+				h.Retries += r.Attempts - 1
+			}
+		}
+		h.Open = w.quarantine()
+		rep.Health = append(rep.Health, h)
+	}
+
+	// Recount the aggregates from the settled per-cell records.
+	rep.Failed, rep.Quarantined, rep.Retried = 0, 0, 0
+	for _, r := range rep.Results {
+		switch {
+		case r.Quarantined:
+			rep.Quarantined++
+		case r.Err != nil:
+			rep.Failed++
+		}
+		if !r.Quarantined && r.Attempts > 1 {
+			rep.Retried += r.Attempts - 1
+		}
+	}
+}

@@ -20,8 +20,21 @@ func Transient(err error) error {
 }
 
 // IsTransient reports whether err (or anything it wraps) was marked
-// with Transient.
+// with Transient, or carries its own transience verdict via a
+// `Transient() bool` method — the hook through which typed device
+// errors (gpu.DeviceError) classify themselves without the producing
+// layer importing sched.
 func IsTransient(err error) bool {
 	var t *transientError
-	return errors.As(err, &t)
+	if errors.As(err, &t) {
+		return true
+	}
+	var self interface{ Transient() bool }
+	return errors.As(err, &self) && self.Transient()
 }
+
+// ErrQuarantined marks cells skipped because their device's circuit
+// breaker was open (see Options.Breaker). Quarantined cells appear in
+// the report — never silently dropped — with this error and
+// CellResult.Quarantined set.
+var ErrQuarantined = errors.New("sched: cell quarantined: device circuit breaker open")

@@ -15,17 +15,19 @@ type Reporter struct {
 	out      func(string)
 	interval time.Duration
 
-	mu         sync.Mutex
-	name       string
-	total      int
-	done       int
-	nReplayed  int
-	failed     int
-	instances  int
-	deviceBusy map[string]time.Duration
-	start      time.Time
-	lastEmit   time.Time
-	now        func() time.Time // test hook
+	mu           sync.Mutex
+	name         string
+	total        int
+	done         int
+	nReplayed    int
+	failed       int
+	nQuarantined int
+	retries      int
+	instances    int
+	deviceBusy   map[string]time.Duration
+	start        time.Time
+	lastEmit     time.Time
+	now          func() time.Time // test hook
 }
 
 // NewReporter builds a reporter that emits a line via out at most once
@@ -41,6 +43,7 @@ func (p *Reporter) begin(name string, total int) {
 	p.name = name
 	p.total = total
 	p.done, p.nReplayed, p.failed, p.instances = 0, 0, 0, 0
+	p.nQuarantined, p.retries = 0, 0
 	p.deviceBusy = map[string]time.Duration{}
 	p.start = p.now()
 	p.lastEmit = time.Time{}
@@ -53,10 +56,19 @@ func (p *Reporter) replayed(Cell) {
 	p.mu.Unlock()
 }
 
-func (p *Reporter) cellDone(c Cell, wall time.Duration, instances int, ok bool) {
+// quarantined records a cell skipped by an open circuit breaker.
+func (p *Reporter) quarantined(Cell) {
+	p.mu.Lock()
+	p.done++
+	p.nQuarantined++
+	p.mu.Unlock()
+}
+
+func (p *Reporter) cellDone(c Cell, wall time.Duration, instances int, ok bool, retries int) {
 	p.mu.Lock()
 	p.done++
 	p.instances += instances
+	p.retries += retries
 	if !ok {
 		p.failed++
 	}
@@ -75,8 +87,13 @@ func (p *Reporter) cellDone(c Cell, wall time.Duration, instances int, ok bool) 
 	}
 }
 
-func (p *Reporter) finish(_, _, _ int) {
+// finish renders the final summary line. The authoritative counters
+// come from the settled report — under a circuit breaker, live counts
+// can differ from the deterministic post-pass verdicts (a cell may have
+// executed speculatively and been quarantined after the fact).
+func (p *Reporter) finish(failed, quarantined, retried int) {
 	p.mu.Lock()
+	p.failed, p.nQuarantined, p.retries = failed, quarantined, retried
 	line := p.line() + " done"
 	p.mu.Unlock()
 	if p.out != nil {
@@ -96,6 +113,12 @@ func (p *Reporter) line() string {
 	fmt.Fprintf(&b, "%s: %d/%d cells", p.name, p.done, p.total)
 	if p.nReplayed > 0 {
 		fmt.Fprintf(&b, " (%d replayed)", p.nReplayed)
+	}
+	if p.retries > 0 {
+		fmt.Fprintf(&b, " %d retried", p.retries)
+	}
+	if p.nQuarantined > 0 {
+		fmt.Fprintf(&b, " %d quarantined", p.nQuarantined)
 	}
 	if p.failed > 0 {
 		fmt.Fprintf(&b, " %d FAILED", p.failed)

@@ -101,6 +101,16 @@ type Options[R any] struct {
 	// Collect switches the error policy from fail-fast (default) to
 	// collect: every cell runs, failures accumulate in the report.
 	Collect bool
+	// Breaker, when non-nil, enables the per-device circuit breaker:
+	// a device failing Threshold cells in a row is quarantined and the
+	// campaign continues on the surviving fleet (see BreakerOptions).
+	// A breaker implies the collect error policy — device failures
+	// feed the breaker instead of aborting the campaign.
+	Breaker *BreakerOptions
+	// Sleep replaces time.Sleep for retry backoff. Tests inject a fake
+	// clock here so backoff paths run in microseconds. Nil means
+	// time.Sleep.
+	Sleep func(time.Duration)
 	// Checkpoint, when non-nil, records completed cells and replays
 	// cells already done in a previous run.
 	Checkpoint *Checkpoint
@@ -127,6 +137,9 @@ type CellResult[R any] struct {
 	Attempts int
 	// Replayed marks cells restored from the checkpoint.
 	Replayed bool
+	// Quarantined marks cells skipped (or discarded) because their
+	// device's circuit breaker was open; Err is ErrQuarantined.
+	Quarantined bool
 	// WallSeconds is host time spent executing the cell.
 	WallSeconds float64
 }
@@ -140,6 +153,14 @@ type Report[R any] struct {
 	Replayed int
 	Failed   int
 	Aborted  int
+	// Quarantined counts cells skipped by the device circuit breaker.
+	Quarantined int
+	// Retried counts extra attempts beyond the first across surviving
+	// cells.
+	Retried int
+	// Health summarizes per-device fleet health; populated when the
+	// breaker is enabled, sorted by device name.
+	Health []DeviceHealth
 	// WallSeconds is the campaign's host duration end to end.
 	WallSeconds float64
 }
@@ -193,6 +214,13 @@ func Run[R any](spec Spec, exec Exec[R], opts Options[R]) (*Report[R], error) {
 	if opts.Reporter != nil {
 		opts.Reporter.begin(spec.Name, len(spec.Cells))
 	}
+	// A breaker implies collect: device failures feed the breaker
+	// instead of aborting the campaign.
+	collect := opts.Collect || opts.Breaker != nil
+	var breaker *fleetBreaker
+	if opts.Breaker != nil {
+		breaker = newFleetBreaker(&spec, *opts.Breaker)
+	}
 
 	// Replay checkpointed cells and queue the rest.
 	var mu sync.Mutex // guards rep counters and checkpoint appends
@@ -208,6 +236,7 @@ func Run[R any](spec Spec, exec Exec[R], opts Options[R]) (*Report[R], error) {
 				rep.Results[i].Value = v
 				rep.Results[i].Replayed = true
 				rep.Replayed++
+				breaker.resolve(cell.Device, i, true)
 				if opts.Reporter != nil {
 					opts.Reporter.replayed(cell)
 				}
@@ -237,6 +266,17 @@ func Run[R any](spec Spec, exec Exec[R], opts Options[R]) (*Report[R], error) {
 					mu.Unlock()
 					continue
 				}
+				if breaker.shouldSkip(cell.Device, i) {
+					rep.Results[i].Err = ErrQuarantined
+					rep.Results[i].Quarantined = true
+					mu.Lock()
+					rep.Quarantined++
+					mu.Unlock()
+					if opts.Reporter != nil {
+						opts.Reporter.quarantined(cell)
+					}
+					continue
+				}
 				if opts.OnCellStart != nil {
 					opts.OnCellStart(cell)
 				}
@@ -253,9 +293,10 @@ func Run[R any](spec Spec, exec Exec[R], opts Options[R]) (*Report[R], error) {
 				}
 				mu.Lock()
 				rep.Executed++
+				rep.Retried += attempts - 1
 				if err != nil {
 					rep.Failed++
-					if !opts.Collect && !abort {
+					if !collect && !abort {
 						abort = true
 						abortCause = fmt.Errorf("sched: cell %s: %w", cell.Key, err)
 					}
@@ -270,8 +311,9 @@ func Run[R any](spec Spec, exec Exec[R], opts Options[R]) (*Report[R], error) {
 					}
 				}
 				mu.Unlock()
+				breaker.resolve(cell.Device, i, rep.Results[i].Err == nil)
 				if opts.Reporter != nil {
-					opts.Reporter.cellDone(cell, wall, instances, rep.Results[i].Err == nil)
+					opts.Reporter.cellDone(cell, wall, instances, rep.Results[i].Err == nil, attempts-1)
 				}
 			}
 		}()
@@ -281,11 +323,17 @@ func Run[R any](spec Spec, exec Exec[R], opts Options[R]) (*Report[R], error) {
 	}
 	close(jobs)
 	wg.Wait()
+	if opts.Breaker != nil {
+		// Settle quarantine verdicts in spec order: speculative results
+		// of quarantined cells are discarded, counters recomputed, and
+		// per-device health summarized — all worker-count-independent.
+		applyBreaker(rep, *opts.Breaker)
+	}
 	rep.WallSeconds = time.Since(start).Seconds()
 	if opts.Reporter != nil {
-		opts.Reporter.finish(rep.Executed, rep.Replayed, rep.Failed)
+		opts.Reporter.finish(rep.Failed, rep.Quarantined, rep.Retried)
 	}
-	if !opts.Collect && abortCause != nil {
+	if !collect && abortCause != nil {
 		return rep, abortCause
 	}
 	return rep, nil
@@ -294,6 +342,10 @@ func Run[R any](spec Spec, exec Exec[R], opts Options[R]) (*Report[R], error) {
 // runCell executes one cell's attempt/retry loop under panic recovery.
 func runCell[R any](spec *Spec, cell Cell, exec Exec[R], opts *Options[R]) (value R, attempts int, err error) {
 	backoff := opts.Backoff
+	sleep := opts.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
 	for attempt := 0; ; attempt++ {
 		attempts++
 		value, err = attemptCell(spec, cell, attempt, exec)
@@ -304,7 +356,7 @@ func runCell[R any](spec *Spec, cell Cell, exec Exec[R], opts *Options[R]) (valu
 			return value, attempts, err
 		}
 		if backoff > 0 {
-			time.Sleep(backoff)
+			sleep(backoff)
 			backoff *= 2
 		}
 	}

@@ -110,7 +110,7 @@ func TestCampaignResumeMatchesCleanRun(t *testing.T) {
 		if ran++; ran > killAfter {
 			return Record{}, fmt.Errorf("simulated kill")
 		}
-		return runCell(work[c.Key], rng)
+		return runCell(work[c.Key], cfg.Faults, rng)
 	}, sched.Options[Record]{Workers: 1, Checkpoint: ck})
 	if err == nil {
 		t.Fatal("interrupted run succeeded")

@@ -1,0 +1,116 @@
+package tuning
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/sched"
+	"repro/internal/xrand"
+)
+
+// TestChaosCampaignDeterministicAcrossWorkers is the acceptance
+// scenario for graceful degradation: a faulty fleet with the breaker
+// enabled completes the campaign, drops cells into Dataset.Dropped,
+// and serializes byte-identically at every worker count.
+func TestChaosCampaignDeterministicAcrossWorkers(t *testing.T) {
+	cfg, tests := campaignConfig()
+	fm := gpu.UniformFaults(cfg.Seed, 0.3)
+	cfg.Faults = &fm
+	opts := func(workers int) RunOptions {
+		return RunOptions{Workers: workers, Breaker: &sched.BreakerOptions{}}
+	}
+	serial, err := RunCampaign(cfg, tests, opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Dropped) == 0 {
+		t.Fatal("test vacuous: 30% fault rate dropped no cells")
+	}
+	if len(serial.Records) == 0 {
+		t.Fatal("faulty fleet produced no surviving records")
+	}
+	quarantined := 0
+	for _, d := range serial.Dropped {
+		if d.Quarantined {
+			quarantined++
+		}
+	}
+	if quarantined == 0 {
+		t.Fatal("test vacuous: breaker quarantined no cells")
+	}
+	for _, workers := range []int{4, 8} {
+		parallel, err := RunCampaign(cfg, tests, opts(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		datasetsIdentical(t, serial, parallel, fmt.Sprintf("workers=1 vs workers=%d", workers))
+		if len(parallel.Dropped) != len(serial.Dropped) {
+			t.Fatalf("workers=%d: %d dropped vs %d", workers, len(parallel.Dropped), len(serial.Dropped))
+		}
+		for i := range serial.Dropped {
+			if parallel.Dropped[i] != serial.Dropped[i] {
+				t.Fatalf("workers=%d: dropped[%d] = %+v, want %+v",
+					workers, i, parallel.Dropped[i], serial.Dropped[i])
+			}
+		}
+	}
+}
+
+// TestChaosCampaignResumeMatchesCleanRun kills a faulty campaign
+// mid-way and resumes it: replayed cells, freshly executed cells, and
+// dropped cells must all settle into the same dataset as an
+// uninterrupted chaotic run.
+func TestChaosCampaignResumeMatchesCleanRun(t *testing.T) {
+	cfg, tests := campaignConfig()
+	fm := gpu.UniformFaults(cfg.Seed+7, 0.3)
+	cfg.Faults = &fm
+	breaker := &sched.BreakerOptions{}
+	clean, err := RunCampaign(cfg, tests, RunOptions{Workers: 4, Breaker: breaker})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Dropped) == 0 {
+		t.Fatal("test vacuous: chaotic reference run dropped nothing")
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "chaos.ckpt")
+	spec, work, err := buildCampaign(&cfg, tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := sched.OpenCheckpoint(ckpt, spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The interrupted run executes the first third of the campaign with
+	// faults live — so the checkpoint holds only cells that survived
+	// their own injected faults — then dies.
+	killAfter := len(spec.Cells) / 3
+	ran := 0
+	_, err = sched.Run(spec, func(c sched.Cell, rng *xrand.Rand) (Record, error) {
+		if ran++; ran > killAfter {
+			return Record{}, fmt.Errorf("simulated kill")
+		}
+		return runCell(work[c.Key], cfg.Faults, rng)
+	}, sched.Options[Record]{Workers: 1, Checkpoint: ck})
+	if err == nil {
+		t.Fatal("interrupted run succeeded")
+	}
+	ck.Close()
+
+	resumed, err := RunCampaign(cfg, tests, RunOptions{
+		Workers:        4,
+		CheckpointPath: ckpt,
+		Resume:         true,
+		Breaker:        breaker,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsIdentical(t, clean, resumed, "chaotic clean vs resumed")
+	if len(resumed.Dropped) != len(clean.Dropped) {
+		t.Fatalf("resume dropped %d cells, clean dropped %d", len(resumed.Dropped), len(clean.Dropped))
+	}
+}

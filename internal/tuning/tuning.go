@@ -96,6 +96,11 @@ type Config struct {
 	Devices []string
 	// Seed drives all randomness.
 	Seed uint64
+	// Faults, when non-nil, injects deterministic device-stack faults
+	// into every cell's device (see gpu.FaultModel). Nil runs the fleet
+	// fault-free and serializes identically to configs predating the
+	// field.
+	Faults *gpu.FaultModel `json:"faults,omitempty"`
 }
 
 // PaperConfig mirrors Sec. 5.1's sizes. Running it under simulation
@@ -157,12 +162,35 @@ type Record struct {
 	Violations  int            `json:"violations"`
 	SimSeconds  float64        `json:"sim_seconds"`
 	TargetRate  float64        `json:"target_rate"`
+	// Discarded counts iterations the harness threw away after detecting
+	// result corruption; zero (and omitted) on a healthy fleet.
+	Discarded int `json:"discarded,omitempty"`
+}
+
+// DroppedRecord documents one campaign cell that produced no record: a
+// permanent device failure or a cell quarantined by the circuit
+// breaker. Dropped cells are part of the dataset — a faulty fleet's
+// gaps are reported, never silent.
+type DroppedRecord struct {
+	// Key is the campaign cell key (envID/device/test).
+	Key string `json:"key"`
+	// Device is the cell's device short name.
+	Device string `json:"device"`
+	// Error is the failure rendered as text.
+	Error string `json:"error"`
+	// Quarantined marks breaker-skipped cells.
+	Quarantined bool `json:"quarantined,omitempty"`
+	// Attempts counts executions, 0 when the cell never ran.
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // Dataset is a tuning run's full results.
 type Dataset struct {
 	Config  Config   `json:"config"`
 	Records []Record `json:"records"`
+	// Dropped lists cells that produced no record, in campaign order;
+	// empty (and omitted) on a healthy fleet.
+	Dropped []DroppedRecord `json:"dropped,omitempty"`
 }
 
 // Save writes the dataset as JSON.
@@ -224,6 +252,12 @@ type RunOptions struct {
 	// cell.
 	Retries int
 	Backoff time.Duration
+	// Breaker, when non-nil, enables the per-device circuit breaker:
+	// a device failing Threshold cells in a row is quarantined for
+	// Cooldown cells while the run continues on the surviving fleet.
+	// Failed and quarantined cells land in Dataset.Dropped instead of
+	// aborting the run.
+	Breaker *sched.BreakerOptions
 }
 
 // tuningCell is one campaign cell's work order.
@@ -265,8 +299,9 @@ func buildCampaign(cfg *Config, tests []*litmus.Test) (sched.Spec, map[string]tu
 }
 
 // runCell executes one (environment, device, test) cell on a fresh
-// device and returns its dataset record.
-func runCell(w tuningCell, rng *xrand.Rand) (Record, error) {
+// device — configured with the run's fault model, when any — and
+// returns its dataset record.
+func runCell(w tuningCell, faults *gpu.FaultModel, rng *xrand.Rand) (Record, error) {
 	prof, ok := gpu.ProfileByName(w.device)
 	if !ok {
 		return Record{}, fmt.Errorf("tuning: unknown device %q", w.device)
@@ -274,6 +309,11 @@ func runCell(w tuningCell, rng *xrand.Rand) (Record, error) {
 	dev, err := gpu.NewDevice(prof, gpu.Bugs{})
 	if err != nil {
 		return Record{}, err
+	}
+	if faults != nil {
+		if err := dev.SetFaults(*faults); err != nil {
+			return Record{}, err
+		}
 	}
 	runner, err := harness.NewRunner(dev, w.env)
 	if err != nil {
@@ -297,6 +337,7 @@ func runCell(w tuningCell, rng *xrand.Rand) (Record, error) {
 		Violations:  res.Violations,
 		SimSeconds:  res.SimSeconds,
 		TargetRate:  res.TargetRate(),
+		Discarded:   res.Discarded,
 	}, nil
 }
 
@@ -325,6 +366,7 @@ func RunCampaign(cfg Config, tests []*litmus.Test, opts RunOptions) (*Dataset, e
 		Workers:    opts.Workers,
 		MaxRetries: opts.Retries,
 		Backoff:    opts.Backoff,
+		Breaker:    opts.Breaker,
 		Instances:  func(r Record) int { return r.Instances },
 	}
 	if opts.Progress != nil {
@@ -353,12 +395,26 @@ func RunCampaign(cfg Config, tests []*litmus.Test, opts RunOptions) (*Dataset, e
 		schedOpts.Checkpoint = ck
 	}
 	rep, err := sched.Run(spec, func(c sched.Cell, rng *xrand.Rand) (Record, error) {
-		return runCell(work[c.Key], rng)
+		return runCell(work[c.Key], cfg.Faults, rng)
 	}, schedOpts)
 	if err != nil {
 		return nil, err
 	}
-	return &Dataset{Config: cfg, Records: rep.Values()}, nil
+	ds := &Dataset{Config: cfg, Records: make([]Record, 0, len(rep.Results))}
+	for _, cr := range rep.Results {
+		if cr.Err != nil {
+			ds.Dropped = append(ds.Dropped, DroppedRecord{
+				Key:         cr.Cell.Key,
+				Device:      cr.Cell.Device,
+				Error:       cr.Err.Error(),
+				Quarantined: cr.Quarantined,
+				Attempts:    cr.Attempts,
+			})
+			continue
+		}
+		ds.Records = append(ds.Records, cr.Value)
+	}
+	return ds, nil
 }
 
 // MutationScore computes the Fig. 5 mutation score: the fraction of
