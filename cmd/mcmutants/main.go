@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/confidence"
@@ -394,6 +396,59 @@ func (ff *faultFlags) breaker() *sched.BreakerOptions {
 	return &sched.BreakerOptions{}
 }
 
+// profileFlags is the shared -cpuprofile/-memprofile flag group of the
+// long-running campaign and tune subcommands.
+type profileFlags struct {
+	cpu *string
+	mem *string
+}
+
+// addProfileFlags registers the pprof profiling flags on fs.
+func addProfileFlags(fs *flag.FlagSet) *profileFlags {
+	return &profileFlags{
+		cpu: fs.String("cpuprofile", "", "write a pprof CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write a pprof heap profile to this file on exit"),
+	}
+}
+
+// start begins CPU profiling when requested and returns a stop function
+// to defer. stop finishes the CPU profile and writes the heap profile;
+// it runs on every exit path, so profiles are captured even when a run
+// completes degraded (partial-failure exit).
+func (pf *profileFlags) start() (stop func(), err error) {
+	var cpuFile *os.File
+	if *pf.cpu != "" {
+		cpuFile, err = os.Create(*pf.cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	memPath := *pf.mem
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcmutants: memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile reflects live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mcmutants: memprofile: %v\n", err)
+		}
+	}, nil
+}
+
 // cmdCampaign runs a scheduled campaign over the device fleet: either
 // the conformance suite on every platform, or a multi-environment
 // mutation-score evaluation on one device.
@@ -411,9 +466,15 @@ func cmdCampaign(args []string) error {
 	quiet := fs.Bool("quiet", false, "suppress progress output")
 	fenceBug := fs.Bool("fence-bug", false, "inject the fence-dropping driver on every platform")
 	ff := addFaultFlags(fs)
+	pf := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	study, err := core.NewStudy()
 	if err != nil {
 		return err
@@ -552,9 +613,15 @@ func cmdTune(args []string) error {
 	resume := fs.Bool("resume", false, "resume from the checkpoint, replaying completed cells")
 	retries := fs.Int("retries", 0, "retries per cell on transient failures")
 	ff := addFaultFlags(fs)
+	pf := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	suite, err := mutation.Generate()
 	if err != nil {
 		return err

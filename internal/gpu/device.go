@@ -7,11 +7,15 @@ import (
 )
 
 // Device is a simulated GPU: a profile plus a (possibly empty) set of
-// injected defects and an optional fault model. All per-run mutable
-// state lives in the per-run executor, so one Device may be shared by
-// sequential runs; a device with a loss-escalating fault model also
+// injected defects and an optional fault model. The device owns a
+// reusable executor scratch, so sequential runs on one device allocate
+// (almost) nothing after the first; the flip side is that a Device must
+// never be used from multiple goroutines at once, and the RunResult a
+// run returns aliases that scratch — it is valid only until the next
+// Run/RunTraced call on the same device (copy out anything that must
+// outlive it). A device with a loss-escalating fault model also
 // accumulates an injected-fault count across runs (the path to
-// ErrDeviceLost) and must then not be shared across goroutines.
+// ErrDeviceLost).
 type Device struct {
 	prof   Profile
 	bugs   Bugs
@@ -19,6 +23,9 @@ type Device struct {
 	// faultCount tallies injected faults across this device's runs,
 	// driving FaultModel.LossAfter escalation.
 	faultCount int
+	// scratch is the reusable executor, created on first Run and reset
+	// in place for every subsequent launch.
+	scratch *exec
 }
 
 // NewDevice builds a device from a profile and defect set.
@@ -74,6 +81,9 @@ func (d *Device) watchdogDeadline() int64 {
 // Run executes one kernel dispatch to completion. Identical (spec,
 // rng-state) pairs produce identical results.
 //
+// The returned RunResult aliases the device's executor scratch and is
+// valid only until the next Run/RunTraced on this device.
+//
 // When a fault model is installed, one extra draw of rng seeds the
 // launch's private fault stream; the launch may then fail with a typed
 // *DeviceError (ErrLaunchFailed, ErrDeviceHang, ErrDeviceLost) or —
@@ -103,21 +113,11 @@ func (d *Device) Run(spec LaunchSpec, rng *xrand.Rand) (*RunResult, error) {
 		}
 		corrupt = frng.Bool(d.faults.CorruptProb)
 	}
-	e := newExec(d, spec, rng)
+	e := d.getExec(spec, rng)
 	if err := e.run(); err != nil {
 		return nil, err
 	}
-	regs := make([][]uint32, len(e.threads))
-	for i, t := range e.threads {
-		regs[i] = t.regs
-	}
-	e.stats.Ticks = e.now
-	res := &RunResult{
-		Registers:  regs,
-		Memory:     e.mem,
-		SimSeconds: float64(e.now+d.prof.LaunchOverheadTicks) / d.prof.ClockHz,
-		Stats:      e.stats,
-	}
+	res := e.result()
 	if corrupt {
 		d.faultCount++
 		corruptResult(res, frng)
@@ -204,6 +204,11 @@ type exec struct {
 	wgs     []*wgState
 	cus     []*cuState
 
+	// regArena is the flat backing store for every thread's register
+	// file; reset carves per-thread windows out of it instead of a
+	// per-thread make.
+	regArena []uint32
+
 	pendingWGs []int // workgroups awaiting a CU slot
 
 	heap []completionEvent
@@ -218,39 +223,126 @@ type exec struct {
 
 	candBuf []*warpState // scratch for scheduler candidates
 
-	// trace, when non-nil, collects issue/completion events.
-	trace *[]TraceEvent
+	// warpPool holds every warp object this executor has ever handed
+	// out; warpUsed is the prefix in use by the current run. Reset just
+	// rewinds warpUsed, so steady-state admission allocates nothing.
+	warpPool []*warpState
+	warpUsed int
+
+	// lineBufs is a free list of cache-line staging buffers, refilled
+	// on eviction and reset so fillLine stops allocating per line.
+	lineBufs [][]uint32
+
+	// regsOut and res are the result scratch returned to the caller;
+	// both are overwritten by the next run.
+	regsOut [][]uint32
+	res     RunResult
+
+	// tracing gates event recording. Call sites guard emit with it so
+	// the tracing-off hot path pays one branch and never constructs
+	// (or heap-allocates for) the event value.
+	tracing bool
+	trace   []TraceEvent
 }
 
-// emit records a trace event when tracing is enabled.
+// emit records a trace event. Callers must check e.tracing first; emit
+// itself appends unconditionally.
 func (e *exec) emit(ev TraceEvent) {
-	if e.trace != nil {
-		*e.trace = append(*e.trace, ev)
-	}
+	e.trace = append(e.trace, ev)
 }
 
-func newExec(d *Device, spec LaunchSpec, rng *xrand.Rand) *exec {
-	e := &exec{
-		d:            d,
-		rng:          rng,
-		spec:         spec,
-		mem:          make([]uint32, spec.MemWords),
-		lineInFlight: map[uint32]int{},
-	}
-	nThreads := spec.Threads()
-	e.threads = make([]*threadState, nThreads)
-	e.wgs = make([]*wgState, spec.Workgroups)
-	for wg := 0; wg < spec.Workgroups; wg++ {
-		ws := &wgState{id: wg, cu: -1}
-		e.wgs[wg] = ws
-		for l := 0; l < spec.WorkgroupSize; l++ {
-			tid := wg*spec.WorkgroupSize + l
-			t := &threadState{id: tid, wg: wg, prog: spec.Programs[tid]}
-			if n := t.prog.NumRegs(); n > 0 {
-				t.regs = make([]uint32, n)
+// getExec returns the device's reusable executor, reset for this
+// launch. The executor — including the RunResult it produces — is
+// scratch owned by the device and is clobbered by the next run.
+func (d *Device) getExec(spec LaunchSpec, rng *xrand.Rand) *exec {
+	e := d.scratch
+	if e == nil {
+		e = &exec{d: d, lineInFlight: map[uint32]int{}}
+		// CU count and defect set are fixed per device, so the CU
+		// objects (and their buggy caches) are allocated exactly once.
+		e.cus = make([]*cuState, d.prof.CUs)
+		for i := range e.cus {
+			e.cus[i] = &cuState{id: i}
+			if d.bugs.StaleCache {
+				e.cus[i].cache = map[uint32][]uint32{}
 			}
-			e.threads[tid] = t
-			ws.threads = append(ws.threads, t)
+		}
+		d.scratch = e
+	}
+	e.reset(spec, rng)
+	return e
+}
+
+// growPtr re-slices s to length n, allocating element objects only for
+// slots that have never been used before; previously allocated elements
+// (including those beyond the old length, up to capacity) are retained
+// for reuse.
+func growPtr[T any](s []*T, n int) []*T {
+	if cap(s) < n {
+		grown := make([]*T, n)
+		copy(grown, s[:cap(s)])
+		s = grown
+	}
+	s = s[:n]
+	for i, p := range s {
+		if p == nil {
+			s[i] = new(T)
+		}
+	}
+	return s
+}
+
+// reset prepares the executor for one launch, reusing every allocation
+// left over from prior runs: thread and workgroup objects are recycled
+// in place, register files are carved from one flat arena, and the
+// event heap, scheduler candidate buffer, pending queue, and cache
+// staging buffers all keep their capacity. Resetting consumes no
+// randomness and zeroes everything a fresh executor would zero, so a
+// warm executor is draw-for-draw and bit-for-bit identical to a cold
+// one.
+func (e *exec) reset(spec LaunchSpec, rng *xrand.Rand) {
+	e.rng = rng
+	e.spec = spec
+
+	if cap(e.mem) < spec.MemWords {
+		e.mem = make([]uint32, spec.MemWords)
+	} else {
+		e.mem = e.mem[:spec.MemWords]
+		clear(e.mem)
+	}
+
+	nThreads := spec.Threads()
+	e.threads = growPtr(e.threads, nThreads)
+	e.wgs = growPtr(e.wgs, spec.Workgroups)
+
+	total := 0
+	for _, p := range spec.Programs {
+		total += p.NumRegs()
+	}
+	if cap(e.regArena) < total {
+		e.regArena = make([]uint32, total)
+	} else {
+		e.regArena = e.regArena[:total]
+		clear(e.regArena)
+	}
+
+	e.retired = 0
+	regOff := 0
+	wgSize := spec.WorkgroupSize
+	for wg := 0; wg < spec.Workgroups; wg++ {
+		ws := e.wgs[wg]
+		// Thread IDs are contiguous per workgroup, so the workgroup's
+		// thread list is a window into the executor's thread slice.
+		*ws = wgState{id: wg, cu: -1, threads: e.threads[wg*wgSize : (wg+1)*wgSize]}
+		for l := 0; l < wgSize; l++ {
+			tid := wg*wgSize + l
+			t := e.threads[tid]
+			locs := t.locs[:0]
+			*t = threadState{id: tid, wg: wg, prog: spec.Programs[tid], locs: locs}
+			if n := t.prog.NumRegs(); n > 0 {
+				t.regs = e.regArena[regOff : regOff+n : regOff+n]
+				regOff += n
+			}
 			if len(t.prog) == 0 {
 				t.done = true
 				e.retired++
@@ -259,13 +351,27 @@ func newExec(d *Device, spec LaunchSpec, rng *xrand.Rand) *exec {
 			}
 		}
 	}
-	e.cus = make([]*cuState, d.prof.CUs)
-	for i := range e.cus {
-		e.cus[i] = &cuState{id: i, freeSlots: d.prof.MaxWGPerCU}
-		if d.bugs.StaleCache {
-			e.cus[i].cache = map[uint32][]uint32{}
+
+	for _, c := range e.cus {
+		c.warps = c.warps[:0]
+		c.freeSlots = e.d.prof.MaxWGPerCU
+		if c.cache != nil {
+			for _, vals := range c.cache {
+				e.lineBufs = append(e.lineBufs, vals)
+			}
+			clear(c.cache)
+			c.cacheFIFO = c.cacheFIFO[:0]
 		}
 	}
+	e.warpUsed = 0
+	e.pendingWGs = e.pendingWGs[:0]
+	e.heap = e.heap[:0]
+	e.seq = 0
+	e.now = 0
+	e.inFlight = 0
+	clear(e.lineInFlight)
+	e.stats = RunStats{}
+
 	// Admit workgroups round-robin until CUs are full; queue the rest.
 	cu := 0
 	for wg := 0; wg < spec.Workgroups; wg++ {
@@ -283,7 +389,36 @@ func newExec(d *Device, spec LaunchSpec, rng *xrand.Rand) *exec {
 			e.pendingWGs = append(e.pendingWGs, wg)
 		}
 	}
-	return e
+}
+
+// result assembles the run's outcome into the executor-owned scratch.
+func (e *exec) result() *RunResult {
+	if cap(e.regsOut) < len(e.threads) {
+		e.regsOut = make([][]uint32, len(e.threads))
+	}
+	e.regsOut = e.regsOut[:len(e.threads)]
+	for i, t := range e.threads {
+		e.regsOut[i] = t.regs
+	}
+	e.stats.Ticks = e.now
+	e.res = RunResult{
+		Registers:  e.regsOut,
+		Memory:     e.mem,
+		SimSeconds: float64(e.now+e.d.prof.LaunchOverheadTicks) / e.d.prof.ClockHz,
+		Stats:      e.stats,
+	}
+	return &e.res
+}
+
+// allocWarp hands out a recycled warp object, growing the pool only the
+// first time a new high-water warp count is reached.
+func (e *exec) allocWarp() *warpState {
+	if e.warpUsed == len(e.warpPool) {
+		e.warpPool = append(e.warpPool, &warpState{})
+	}
+	w := e.warpPool[e.warpUsed]
+	e.warpUsed++
+	return w
 }
 
 // admit places a workgroup's threads on a CU as warps.
@@ -296,7 +431,9 @@ func (e *exec) admit(wg *wgState, c *cuState) {
 		if end > len(wg.threads) {
 			end = len(wg.threads)
 		}
-		c.warps = append(c.warps, &warpState{threads: wg.threads[i:end]})
+		w := e.allocWarp()
+		w.threads = wg.threads[i:end]
+		c.warps = append(c.warps, w)
 	}
 }
 
@@ -371,7 +508,9 @@ func (e *exec) tryIssue(t *threadState, c *cuState) bool {
 		if t.outstanding > 0 {
 			return false // fence waits for all prior ops to complete
 		}
-		e.emit(TraceEvent{Tick: e.now, Thread: int32(t.id), Index: int32(t.pc), Kind: TraceIssue, Op: OpFence})
+		if e.tracing {
+			e.emit(TraceEvent{Tick: e.now, Thread: int32(t.id), Index: int32(t.pc), Kind: TraceIssue, Op: OpFence})
+		}
 		t.pc++
 		e.stats.Instructions++
 		e.maybeRetire(t)
@@ -380,7 +519,9 @@ func (e *exec) tryIssue(t *threadState, c *cuState) bool {
 		if t.outstanding > 0 {
 			return false // barrier implies fence ordering
 		}
-		e.emit(TraceEvent{Tick: e.now, Thread: int32(t.id), Index: int32(t.pc), Kind: TraceIssue, Op: OpBarrier})
+		if e.tracing {
+			e.emit(TraceEvent{Tick: e.now, Thread: int32(t.id), Index: int32(t.pc), Kind: TraceIssue, Op: OpBarrier})
+		}
 		t.pc++
 		e.stats.Instructions++
 		wg := e.wgs[t.wg]
@@ -420,7 +561,9 @@ func (e *exec) tryIssue(t *threadState, c *cuState) bool {
 	}
 	e.seq++
 	e.pushEvent(completionEvent{time: ct, seq: e.seq, tid: int32(t.id), idx: int32(t.pc)})
-	e.emit(TraceEvent{Tick: e.now, Thread: int32(t.id), Index: int32(t.pc), Kind: TraceIssue, Op: in.Op, Addr: in.Addr})
+	if e.tracing {
+		e.emit(TraceEvent{Tick: e.now, Thread: int32(t.id), Index: int32(t.pc), Kind: TraceIssue, Op: in.Op, Addr: in.Addr})
+	}
 	t.pc++
 	t.outstanding++
 	e.inFlight++
@@ -508,7 +651,9 @@ func (e *exec) complete(ev completionEvent) {
 		e.storeToCache(c, in.Addr, in.Imm)
 		traced = old
 	}
-	e.emit(TraceEvent{Tick: e.now, Thread: ev.tid, Index: ev.idx, Kind: TraceComplete, Op: in.Op, Addr: in.Addr, Value: traced})
+	if e.tracing {
+		e.emit(TraceEvent{Tick: e.now, Thread: ev.tid, Index: ev.idx, Kind: TraceComplete, Op: in.Op, Addr: in.Addr, Value: traced})
+	}
 	t.outstanding--
 	e.inFlight--
 	line := in.Addr / uint32(prof.LineWords)
@@ -547,22 +692,38 @@ func (e *exec) loadValue(c *cuState, addr uint32) uint32 {
 	return e.mem[addr]
 }
 
-// fillLine snapshots a line into the CU cache, evicting FIFO.
+// fillLine snapshots a line into the CU cache, evicting FIFO. Staging
+// buffers cycle through the executor's free list: evicted lines donate
+// their buffer back, so steady-state fills allocate nothing. The FIFO
+// compacts in place rather than re-slicing forward, which would migrate
+// the slice base and force append to reallocate.
 func (e *exec) fillLine(c *cuState, line uint32) {
 	prof := &e.d.prof
 	if _, ok := c.cache[line]; !ok {
 		if len(c.cacheFIFO) >= prof.CacheLines && len(c.cacheFIFO) > 0 {
 			victim := c.cacheFIFO[0]
-			c.cacheFIFO = c.cacheFIFO[1:]
+			copy(c.cacheFIFO, c.cacheFIFO[1:])
+			c.cacheFIFO = c.cacheFIFO[:len(c.cacheFIFO)-1]
+			if vals, ok := c.cache[victim]; ok {
+				e.lineBufs = append(e.lineBufs, vals)
+			}
 			delete(c.cache, victim)
 		}
 		c.cacheFIFO = append(c.cacheFIFO, line)
 	}
 	base := line * uint32(prof.LineWords)
-	vals := make([]uint32, prof.LineWords)
+	var vals []uint32
+	if n := len(e.lineBufs); n > 0 {
+		vals = e.lineBufs[n-1][:prof.LineWords]
+		e.lineBufs = e.lineBufs[:n-1]
+	} else {
+		vals = make([]uint32, prof.LineWords)
+	}
 	for i := range vals {
 		if int(base)+i < len(e.mem) {
 			vals[i] = e.mem[int(base)+i]
+		} else {
+			vals[i] = 0
 		}
 	}
 	c.cache[line] = vals
@@ -625,7 +786,10 @@ func (e *exec) finishWorkgroup(wg *wgState) {
 	c.freeSlots++
 	if len(e.pendingWGs) > 0 {
 		next := e.pendingWGs[0]
-		e.pendingWGs = e.pendingWGs[1:]
+		// Compact in place (cf. fillLine's FIFO) so the queue's backing
+		// array survives reset and re-admission never reallocates.
+		copy(e.pendingWGs, e.pendingWGs[1:])
+		e.pendingWGs = e.pendingWGs[:len(e.pendingWGs)-1]
 		e.admit(e.wgs[next], c)
 	}
 }

@@ -78,14 +78,18 @@ func TestRunDeterministic(t *testing.T) {
 	}
 	spec := twoThreadSpec(2, prog0, prog1)
 	d := dev(t, p, Bugs{})
-	a, err := d.Run(spec, xrand.New(7))
+	run, err := d.Run(spec, xrand.New(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := d.Run(spec, xrand.New(7))
+	// A RunResult aliases device scratch and is only valid until the
+	// next Run, so snapshot before rerunning.
+	a := snapshotRun(run)
+	run, err = d.Run(spec, xrand.New(7))
 	if err != nil {
 		t.Fatal(err)
 	}
+	b := snapshotRun(run)
 	if a.Stats.Ticks != b.Stats.Ticks {
 		t.Fatalf("same seed, different ticks: %d vs %d", a.Stats.Ticks, b.Stats.Ticks)
 	}
@@ -96,6 +100,18 @@ func TestRunDeterministic(t *testing.T) {
 			}
 		}
 	}
+}
+
+// snapshotRun deep-copies a RunResult out of the device's reusable
+// scratch.
+func snapshotRun(r *RunResult) RunResult {
+	c := *r
+	c.Registers = make([][]uint32, len(r.Registers))
+	for i, regs := range r.Registers {
+		c.Registers[i] = append([]uint32(nil), regs...)
+	}
+	c.Memory = append([]uint32(nil), r.Memory...)
+	return c
 }
 
 func TestSingleThreadProgramOrder(t *testing.T) {

@@ -54,24 +54,20 @@ func (d *Device) RunTraced(spec LaunchSpec, rng *xrand.Rand) (*RunResult, []Trac
 	if err := spec.Validate(); err != nil {
 		return nil, nil, err
 	}
-	e := newExec(d, spec, rng)
-	trace := make([]TraceEvent, 0, 1024)
-	e.trace = &trace
-	if err := e.run(); err != nil {
+	e := d.getExec(spec, rng)
+	// The trace is freshly allocated per traced run and ownership
+	// transfers to the caller; only the executor itself is reused. This
+	// is a debug path, so it is exempt from the zero-alloc contract.
+	e.tracing = true
+	e.trace = make([]TraceEvent, 0, 1024)
+	err := e.run()
+	trace := e.trace
+	e.tracing = false
+	e.trace = nil
+	if err != nil {
 		return nil, nil, err
 	}
-	regs := make([][]uint32, len(e.threads))
-	for i, t := range e.threads {
-		regs[i] = t.regs
-	}
-	e.stats.Ticks = e.now
-	res := &RunResult{
-		Registers:  regs,
-		Memory:     e.mem,
-		SimSeconds: float64(e.now+d.prof.LaunchOverheadTicks) / d.prof.ClockHz,
-		Stats:      e.stats,
-	}
-	return res, trace, nil
+	return e.result(), trace, nil
 }
 
 // VerifyTrace checks a conformant execution's trace against the

@@ -43,10 +43,18 @@ func SharedClassifier() *Classifier { return sharedClassifier }
 // Classify returns the cached classification of the outcome under the
 // test, computing and memoizing it on first sight.
 func (c *Classifier) Classify(test *litmus.Test, o litmus.Outcome) (target, violation bool, err error) {
+	return c.ClassifyKeyed(test, o, o.AppendKey(nil))
+}
+
+// ClassifyKeyed is Classify with the outcome's key bytes precomputed by
+// the caller; key must equal o.AppendKey(nil). The cache-hit path is
+// allocation-free — the compiler elides the []byte-to-string conversion
+// for map lookups — so the hot loop pays for a key string only the
+// first time a distinct outcome is seen.
+func (c *Classifier) ClassifyKeyed(test *litmus.Test, o litmus.Outcome, key []byte) (target, violation bool, err error) {
 	tc := c.cacheFor(test)
-	key := o.Key()
 	tc.mu.RLock()
-	cls, ok := tc.m[key]
+	cls, ok := tc.m[string(key)]
 	tc.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
@@ -62,7 +70,7 @@ func (c *Classifier) Classify(test *litmus.Test, o litmus.Outcome) (target, viol
 		violation: !verdict.Allowed,
 	}
 	tc.mu.Lock()
-	tc.m[key] = cls
+	tc.m[string(key)] = cls
 	tc.mu.Unlock()
 	return cls.target, cls.violation, nil
 }

@@ -11,6 +11,13 @@ import (
 )
 
 // Runner executes litmus tests in one environment on one device.
+//
+// A Runner owns reusable per-iteration scratch (the iteration plan,
+// outcome buffers and classifier key buffer), so running many
+// iterations — or many cells — through one warm Runner is
+// allocation-free in the steady state. The scratch makes a Runner,
+// like its Device, single-goroutine: parallel campaigns use one Runner
+// per worker.
 type Runner struct {
 	Device *gpu.Device
 	Params Params
@@ -22,6 +29,31 @@ type Runner struct {
 	// process-wide shared classifier, so classifications are reused
 	// across iterations, runners and campaign cells.
 	Classifier *Classifier
+
+	// scratch is reused across Run/RunInto calls; see runnerScratch.
+	scratch runnerScratch
+}
+
+// runnerScratch is the Runner's reusable per-iteration state. Every
+// slice is overwritten before use each iteration; nothing in it is
+// visible to callers except through deep copies (FirstViolation) or
+// value types (histogram counts).
+type runnerScratch struct {
+	plan iterationPlan
+	// outcomes[i] views instance i's registers/final values inside the
+	// flat regVals/finalVals arenas.
+	outcomes  []litmus.Outcome
+	regVals   []mm.Val
+	finalVals []mm.Val
+	// keyBuf renders outcome keys for the classifier and histogram.
+	keyBuf []byte
+	// domTest/dom cache the value domain of the last test run, skipping
+	// a per-call map build when a runner stays on one test (keyed by
+	// pointer identity, like the classifier's memo).
+	domTest *litmus.Test
+	dom     map[mm.Val]bool
+	// validated remembers the last test that passed Validate.
+	validated *litmus.Test
 }
 
 // NewRunner validates the environment against the device and returns a
@@ -108,13 +140,16 @@ func (r *Result) Merge(other *Result) error {
 	r.WallSeconds += other.WallSeconds
 	if other.Hist != nil {
 		if r.Hist == nil {
-			r.Hist = litmus.NewHistogram()
+			// Size the merged map for the incoming outcome set up front:
+			// campaign aggregation merges many per-cell histograms into
+			// one, and the distinct-outcome set is usually identical
+			// across cells, so this hint avoids nearly all map growth.
+			r.Hist = litmus.NewHistogramSize(other.Hist.Distinct())
 		}
 		r.Hist.Merge(other.Hist)
 	}
 	if r.FirstViolation == nil && other.FirstViolation != nil {
-		saved := *other.FirstViolation
-		r.FirstViolation = &saved
+		r.FirstViolation = other.FirstViolation.Clone()
 	}
 	// Recompute the derived counts from the histogram rather than
 	// summing fields independently, so the invariants TargetCount ==
@@ -140,28 +175,54 @@ type outcomeClass struct {
 // every instance outcome. The rng drives all nondeterminism; equal
 // seeds reproduce results exactly.
 func (r *Runner) Run(test *litmus.Test, iterations int, rng *xrand.Rand) (*Result, error) {
-	if iterations <= 0 {
-		return nil, fmt.Errorf("harness: iterations=%d", iterations)
-	}
-	if err := test.Validate(); err != nil {
+	res := &Result{}
+	if err := r.RunInto(res, test, iterations, rng); err != nil {
 		return nil, err
 	}
+	return res, nil
+}
+
+// RunInto is Run writing into a caller-owned Result, whose histogram
+// (when already allocated) is reset and reused — together with the
+// runner's own iteration scratch this makes the steady-state loop
+// allocation-free. res must not be shared with a Result still in use;
+// everything in it is overwritten.
+func (r *Runner) RunInto(res *Result, test *litmus.Test, iterations int, rng *xrand.Rand) error {
+	if iterations <= 0 {
+		return fmt.Errorf("harness: iterations=%d", iterations)
+	}
+	if r.scratch.validated != test {
+		if err := test.Validate(); err != nil {
+			return err
+		}
+		r.scratch.validated = test
+	}
 	start := time.Now()
-	res := &Result{
+	hist := res.Hist
+	if hist == nil {
+		hist = litmus.NewHistogram()
+	} else {
+		hist.Reset()
+	}
+	*res = Result{
 		TestName: test.Name,
 		IsMutant: test.IsMutant,
 		Mutator:  test.Mutator,
-		Hist:     litmus.NewHistogram(),
+		Hist:     hist,
 	}
 	classifier := r.Classifier
 	if classifier == nil {
 		classifier = sharedClassifier
 	}
-	dom := test.ValueDomain()
+	if r.scratch.domTest != test {
+		r.scratch.dom = test.ValueDomain()
+		r.scratch.domTest = test
+	}
+	dom := r.scratch.dom
+	plan := &r.scratch.plan
 	for iter := 0; iter < iterations; iter++ {
-		plan, err := buildIteration(test, &r.Params, rng)
-		if err != nil {
-			return nil, err
+		if err := plan.buildInto(test, &r.Params, rng); err != nil {
+			return err
 		}
 		if r.Lower != nil {
 			for i, prog := range plan.spec.Programs {
@@ -173,18 +234,18 @@ func (r *Runner) Run(test *litmus.Test, iterations int, rng *xrand.Rand) (*Resul
 			// Typed device failures (gpu.DeviceError) carry their own
 			// transience verdict, which the scheduler reads through
 			// sched.IsTransient — no wrapping needed here.
-			return nil, err
+			return err
 		}
 		// Validate every instance outcome against the test's write-value
 		// domain before anything is counted. A single out-of-domain value
 		// means the run's results cannot be trusted, so the whole
 		// iteration is discarded rather than classified.
-		outcomes := make([]litmus.Outcome, plan.instances)
+		outcomes := r.extractOutcomes(test, plan, run)
 		valid := true
 		for i := range outcomes {
-			outcomes[i] = extractOutcome(test, plan, run, i)
 			if !test.InDomain(outcomes[i], dom) {
 				valid = false
+				break
 			}
 		}
 		if !valid {
@@ -195,42 +256,64 @@ func (r *Runner) Run(test *litmus.Test, iterations int, rng *xrand.Rand) (*Resul
 		res.Instances += plan.instances
 		res.SimSeconds += run.SimSeconds
 		for _, o := range outcomes {
-			target, violation, err := classifier.Classify(test, o)
+			r.scratch.keyBuf = o.AppendKey(r.scratch.keyBuf[:0])
+			target, violation, err := classifier.ClassifyKeyed(test, o, r.scratch.keyBuf)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if violation && res.FirstViolation == nil {
-				saved := o
-				res.FirstViolation = &saved
+				// Deep-copy: o's Regs/Final are windows into the
+				// runner's reusable arenas and are overwritten by the
+				// next iteration.
+				res.FirstViolation = o.Clone()
 			}
-			res.Hist.Add(o, target, violation)
+			res.Hist.AddKeyed(r.scratch.keyBuf, target, violation)
 		}
 	}
 	if res.Iterations == 0 {
 		// Every iteration was poisoned: the cell produced no usable data.
 		// Fail with a transient corruption error so the scheduler retries
 		// the cell under a fresh attempt seed (which re-rolls the faults).
-		return nil, &gpu.DeviceError{Kind: gpu.FaultCorrupt, Device: r.Device.Profile().ShortName}
+		return &gpu.DeviceError{Kind: gpu.FaultCorrupt, Device: r.Device.Profile().ShortName}
 	}
 	res.TargetCount = res.Hist.TargetCount()
 	res.Violations = res.Hist.Violations()
 	res.WallSeconds = time.Since(start).Seconds()
-	return res, nil
+	return nil
 }
 
-// extractOutcome reads instance i's registers and final memory out of a
-// device run.
-func extractOutcome(test *litmus.Test, plan *iterationPlan, run *gpu.RunResult, i int) litmus.Outcome {
-	o := litmus.Outcome{
-		Regs:  make([]mm.Val, test.NumRegs),
-		Final: make([]mm.Val, test.NumLocs),
+// extractOutcomes reads every instance's registers and final memory out
+// of a device run, into the runner's reusable outcome arenas. The
+// returned outcomes alias those arenas and are valid until the next
+// iteration.
+func (r *Runner) extractOutcomes(test *litmus.Test, plan *iterationPlan, run *gpu.RunResult) []litmus.Outcome {
+	s := &r.scratch
+	n := plan.instances
+	if cap(s.outcomes) < n {
+		s.outcomes = make([]litmus.Outcome, n)
 	}
-	for r := 0; r < test.NumRegs; r++ {
-		ref := plan.regOf[i][r]
-		o.Regs[r] = mm.Val(run.Registers[ref.tid][ref.reg])
+	s.outcomes = s.outcomes[:n]
+	if need := n * test.NumRegs; cap(s.regVals) < need {
+		s.regVals = make([]mm.Val, need)
+	} else {
+		s.regVals = s.regVals[:need]
 	}
-	for l := 0; l < test.NumLocs; l++ {
-		o.Final[l] = mm.Val(run.Memory[plan.locAddr[i][l]])
+	if need := n * test.NumLocs; cap(s.finalVals) < need {
+		s.finalVals = make([]mm.Val, need)
+	} else {
+		s.finalVals = s.finalVals[:need]
 	}
-	return o
+	for i := 0; i < n; i++ {
+		regs := s.regVals[i*test.NumRegs : (i+1)*test.NumRegs : (i+1)*test.NumRegs]
+		final := s.finalVals[i*test.NumLocs : (i+1)*test.NumLocs : (i+1)*test.NumLocs]
+		for ri := 0; ri < test.NumRegs; ri++ {
+			ref := plan.regOf[i][ri]
+			regs[ri] = mm.Val(run.Registers[ref.tid][ref.reg])
+		}
+		for l := 0; l < test.NumLocs; l++ {
+			final[l] = mm.Val(run.Memory[plan.locAddr[i][l]])
+		}
+		s.outcomes[i] = litmus.Outcome{Regs: regs, Final: final}
+	}
+	return s.outcomes
 }

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/mm"
@@ -140,20 +141,43 @@ type Outcome struct {
 // Key returns a canonical string form usable as a histogram key, e.g.
 // "r0=1 r1=0 | x=1 y=1".
 func (o Outcome) Key() string {
-	var b strings.Builder
+	return string(o.AppendKey(nil))
+}
+
+// AppendKey appends the outcome's canonical key bytes (exactly the bytes
+// of Key) to buf and returns the extended buffer. Hot paths reuse one
+// buffer across calls and pair the result with Histogram.AddKeyed and
+// the classifier's keyed lookup, so classifying an already-seen outcome
+// allocates nothing.
+func (o Outcome) AppendKey(buf []byte) []byte {
 	for i, v := range o.Regs {
 		if i > 0 {
-			b.WriteByte(' ')
+			buf = append(buf, ' ')
 		}
-		fmt.Fprintf(&b, "r%d=%d", i, v)
+		buf = append(buf, 'r')
+		buf = strconv.AppendInt(buf, int64(i), 10)
+		buf = append(buf, '=')
+		buf = strconv.AppendUint(buf, uint64(v), 10)
 	}
 	if len(o.Final) > 0 {
-		b.WriteString(" |")
+		buf = append(buf, " |"...)
 		for l, v := range o.Final {
-			fmt.Fprintf(&b, " %s=%d", mm.LocName(mm.Loc(l)), v)
+			buf = append(buf, ' ')
+			buf = append(buf, mm.LocName(mm.Loc(l))...)
+			buf = append(buf, '=')
+			buf = strconv.AppendUint(buf, uint64(v), 10)
 		}
 	}
-	return b.String()
+	return buf
+}
+
+// Clone returns a deep copy of the outcome, detached from any reusable
+// backing storage the original's slices may alias.
+func (o *Outcome) Clone() *Outcome {
+	return &Outcome{
+		Regs:  append([]mm.Val(nil), o.Regs...),
+		Final: append([]mm.Val(nil), o.Final...),
+	}
 }
 
 // Condition is a declarative predicate over outcomes: required register
@@ -522,31 +546,66 @@ func (t *Test) String() string {
 }
 
 // Histogram accumulates outcome counts across runs of one test.
+//
+// Counts are stored behind pointers so the hot path — re-observing an
+// outcome whose key already exists — is a pure map lookup plus an
+// in-place increment: the compiler elides the []byte-to-string
+// conversion for lookups, so AddKeyed allocates only the first time a
+// key is seen. Reset zeroes counters in place while keeping key strings
+// and map buckets, letting one histogram be reused across runs without
+// re-paying those allocations; zero-count entries are invisible to every
+// accessor and to serialization, so a reset histogram is
+// indistinguishable from a fresh one.
 type Histogram struct {
-	counts map[string]int
+	counts map[string]*int
 	total  int
 	target int
 	// violations counts outcomes classified disallowed (conformance
 	// tests only; harness updates it).
 	violations int
+	// keyBuf is the reused key-rendering scratch for Add/AddN.
+	keyBuf []byte
 }
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
-	return &Histogram{counts: map[string]int{}}
+	return &Histogram{counts: map[string]*int{}}
+}
+
+// NewHistogramSize returns an empty histogram whose key map is
+// preallocated for about n distinct outcomes, so merge-heavy callers
+// avoid incremental map growth.
+func NewHistogramSize(n int) *Histogram {
+	if n < 0 {
+		n = 0
+	}
+	return &Histogram{counts: make(map[string]*int, n)}
+}
+
+// Reset clears the histogram for reuse: all counters drop to zero, but
+// key strings and map capacity are retained so re-observing a previously
+// seen outcome allocates nothing.
+func (h *Histogram) Reset() {
+	for _, p := range h.counts {
+		*p = 0
+	}
+	h.total = 0
+	h.target = 0
+	h.violations = 0
 }
 
 // Add records one outcome, noting whether it matched the target and
 // whether it was a violation.
 func (h *Histogram) Add(o Outcome, target, violation bool) {
-	h.counts[o.Key()]++
-	h.total++
-	if target {
-		h.target++
-	}
-	if violation {
-		h.violations++
-	}
+	h.keyBuf = o.AppendKey(h.keyBuf[:0])
+	h.addKey(h.keyBuf, target, violation, 1)
+}
+
+// AddKeyed records one outcome by its precomputed key bytes, which must
+// equal the outcome's AppendKey rendering. For keys already present it
+// allocates nothing.
+func (h *Histogram) AddKeyed(key []byte, target, violation bool) {
+	h.addKey(key, target, violation, 1)
 }
 
 // AddN records n identical outcomes at once.
@@ -554,7 +613,17 @@ func (h *Histogram) AddN(o Outcome, target, violation bool, n int) {
 	if n <= 0 {
 		return
 	}
-	h.counts[o.Key()] += n
+	h.keyBuf = o.AppendKey(h.keyBuf[:0])
+	h.addKey(h.keyBuf, target, violation, n)
+}
+
+func (h *Histogram) addKey(key []byte, target, violation bool, n int) {
+	if p, ok := h.counts[string(key)]; ok {
+		*p += n
+	} else {
+		c := n
+		h.counts[string(key)] = &c
+	}
 	h.total += n
 	if target {
 		h.target += n
@@ -574,15 +643,36 @@ func (h *Histogram) TargetCount() int { return h.target }
 func (h *Histogram) Violations() int { return h.violations }
 
 // Distinct returns the number of distinct outcomes seen.
-func (h *Histogram) Distinct() int { return len(h.counts) }
+func (h *Histogram) Distinct() int {
+	n := 0
+	for _, p := range h.counts {
+		if *p != 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // Count returns the number of occurrences of an outcome key.
-func (h *Histogram) Count(key string) int { return h.counts[key] }
+func (h *Histogram) Count(key string) int {
+	if p, ok := h.counts[key]; ok {
+		return *p
+	}
+	return 0
+}
 
 // Merge adds the contents of other into h.
 func (h *Histogram) Merge(other *Histogram) {
 	for k, v := range other.counts {
-		h.counts[k] += v
+		if *v == 0 {
+			continue
+		}
+		if p, ok := h.counts[k]; ok {
+			*p += *v
+		} else {
+			c := *v
+			h.counts[k] = &c
+		}
 	}
 	h.total += other.total
 	h.target += other.target
@@ -601,9 +691,17 @@ type histogramJSON struct {
 }
 
 // MarshalJSON serializes the histogram for result checkpointing.
+// Zero-count entries (left behind by Reset) are omitted, so a reused
+// histogram marshals byte-identically to a fresh one.
 func (h *Histogram) MarshalJSON() ([]byte, error) {
+	counts := make(map[string]int, len(h.counts))
+	for k, p := range h.counts {
+		if *p != 0 {
+			counts[k] = *p
+		}
+	}
 	return json.Marshal(histogramJSON{
-		Counts:     h.counts,
+		Counts:     counts,
 		Total:      h.total,
 		Target:     h.target,
 		Violations: h.violations,
@@ -616,9 +714,10 @@ func (h *Histogram) UnmarshalJSON(b []byte) error {
 	if err := json.Unmarshal(b, &hj); err != nil {
 		return err
 	}
-	h.counts = hj.Counts
-	if h.counts == nil {
-		h.counts = map[string]int{}
+	h.counts = make(map[string]*int, len(hj.Counts))
+	for k, v := range hj.Counts {
+		c := v
+		h.counts[k] = &c
 	}
 	h.total = hj.Total
 	h.target = hj.Target
@@ -634,8 +733,10 @@ func (h *Histogram) String() string {
 		n   int
 	}
 	rows := make([]row, 0, len(h.counts))
-	for k, n := range h.counts {
-		rows = append(rows, row{k, n})
+	for k, p := range h.counts {
+		if *p != 0 {
+			rows = append(rows, row{k, *p})
+		}
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].n != rows[j].n {

@@ -105,10 +105,14 @@ func (e Event) String() string {
 	}
 }
 
+// locNames is indexed rather than sliced from a byte string so the
+// returned names are interned constants: locName sits on the
+// outcome-key hot path and must not allocate.
+var locNames = [...]string{"x", "y", "z", "w", "v", "u"}
+
 func locName(l Loc) string {
-	names := "xyzwvu"
-	if int(l) < len(names) {
-		return string(names[l])
+	if int(l) < len(locNames) {
+		return locNames[l]
 	}
 	return fmt.Sprintf("m%d", int(l))
 }

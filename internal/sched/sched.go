@@ -124,6 +124,15 @@ type Options[R any] struct {
 	// Instances extracts a cell result's instance count for the
 	// reporter's instances/sec stream. Optional.
 	Instances func(R) int
+	// NewWorkerExec, when non-nil, builds a private Exec per worker
+	// goroutine, letting executors carry reusable scratch (warm devices,
+	// runners, iteration plans) without any cross-worker sharing. The
+	// factory is called once per worker at pool start; the Exec it
+	// returns is only ever invoked from that worker's goroutine, so it
+	// may freely mutate its own state. Cell randomness still derives
+	// purely from (seed, cell key, attempt), so campaigns remain
+	// bit-identical at every worker count.
+	NewWorkerExec func() Exec[R]
 }
 
 // CellResult is one cell's outcome in the report.
@@ -254,6 +263,10 @@ func Run[R any](spec Spec, exec Exec[R], opts Options[R]) (*Report[R], error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wexec := exec
+			if opts.NewWorkerExec != nil {
+				wexec = opts.NewWorkerExec()
+			}
 			for i := range jobs {
 				cell := spec.Cells[i]
 				mu.Lock()
@@ -281,7 +294,7 @@ func Run[R any](spec Spec, exec Exec[R], opts Options[R]) (*Report[R], error) {
 					opts.OnCellStart(cell)
 				}
 				cellStart := time.Now()
-				value, attempts, err := runCell(&spec, cell, exec, &opts)
+				value, attempts, err := runCell(&spec, cell, wexec, &opts)
 				wall := time.Since(cellStart)
 				rep.Results[i].Value = value
 				rep.Results[i].Err = err

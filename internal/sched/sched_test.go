@@ -263,3 +263,56 @@ func TestCellRandIndependentOfOrder(t *testing.T) {
 		t.Fatal("attempts share a stream")
 	}
 }
+
+// TestNewWorkerExecPerWorker verifies the per-worker executor factory:
+// it is invoked exactly once per spawned worker (so worker-private
+// scratch is never shared across goroutines), and campaigns built from
+// it remain deterministic — identical to the shared-exec run — at
+// every worker count.
+func TestNewWorkerExecPerWorker(t *testing.T) {
+	spec := testSpec(24)
+	base, err := Run(spec, drawSum, Options[uint64]{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8, 64} {
+		var made atomic.Int32
+		opts := Options[uint64]{Workers: workers}
+		opts.NewWorkerExec = func() Exec[uint64] {
+			made.Add(1)
+			// Worker-private scratch, reused across this worker's cells:
+			// sharing it between goroutines would be a data race, which
+			// is exactly what the factory exists to prevent.
+			scratch := make([]uint64, 0, 16)
+			return func(c Cell, rng *xrand.Rand) (uint64, error) {
+				scratch = scratch[:0]
+				for i := 0; i < 16; i++ {
+					scratch = append(scratch, rng.Uint64())
+				}
+				var sum uint64
+				for _, v := range scratch {
+					sum += v
+				}
+				return sum, nil
+			}
+		}
+		rep, err := Run(spec, drawSum, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		want := workers
+		if want > len(spec.Cells) {
+			want = len(spec.Cells)
+		}
+		if int(made.Load()) != want {
+			t.Errorf("workers=%d: factory called %d times, want %d", workers, made.Load(), want)
+		}
+		got := rep.Values()
+		for i, v := range base.Values() {
+			if got[i] != v {
+				t.Fatalf("workers=%d: cell %d = %d, want %d (per-worker exec changed results)",
+					workers, i, got[i], v)
+			}
+		}
+	}
+}

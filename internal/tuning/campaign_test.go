@@ -179,3 +179,22 @@ func TestCampaignReporterStreams(t *testing.T) {
 		}
 	}
 }
+
+// TestCampaignRepeatByteIdentical runs the identical campaign twice in
+// one process at a worker count that forces heavy runner-cache reuse
+// (each worker funnels many cells through few cached Runners and
+// Devices). Any state leaking between cells through that reused
+// scratch — plan arrays, outcome arenas, fault counters — would break
+// the byte-for-byte dataset equality asserted here.
+func TestCampaignRepeatByteIdentical(t *testing.T) {
+	cfg, tests := campaignConfig()
+	first, err := RunCampaign(cfg, tests, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunCampaign(cfg, tests, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsIdentical(t, first, second, "repeat run")
+}

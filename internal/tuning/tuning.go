@@ -300,7 +300,9 @@ func buildCampaign(cfg *Config, tests []*litmus.Test) (sched.Spec, map[string]tu
 
 // runCell executes one (environment, device, test) cell on a fresh
 // device — configured with the run's fault model, when any — and
-// returns its dataset record.
+// returns its dataset record. It is the cold path; scheduled campaigns
+// run cells through per-worker scratch (workerScratch) instead, which
+// reuses warm devices and runners.
 func runCell(w tuningCell, faults *gpu.FaultModel, rng *xrand.Rand) (Record, error) {
 	prof, ok := gpu.ProfileByName(w.device)
 	if !ok {
@@ -319,8 +321,14 @@ func runCell(w tuningCell, faults *gpu.FaultModel, rng *xrand.Rand) (Record, err
 	if err != nil {
 		return Record{}, fmt.Errorf("tuning: %s: %w", w.envID, err)
 	}
-	res, err := runner.Run(w.test, w.iters, rng)
-	if err != nil {
+	var res harness.Result
+	return recordOf(w, runner, &res, rng)
+}
+
+// recordOf runs the cell on the given (possibly warm) runner, writing
+// into the caller's reusable Result, and assembles its dataset record.
+func recordOf(w tuningCell, runner *harness.Runner, res *harness.Result, rng *xrand.Rand) (Record, error) {
+	if err := runner.RunInto(res, w.test, w.iters, rng); err != nil {
 		return Record{}, fmt.Errorf("tuning: %s/%s/%s: %w", w.envID, w.device, w.test.Name, err)
 	}
 	return Record{
@@ -339,6 +347,90 @@ func runCell(w tuningCell, faults *gpu.FaultModel, rng *xrand.Rand) (Record, err
 		TargetRate:  res.TargetRate(),
 		Discarded:   res.Discarded,
 	}, nil
+}
+
+// runnerKey identifies one warm runner in a worker's cache: runners are
+// shared across tests but are specific to a device and environment.
+type runnerKey struct {
+	device string
+	envID  string
+}
+
+// maxWorkerRunners bounds each worker's warm-runner cache. A runner's
+// scratch retains the high-water memory of its environment (threads ×
+// programs × registers), so an unbounded cache at paper scale would
+// pin hundreds of megabytes per worker; 16 covers the common
+// device×family working set while a worker walks the campaign.
+const maxWorkerRunners = 16
+
+// workerScratch is one scheduler worker's private warm state: a bounded
+// cache of device+runner pairs keyed by (device, environment) and a
+// reusable Result. Cells that hit the cache run allocation-free in the
+// steady state. Correctness under reuse relies on two invariants: the
+// executor scratch resets consume no randomness, and SetFaults resets
+// the device's injected-fault escalation count, so a warm device is
+// draw-for-draw and state-for-state identical to a fresh one.
+type workerScratch struct {
+	work    map[string]tuningCell
+	faults  *gpu.FaultModel
+	runners map[runnerKey]*harness.Runner
+	order   []runnerKey // insertion order, for FIFO eviction
+	res     harness.Result
+}
+
+// exec is the sched.Exec this worker runs cells through.
+func (s *workerScratch) exec(c sched.Cell, rng *xrand.Rand) (Record, error) {
+	w, ok := s.work[c.Key]
+	if !ok {
+		return Record{}, fmt.Errorf("tuning: unknown cell %q", c.Key)
+	}
+	runner, err := s.runner(w)
+	if err != nil {
+		return Record{}, err
+	}
+	return recordOf(w, runner, &s.res, rng)
+}
+
+// runner returns the worker's warm runner for the cell's device and
+// environment, creating (and caching) it on first use. Reused devices
+// get their fault model re-installed, which resets the fault-escalation
+// counter exactly as a fresh device would start.
+func (s *workerScratch) runner(w tuningCell) (*harness.Runner, error) {
+	key := runnerKey{device: w.device, envID: w.envID}
+	if r, ok := s.runners[key]; ok {
+		if s.faults != nil {
+			if err := r.Device.SetFaults(*s.faults); err != nil {
+				return nil, err
+			}
+		}
+		return r, nil
+	}
+	prof, ok := gpu.ProfileByName(w.device)
+	if !ok {
+		return nil, fmt.Errorf("tuning: unknown device %q", w.device)
+	}
+	dev, err := gpu.NewDevice(prof, gpu.Bugs{})
+	if err != nil {
+		return nil, err
+	}
+	if s.faults != nil {
+		if err := dev.SetFaults(*s.faults); err != nil {
+			return nil, err
+		}
+	}
+	r, err := harness.NewRunner(dev, w.env)
+	if err != nil {
+		return nil, fmt.Errorf("tuning: %s: %w", w.envID, err)
+	}
+	if len(s.order) >= maxWorkerRunners {
+		oldest := s.order[0]
+		copy(s.order, s.order[1:])
+		s.order = s.order[:len(s.order)-1]
+		delete(s.runners, oldest)
+	}
+	s.runners[key] = r
+	s.order = append(s.order, key)
+	return r, nil
 }
 
 // Run executes a tuning run over the given tests (typically the 32
@@ -368,6 +460,19 @@ func RunCampaign(cfg Config, tests []*litmus.Test, opts RunOptions) (*Dataset, e
 		Backoff:    opts.Backoff,
 		Breaker:    opts.Breaker,
 		Instances:  func(r Record) int { return r.Instances },
+		// Each worker gets private warm scratch — devices, runners and a
+		// Result reused across that worker's cells — so the steady-state
+		// campaign loop stops allocating. Cell randomness derives purely
+		// from (seed, cell key), so which worker's scratch a cell lands
+		// on cannot change its record.
+		NewWorkerExec: func() sched.Exec[Record] {
+			s := &workerScratch{
+				work:    work,
+				faults:  cfg.Faults,
+				runners: map[runnerKey]*harness.Runner{},
+			}
+			return s.exec
+		},
 	}
 	if opts.Progress != nil {
 		progress := opts.Progress

@@ -148,11 +148,28 @@ func (r *Rand) IntBetween(lo, hi int) int {
 // Perm returns a random permutation of [0, n) as a slice, using the
 // Fisher-Yates shuffle.
 func (r *Rand) Perm(n int) []int {
-	p := make([]int, n)
+	return r.PermInto(nil, n)
+}
+
+// PermInto is Perm writing into buf, which is grown as needed and
+// returned re-sliced to length n. It consumes exactly the same draws as
+// Perm — for equal generator states, PermInto(buf, n) and Perm(n) hold
+// identical permutations — so hot paths can reuse one buffer across
+// calls without perturbing any downstream randomness.
+func (r *Rand) PermInto(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	p := buf[:n]
 	for i := range p {
 		p[i] = i
 	}
-	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	// Fisher-Yates inlined (draw-identical to Shuffle) so no closure
+	// escapes to the heap.
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
 	return p
 }
 

@@ -334,3 +334,49 @@ func TestDeriveSeedSpreads(t *testing.T) {
 		}
 	}
 }
+
+// TestPermIntoMatchesPerm pins PermInto to Perm: identical draws from
+// identical states, with the caller's buffer reused in place whenever
+// its capacity suffices.
+func TestPermIntoMatchesPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64} {
+		a := New(uint64(1000 + n))
+		b := New(uint64(1000 + n))
+		want := a.Perm(n)
+		buf := make([]int, 0, 64)
+		got := b.PermInto(buf, n)
+		if len(got) != n {
+			t.Fatalf("n=%d: PermInto returned %d elements", n, len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: PermInto[%d] = %d, Perm[%d] = %d", n, i, got[i], i, want[i])
+			}
+		}
+		if n > 0 && &got[0] != &buf[:1][0] {
+			t.Errorf("n=%d: PermInto reallocated despite sufficient capacity", n)
+		}
+		// The generators must be in identical states afterwards: the two
+		// paths consumed exactly the same draws.
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("n=%d: Perm and PermInto consumed different draws", n)
+		}
+	}
+}
+
+// TestPermIntoGrows checks the grow path: a too-small buffer is
+// replaced, not written out of bounds, and the permutation is valid.
+func TestPermIntoGrows(t *testing.T) {
+	r := New(3)
+	p := r.PermInto(make([]int, 0, 2), 10)
+	if len(p) != 10 {
+		t.Fatalf("got %d elements, want 10", len(p))
+	}
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}

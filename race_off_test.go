@@ -1,0 +1,7 @@
+//go:build !race
+
+package repro
+
+// raceEnabled reports whether the race detector instrumented this
+// build; allocation-count tests skip under it.
+const raceEnabled = false
