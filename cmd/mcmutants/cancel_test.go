@@ -1,0 +1,148 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// exit130 asserts err carries the interrupted-run exit code.
+func exit130(t *testing.T, err error) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("interrupted run returned no error")
+	}
+	var ec interface{ ExitCode() int }
+	if !errors.As(err, &ec) {
+		t.Fatalf("interrupted run error carries no exit code: %v", err)
+	}
+	if ec.ExitCode() != 130 {
+		t.Fatalf("interrupted run exit code = %d, want 130: %v", ec.ExitCode(), err)
+	}
+}
+
+// TestTuneDeadlineInterruptsAndResumes: an expired -deadline drains the
+// tune campaign — exit 130, resume hint printed, checkpoint and partial
+// dataset on disk — and resuming without the deadline produces a
+// dataset byte-identical to a run that was never interrupted.
+func TestTuneDeadlineInterruptsAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"tune", "-envs", "1", "-site-iters", "2", "-pte-iters", "1",
+		"-devices", "AMD", "-quiet"}
+
+	cleanPath := filepath.Join(dir, "clean.json")
+	if _, err := capture(t, func() error {
+		return run(append(base, "-out", cleanPath))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(cleanPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "tuning.json")
+	out, runErr := capture(t, func() error {
+		return run(append(base, "-out", path, "-resume", "-deadline", "1ns"))
+	})
+	exit130(t, runErr)
+	if !strings.Contains(runErr.Error(), "-resume") {
+		t.Errorf("interrupted tune error lacks a resume hint: %v", runErr)
+	}
+	if !strings.Contains(out, "interrupted") {
+		t.Errorf("interrupted tune output does not say so:\n%s", out)
+	}
+	if _, err := os.Stat(path + ".ckpt"); err != nil {
+		t.Fatalf("interrupted tune left no checkpoint: %v", err)
+	}
+	partial, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("interrupted tune left no partial dataset: %v", err)
+	}
+	if !strings.Contains(string(partial), `"interrupted": true`) {
+		t.Error("partial dataset not marked interrupted")
+	}
+
+	if _, err := capture(t, func() error {
+		return run(append(base, "-out", path, "-resume"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resumed) != string(clean) {
+		t.Fatal("resumed dataset is not byte-identical to the uninterrupted run")
+	}
+}
+
+// TestCampaignDeadlineInterrupts: both campaign kinds follow the same
+// drain path under an expired -deadline.
+func TestCampaignDeadlineInterrupts(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"campaign", "-kind", "conformance", "-devices", "AMD",
+			"-iters", "4", "-parallel", "2", "-deadline", "1ns", "-quiet"})
+	})
+	exit130(t, err)
+	if !strings.Contains(out, "interrupted") {
+		t.Errorf("interrupted conformance output does not say so:\n%s", out)
+	}
+
+	out, err = capture(t, func() error {
+		return run([]string{"campaign", "-kind", "evaluate", "-devices", "AMD",
+			"-envs", "pte", "-iters", "2", "-parallel", "2", "-deadline", "1ns", "-quiet"})
+	})
+	exit130(t, err)
+	if !strings.Contains(out, "interrupted") {
+		t.Errorf("interrupted evaluate output does not say so:\n%s", out)
+	}
+}
+
+// TestCampaignDeadlineResumesByteIdentical: a conformance campaign
+// interrupted by -deadline resumes from its checkpoint and reports
+// exactly what an uninterrupted campaign reports.
+func TestCampaignDeadlineResumesByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	args := func(extra ...string) []string {
+		return append([]string{"campaign", "-kind", "conformance", "-devices", "AMD,Intel",
+			"-iters", "4", "-parallel", "4", "-quiet"}, extra...)
+	}
+	clean, err := capture(t, func() error { return run(args()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(dir, "conf.ckpt")
+	_, runErr := capture(t, func() error {
+		return run(args("-checkpoint", ckpt, "-deadline", "1ns"))
+	})
+	exit130(t, runErr)
+
+	resumed, err := capture(t, func() error {
+		return run(args("-checkpoint", ckpt, "-resume"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != clean {
+		t.Fatalf("resumed campaign output differs:\n%s\nvs\n%s", resumed, clean)
+	}
+}
+
+// TestCellTimeoutFlagAccepted: a generous -cell-timeout changes nothing
+// about a healthy run.
+func TestCellTimeoutFlagAccepted(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"campaign", "-kind", "conformance", "-devices", "AMD",
+			"-iters", "4", "-parallel", "2", "-cell-timeout", "1h", "-quiet"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fleet conforms") {
+		t.Errorf("bounded healthy campaign did not conform:\n%s", out)
+	}
+}

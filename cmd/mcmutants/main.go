@@ -10,25 +10,32 @@
 //	mcmutants devices
 //	mcmutants run -test NAME [-device NAME] [-env pte|site|pte-baseline|site-baseline] [-iters N] [-seed N] [-buggy]
 //	mcmutants conformance [-device NAME] [-iters N] [-seed N] [-fence-bug] [-coherence-bug] [-stale-cache-bug]
-//	mcmutants campaign -kind conformance|evaluate [-devices A,B] [-envs pte,site] [-iters N] [-seed N] [-parallel N] [-checkpoint FILE] [-resume] [-faults] [-fault-rate P] [-watchdog N] [-loss-after N]
-//	mcmutants tune [-out FILE] [-envs N] [-site-iters N] [-pte-iters N] [-paper-scale] [-devices A,B] [-seed N] [-parallel N] [-checkpoint FILE] [-resume] [-faults] [-fault-rate P] [-watchdog N] [-loss-after N]
+//	mcmutants campaign -kind conformance|evaluate [-devices A,B] [-envs pte,site] [-iters N] [-seed N] [-parallel N] [-checkpoint FILE] [-resume] [-deadline D] [-cell-timeout D] [-faults] [-fault-rate P] [-watchdog N] [-loss-after N]
+//	mcmutants tune [-out FILE] [-envs N] [-site-iters N] [-pte-iters N] [-paper-scale] [-devices A,B] [-seed N] [-parallel N] [-checkpoint FILE] [-resume] [-deadline D] [-cell-timeout D] [-faults] [-fault-rate P] [-watchdog N] [-loss-after N]
 //
 // Exit status: 0 on success, 1 on usage or fatal errors, 2 when a
 // campaign or tuning run completed but some cells produced no data
-// (device failures or quarantined cells).
+// (device failures or quarantined cells), 130 when the run was
+// interrupted (SIGINT/SIGTERM or -deadline expiry) after a graceful
+// drain — completed cells are checkpointed and the run is resumable
+// with -resume.
 //	mcmutants analyze -action mutation-score|merge|correlation [-stats FILE] [-family NAME] [-rep PCT] [-budget SECONDS] [-envs N] [-iters N]
 //	mcmutants cts -stats FILE [-family NAME] [-rep PCT] [-budget SECONDS]
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/confidence"
 	"repro/internal/core"
@@ -61,6 +68,18 @@ func (e *partialFailure) Error() string { return e.msg }
 // ExitCode selects the degraded-completion exit status.
 func (e *partialFailure) ExitCode() int { return 2 }
 
+// interruptedRun signals a campaign that was cancelled — SIGINT,
+// SIGTERM or -deadline expiry — and drained gracefully: completed cells
+// are checkpointed, partial output is written, and a -resume run picks
+// up the remainder. It maps to exit code 130, the shell convention for
+// an interrupted process, distinct from fatal (1) and degraded (2).
+type interruptedRun struct{ msg string }
+
+func (e *interruptedRun) Error() string { return e.msg }
+
+// ExitCode selects the interrupted exit status.
+func (e *interruptedRun) ExitCode() int { return 130 }
+
 // exitCode maps an error to the process exit status: errors carrying an
 // ExitCode method choose their own (partial failures exit 2); anything
 // else — usage mistakes, fatal campaign errors — exits 1.
@@ -72,7 +91,18 @@ func exitCode(err error) int {
 	return 1
 }
 
+// run installs the interrupt handler and dispatches the subcommand.
+// The first SIGINT/SIGTERM cancels the context — long-running
+// subcommands drain gracefully and exit 130 — and a second signal kills
+// the process immediately (signal.NotifyContext restores the default
+// disposition once the context is cancelled).
 func run(args []string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return dispatch(ctx, args)
+}
+
+func dispatch(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("missing subcommand")
@@ -88,9 +118,9 @@ func run(args []string) error {
 	case "conformance":
 		return cmdConformance(args[1:])
 	case "campaign":
-		return cmdCampaign(args[1:])
+		return cmdCampaign(ctx, args[1:])
 	case "tune":
-		return cmdTune(args[1:])
+		return cmdTune(ctx, args[1:])
 	case "analyze":
 		return cmdAnalyze(args[1:])
 	case "cts":
@@ -396,6 +426,32 @@ func (ff *faultFlags) breaker() *sched.BreakerOptions {
 	return &sched.BreakerOptions{}
 }
 
+// cancelFlags is the shared -deadline/-cell-timeout flag group of the
+// campaign and tune subcommands.
+type cancelFlags struct {
+	deadline    *time.Duration
+	cellTimeout *time.Duration
+}
+
+// addCancelFlags registers the cancellation-budget flags on fs.
+func addCancelFlags(fs *flag.FlagSet) *cancelFlags {
+	return &cancelFlags{
+		deadline: fs.Duration("deadline", 0,
+			"wall-clock budget for the whole run; expiry drains gracefully (checkpoint flushed, exit 130, resumable)"),
+		cellTimeout: fs.Duration("cell-timeout", 0,
+			"bound on each cell attempt; expiry fails that cell only, the run continues"),
+	}
+}
+
+// apply derives the run context from -deadline; the returned cancel
+// must be deferred.
+func (cf *cancelFlags) apply(ctx context.Context) (context.Context, context.CancelFunc) {
+	if *cf.deadline > 0 {
+		return context.WithTimeout(ctx, *cf.deadline)
+	}
+	return context.WithCancel(ctx)
+}
+
 // profileFlags is the shared -cpuprofile/-memprofile flag group of the
 // long-running campaign and tune subcommands.
 type profileFlags struct {
@@ -452,7 +508,7 @@ func (pf *profileFlags) start() (stop func(), err error) {
 // cmdCampaign runs a scheduled campaign over the device fleet: either
 // the conformance suite on every platform, or a multi-environment
 // mutation-score evaluation on one device.
-func cmdCampaign(args []string) error {
+func cmdCampaign(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
 	kind := fs.String("kind", "conformance", "campaign kind: conformance or evaluate")
 	devices := fs.String("devices", "", "comma-separated device names (default: the Table 3 fleet)")
@@ -466,10 +522,13 @@ func cmdCampaign(args []string) error {
 	quiet := fs.Bool("quiet", false, "suppress progress output")
 	fenceBug := fs.Bool("fence-bug", false, "inject the fence-dropping driver on every platform")
 	ff := addFaultFlags(fs)
+	cf := addCancelFlags(fs)
 	pf := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancel := cf.apply(ctx)
+	defer cancel()
 	stopProf, err := pf.start()
 	if err != nil {
 		return err
@@ -489,6 +548,7 @@ func cmdCampaign(args []string) error {
 	opts := core.CampaignOptions{
 		Workers:        *parallel,
 		Retries:        *retries,
+		CellTimeout:    *cf.cellTimeout,
 		CheckpointPath: *checkpoint,
 		Resume:         *resume,
 		Collect:        *ff.enable,
@@ -517,11 +577,12 @@ func cmdCampaign(args []string) error {
 			}
 			platforms = append(platforms, p)
 		}
-		reports, err := study.CheckFleetConformance(platforms, envs[0], *iters, *seed, opts)
-		if err != nil {
+		reports, err := study.CheckFleetConformanceCtx(ctx, platforms, envs[0], *iters, *seed, opts)
+		interrupted := errors.Is(err, sched.ErrInterrupted)
+		if err != nil && !interrupted {
 			return err
 		}
-		bad, failedCells, quarantined := 0, 0, 0
+		bad, failedCells, quarantined, pending := 0, 0, 0, 0
 		for _, rep := range reports {
 			buggy := rep.Buggy()
 			bad += len(buggy)
@@ -538,6 +599,11 @@ func cmdCampaign(args []string) error {
 				}
 				fmt.Printf("  %-22s NO DATA: %s\n", f.Test, f.Error)
 			}
+			for _, f := range rep.Findings {
+				if f.Interrupted {
+					pending++
+				}
+			}
 			for _, h := range rep.Health {
 				if h.Quarantined > 0 || h.Open {
 					state := "recovered"
@@ -550,8 +616,17 @@ func cmdCampaign(args []string) error {
 		}
 		if bad > 0 {
 			fmt.Printf("\n%d violation(s) across the fleet\n", bad)
+		} else if interrupted {
+			fmt.Println("\nfleet conforms so far (run interrupted)")
 		} else {
 			fmt.Println("\nfleet conforms")
+		}
+		if interrupted {
+			msg := fmt.Sprintf("campaign interrupted: %d cell(s) pending", pending)
+			if *checkpoint != "" {
+				msg += fmt.Sprintf("; resume with -checkpoint %s -resume", *checkpoint)
+			}
+			return &interruptedRun{msg}
 		}
 		if failedCells > 0 {
 			return &partialFailure{fmt.Sprintf(
@@ -570,12 +645,17 @@ func cmdCampaign(args []string) error {
 				// One campaign per device; keep their checkpoints apart.
 				devOpts.CheckpointPath = fmt.Sprintf("%s.%s", opts.CheckpointPath, p.Device)
 			}
-			score, err := study.EvaluateEnvironments(p, envs, *iters, *seed, devOpts)
-			if err != nil {
+			score, err := study.EvaluateEnvironmentsCtx(ctx, p, envs, *iters, *seed, devOpts)
+			interrupted := errors.Is(err, sched.ErrInterrupted)
+			if err != nil && !interrupted {
 				return err
 			}
-			fmt.Printf("%-8s mutation score %.1f%% (%d/%d killed across %d environments), avg death rate %.4g/s\n",
-				p.Device, 100*score.Score(), score.Killed, score.Total, len(envs), score.AvgDeathRate)
+			note := ""
+			if interrupted {
+				note = " [interrupted, partial]"
+			}
+			fmt.Printf("%-8s mutation score %.1f%% (%d/%d killed across %d environments), avg death rate %.4g/s%s\n",
+				p.Device, 100*score.Score(), score.Killed, score.Total, len(envs), score.AvgDeathRate, note)
 			if len(score.Failures) > 0 {
 				nq := 0
 				for _, cf := range score.Failures {
@@ -586,6 +666,13 @@ func cmdCampaign(args []string) error {
 				failedCells += len(score.Failures)
 				quarantined += nq
 				fmt.Printf("  %d cell(s) produced no data (%d quarantined)\n", len(score.Failures), nq)
+			}
+			if interrupted {
+				msg := "campaign interrupted: per-device evaluation incomplete"
+				if opts.CheckpointPath != "" {
+					msg += fmt.Sprintf("; resume with -checkpoint %s -resume", opts.CheckpointPath)
+				}
+				return &interruptedRun{msg}
 			}
 		}
 		if failedCells > 0 {
@@ -598,7 +685,7 @@ func cmdCampaign(args []string) error {
 	}
 }
 
-func cmdTune(args []string) error {
+func cmdTune(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("tune", flag.ContinueOnError)
 	out := fs.String("out", "tuning.json", "output dataset path")
 	envs := fs.Int("envs", 12, "random environments per tuned family")
@@ -613,10 +700,13 @@ func cmdTune(args []string) error {
 	resume := fs.Bool("resume", false, "resume from the checkpoint, replaying completed cells")
 	retries := fs.Int("retries", 0, "retries per cell on transient failures")
 	ff := addFaultFlags(fs)
+	cf := addCancelFlags(fs)
 	pf := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancel := cf.apply(ctx)
+	defer cancel()
 	stopProf, err := pf.start()
 	if err != nil {
 		return err
@@ -646,6 +736,7 @@ func cmdTune(args []string) error {
 		CheckpointPath: *checkpoint,
 		Resume:         *resume,
 		Retries:        *retries,
+		CellTimeout:    *cf.cellTimeout,
 		Breaker:        ff.breaker(),
 	}
 	if opts.Resume && opts.CheckpointPath == "" {
@@ -655,7 +746,7 @@ func cmdTune(args []string) error {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 		opts.Report = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
-	ds, err := tuning.RunCampaign(cfg, suite.Mutants, opts)
+	ds, err := tuning.RunCampaignCtx(ctx, cfg, suite.Mutants, opts)
 	if err != nil {
 		return err
 	}
@@ -667,7 +758,11 @@ func cmdTune(args []string) error {
 	if err := ds.Save(f); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d records to %s\n", len(ds.Records), *out)
+	if ds.Interrupted {
+		fmt.Printf("wrote %d records to %s (run interrupted; dataset partial)\n", len(ds.Records), *out)
+	} else {
+		fmt.Printf("wrote %d records to %s\n", len(ds.Records), *out)
+	}
 	nq := 0
 	for _, d := range ds.Dropped {
 		if d.Quarantined {
@@ -677,6 +772,17 @@ func cmdTune(args []string) error {
 	if len(ds.Dropped) > 0 {
 		fmt.Printf("%d cell(s) dropped (%d quarantined) — recorded in the dataset's dropped list\n",
 			len(ds.Dropped), nq)
+	}
+	if ds.Interrupted {
+		// The partial dataset is written and every completed cell is in
+		// the checkpoint; a resumed run replays them and finishes the
+		// rest, producing a byte-identical final dataset. Skip the Fig. 5
+		// analysis — it would summarize an incomplete grid.
+		msg := "tuning run interrupted: dataset is partial"
+		if opts.CheckpointPath != "" {
+			msg += fmt.Sprintf("; resume with -checkpoint %s -resume", opts.CheckpointPath)
+		}
+		return &interruptedRun{msg}
 	}
 	fmt.Println()
 	fmt.Print(report.Fig5(ds))

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -22,6 +24,10 @@ type CampaignOptions struct {
 	// Retries and Backoff configure transient-failure handling per cell.
 	Retries int
 	Backoff time.Duration
+	// CellTimeout bounds each cell attempt; expiry is an ordinary
+	// permanent cell failure (retried, reported, breaker-visible), not a
+	// campaign interruption. Zero means no per-cell bound.
+	CellTimeout time.Duration
 	// CheckpointPath, when non-empty, records completed cells as JSONL
 	// so an interrupted campaign can resume.
 	CheckpointPath string
@@ -54,6 +60,7 @@ func applyCampaignOptions[R any](o CampaignOptions, spec sched.Spec, opts *sched
 	opts.Workers = o.Workers
 	opts.MaxRetries = o.Retries
 	opts.Backoff = o.Backoff
+	opts.CellTimeout = o.CellTimeout
 	opts.Collect = o.Collect
 	opts.Breaker = o.Breaker
 	if o.Progress != nil {
@@ -101,10 +108,11 @@ type CellFailure struct {
 }
 
 // cellFailures extracts a report's failed cells in spec order.
+// Interrupted cells are pending, not failed, and are excluded.
 func cellFailures[R any](rep *sched.Report[R]) []CellFailure {
 	var out []CellFailure
 	for _, r := range rep.Results {
-		if r.Err != nil {
+		if r.Err != nil && !r.Interrupted {
 			out = append(out, CellFailure{
 				Key:         r.Cell.Key,
 				Device:      r.Cell.Device,
@@ -121,8 +129,18 @@ func cellFailures[R any](rep *sched.Report[R]) []CellFailure {
 // platform as one campaign and scores the ensemble: per-mutant results
 // are merged across environments (a mutant counts as killed when any
 // environment kills it), the multi-environment generalization of the
-// paper's single-environment mutation score.
+// paper's single-environment mutation score. It is
+// EvaluateEnvironmentsCtx under context.Background().
 func (st *Study) EvaluateEnvironments(p Platform, envs []harness.Params, iterations int, seed uint64, opts CampaignOptions) (*EnvScore, error) {
+	return st.EvaluateEnvironmentsCtx(context.Background(), p, envs, iterations, seed, opts)
+}
+
+// EvaluateEnvironmentsCtx is EvaluateEnvironments under a context.
+// Cancellation drains the campaign: in-flight cells finish or are
+// abandoned, completed cells are checkpointed, and the partial score is
+// returned with Interrupted set alongside an error wrapping
+// sched.ErrInterrupted.
+func (st *Study) EvaluateEnvironmentsCtx(ctx context.Context, p Platform, envs []harness.Params, iterations int, seed uint64, opts CampaignOptions) (*EnvScore, error) {
 	if len(envs) == 0 {
 		return nil, fmt.Errorf("core: no environments")
 	}
@@ -150,21 +168,23 @@ func (st *Study) EvaluateEnvironments(p Platform, envs []harness.Params, iterati
 		return nil, err
 	}
 	defer closer()
-	rep, err := sched.Run(spec, func(c sched.Cell, rng *xrand.Rand) (*harness.Result, error) {
+	rep, err := sched.RunContext(ctx, spec, func(ctx context.Context, c sched.Cell, rng *xrand.Rand) (*harness.Result, error) {
 		w := work[c.Key]
 		r, err := p.runner(w.env)
 		if err != nil {
 			return nil, err
 		}
-		return r.Run(w.mutant, iterations, rng)
+		return r.RunCtx(ctx, w.mutant, iterations, rng)
 	}, schedOpts)
-	if err != nil {
+	interrupted := errors.Is(err, sched.ErrInterrupted)
+	if err != nil && !interrupted {
 		return nil, err
 	}
 	// Fold each mutant's per-environment results into one, in suite
 	// order; cells are env-major so result i belongs to mutant i mod N.
 	// Failed cells (possible under Collect or a breaker) contribute
-	// nothing to the merge but are reported in Failures.
+	// nothing to the merge but are reported in Failures; interrupted
+	// cells contribute nothing anywhere — they are pending, not failed.
 	nm := len(st.Suite.Mutants)
 	merged := make([]*harness.Result, nm)
 	for mi, mt := range st.Suite.Mutants {
@@ -183,6 +203,7 @@ func (st *Study) EvaluateEnvironments(p Platform, envs []harness.Params, iterati
 	score := &EnvScore{
 		PerMutant: merged, Total: nm,
 		Failures: cellFailures(rep), Health: rep.Health,
+		Interrupted: interrupted,
 	}
 	rates := 0.0
 	for _, res := range merged {
@@ -192,6 +213,9 @@ func (st *Study) EvaluateEnvironments(p Platform, envs []harness.Params, iterati
 		rates += res.TargetRate()
 	}
 	score.AvgDeathRate = rates / float64(nm)
+	if interrupted {
+		return score, fmt.Errorf("core: evaluation interrupted: %w", sched.ErrInterrupted)
+	}
 	return score, nil
 }
 
@@ -199,8 +223,17 @@ func (st *Study) EvaluateEnvironments(p Platform, envs []harness.Params, iterati
 // as one campaign and returns one report per platform, in input order.
 // This is the fleet-wide version of CheckConformance: all
 // (platform, test) cells share the scheduler's pool, so a slow device
-// does not serialize the rest of the fleet.
+// does not serialize the rest of the fleet. It is
+// CheckFleetConformanceCtx under context.Background().
 func (st *Study) CheckFleetConformance(platforms []Platform, env harness.Params, iterations int, seed uint64, opts CampaignOptions) ([]*ConformanceReport, error) {
+	return st.CheckFleetConformanceCtx(context.Background(), platforms, env, iterations, seed, opts)
+}
+
+// CheckFleetConformanceCtx is CheckFleetConformance under a context.
+// Cancellation drains the campaign and returns the partial reports —
+// interrupted findings marked pending, report Interrupted set — with an
+// error wrapping sched.ErrInterrupted.
+func (st *Study) CheckFleetConformanceCtx(ctx context.Context, platforms []Platform, env harness.Params, iterations int, seed uint64, opts CampaignOptions) ([]*ConformanceReport, error) {
 	if len(platforms) == 0 {
 		return nil, fmt.Errorf("core: no platforms")
 	}
@@ -228,13 +261,13 @@ func (st *Study) CheckFleetConformance(platforms []Platform, env harness.Params,
 		return nil, err
 	}
 	defer closer()
-	rep, err := sched.Run(spec, func(c sched.Cell, rng *xrand.Rand) (Finding, error) {
+	rep, err := sched.RunContext(ctx, spec, func(ctx context.Context, c sched.Cell, rng *xrand.Rand) (Finding, error) {
 		w := work[c.Key]
 		r, err := w.platform.runner(env)
 		if err != nil {
 			return Finding{}, err
 		}
-		res, err := r.Run(w.test, iterations, rng)
+		res, err := r.RunCtx(ctx, w.test, iterations, rng)
 		if err != nil {
 			return Finding{}, err
 		}
@@ -251,16 +284,19 @@ func (st *Study) CheckFleetConformance(platforms []Platform, env harness.Params,
 		}
 		return f, nil
 	}, schedOpts)
-	if err != nil {
+	interrupted := errors.Is(err, sched.ErrInterrupted)
+	if err != nil && !interrupted {
 		return nil, err
 	}
 	// Assemble per-platform reports from the per-cell results. A failed
 	// cell (possible under Collect or a breaker) becomes an
-	// error-carrying finding — recorded, never dropped.
+	// error-carrying finding — recorded, never dropped. An interrupted
+	// cell becomes a pending finding: marked Interrupted, excluded from
+	// Failed(), re-run on resume.
 	nc := len(st.Suite.Conformance)
 	reports := make([]*ConformanceReport, len(platforms))
 	for pi := range platforms {
-		r := &ConformanceReport{Platform: platforms[pi]}
+		r := &ConformanceReport{Platform: platforms[pi], Interrupted: interrupted}
 		for ti := 0; ti < nc; ti++ {
 			cr := rep.Results[pi*nc+ti]
 			f := cr.Value
@@ -269,6 +305,7 @@ func (st *Study) CheckFleetConformance(platforms []Platform, env harness.Params,
 				f = Finding{
 					Test: test.Name, Mutator: test.Mutator,
 					Error: cr.Err.Error(), Quarantined: cr.Quarantined,
+					Interrupted: cr.Interrupted,
 				}
 			}
 			r.Findings = append(r.Findings, f)
@@ -279,6 +316,9 @@ func (st *Study) CheckFleetConformance(platforms []Platform, env harness.Params,
 			}
 		}
 		reports[pi] = r
+	}
+	if interrupted {
+		return reports, fmt.Errorf("core: conformance check interrupted: %w", sched.ErrInterrupted)
 	}
 	return reports, nil
 }

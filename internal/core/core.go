@@ -100,6 +100,10 @@ type EnvScore struct {
 	// Health summarizes per-device fleet health when the campaign ran
 	// with a circuit breaker.
 	Health []sched.DeviceHealth
+	// Interrupted is true when the campaign was cancelled before every
+	// cell ran: the score covers only the completed cells, and a resumed
+	// run (same seed, same checkpoint) will finish the rest.
+	Interrupted bool
 }
 
 // Score returns the mutation score in [0, 1].
@@ -141,6 +145,9 @@ type Finding struct {
 	Error string
 	// Quarantined marks cells skipped by the device circuit breaker.
 	Quarantined bool
+	// Interrupted marks cells abandoned by campaign cancellation: the
+	// test is pending, not failed, and runs again on resume.
+	Interrupted bool
 }
 
 // ConformanceReport is the result of running the conformance suite.
@@ -150,14 +157,19 @@ type ConformanceReport struct {
 	// Health summarizes the platform device's campaign health when the
 	// fleet ran with a circuit breaker.
 	Health []sched.DeviceHealth
+	// Interrupted is true when the campaign was cancelled before the
+	// platform's every test ran; interrupted findings are pending, not
+	// failed.
+	Interrupted bool
 }
 
 // Failed returns the findings whose cells produced no data (device
-// failures and quarantined cells).
+// failures and quarantined cells). Interrupted findings are pending,
+// not failed, and are excluded.
 func (r *ConformanceReport) Failed() []Finding {
 	var out []Finding
 	for _, f := range r.Findings {
-		if f.Error != "" {
+		if f.Error != "" && !f.Interrupted {
 			out = append(out, f)
 		}
 	}

@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/xrand"
@@ -90,6 +91,17 @@ func (d *Device) watchdogDeadline() int64 {
 // worse — succeed with silently corrupted results, which callers
 // detect by validating outcomes against their expected value domain.
 func (d *Device) Run(spec LaunchSpec, rng *xrand.Rand) (*RunResult, error) {
+	return d.RunCtx(context.Background(), spec, rng)
+}
+
+// RunCtx is Run with cooperative cancellation: the executor polls
+// ctx.Done() on a coarse step budget (every cancelCheckSteps scheduler
+// steps, plus once on entry), so a pathological kernel stops well below
+// the watchdog deadline while the allocation-free hot path pays only a
+// decrement and branch per step. A cancelled launch fails with an error
+// wrapping ctx.Err() and leaves the executor scratch reusable — the
+// next run resets it as usual.
+func (d *Device) RunCtx(ctx context.Context, spec LaunchSpec, rng *xrand.Rand) (*RunResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -114,7 +126,10 @@ func (d *Device) Run(spec LaunchSpec, rng *xrand.Rand) (*RunResult, error) {
 		corrupt = frng.Bool(d.faults.CorruptProb)
 	}
 	e := d.getExec(spec, rng)
-	if err := e.run(); err != nil {
+	e.ctx = ctx
+	err := e.run()
+	e.ctx = nil
+	if err != nil {
 		return nil, err
 	}
 	res := e.result()
@@ -198,6 +213,11 @@ type exec struct {
 	d    *Device
 	rng  *xrand.Rand
 	spec LaunchSpec
+
+	// ctx, when non-nil, is the launch's cancellation context; run()
+	// polls it on a coarse step budget. It is set around run() by RunCtx
+	// and cleared afterward so the scratch never retains a caller's ctx.
+	ctx context.Context
 
 	mem     []uint32
 	threads []*threadState
@@ -437,10 +457,32 @@ func (e *exec) admit(wg *wgState, c *cuState) {
 	}
 }
 
+// cancelCheckSteps is the executor's cancellation poll granularity:
+// one non-blocking ctx check per this many scheduler steps. Coarse on
+// purpose — a per-step check would put a channel select on the hottest
+// loop in the simulator — yet a hung-but-below-watchdog kernel still
+// stops within thousands of steps (microseconds of host time) of a
+// cancel, far below the watchdog's tick deadline.
+const cancelCheckSteps = 4096
+
 func (e *exec) run() error {
 	total := len(e.threads)
 	deadline := e.d.watchdogDeadline()
+	var cancelled <-chan struct{}
+	if e.ctx != nil {
+		cancelled = e.ctx.Done() // nil for context.Background(); the select then never fires
+	}
+	check := 1 // check on the first step so a pre-cancelled ctx fails fast
 	for e.retired < total {
+		if check--; check <= 0 {
+			check = cancelCheckSteps
+			select {
+			case <-cancelled:
+				return fmt.Errorf("gpu: kernel cancelled at tick %d on %s: %w",
+					e.now, e.d.prof.ShortName, e.ctx.Err())
+			default:
+			}
+		}
 		if e.now > deadline {
 			// The watchdog converts a hung kernel into a typed, retryable
 			// failure instead of spinning toward the simulation bound.

@@ -6,6 +6,7 @@ package harness
 // byte-identical to a fresh one.
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -92,13 +93,13 @@ func TestRunnerReuseMatchesFresh(t *testing.T) {
 		t.Fatal(err)
 	}
 	var res Result
-	if err := warm.RunInto(&res, sb, 2, xrand.New(5)); err != nil {
+	if err := warm.RunInto(context.Background(), &res, sb, 2, xrand.New(5)); err != nil {
 		t.Fatal(err)
 	}
-	if err := warm.RunInto(&res, mp, 1, xrand.New(17)); err != nil {
+	if err := warm.RunInto(context.Background(), &res, mp, 1, xrand.New(17)); err != nil {
 		t.Fatal(err)
 	}
-	if err := warm.RunInto(&res, mp, 3, xrand.New(99)); err != nil {
+	if err := warm.RunInto(context.Background(), &res, mp, 3, xrand.New(99)); err != nil {
 		t.Fatal(err)
 	}
 

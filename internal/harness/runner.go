@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -173,21 +174,32 @@ type outcomeClass struct {
 
 // Run executes the test for the given number of iterations, classifying
 // every instance outcome. The rng drives all nondeterminism; equal
-// seeds reproduce results exactly.
+// seeds reproduce results exactly. Run is RunCtx under
+// context.Background().
 func (r *Runner) Run(test *litmus.Test, iterations int, rng *xrand.Rand) (*Result, error) {
+	return r.RunCtx(context.Background(), test, iterations, rng)
+}
+
+// RunCtx is Run under a context: cancellation is checked between
+// iterations and, on a coarse step budget, inside the device executor,
+// so a draining campaign abandons the cell promptly. A cancelled run
+// returns an error wrapping ctx.Err() and no result.
+func (r *Runner) RunCtx(ctx context.Context, test *litmus.Test, iterations int, rng *xrand.Rand) (*Result, error) {
 	res := &Result{}
-	if err := r.RunInto(res, test, iterations, rng); err != nil {
+	if err := r.RunInto(ctx, res, test, iterations, rng); err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
-// RunInto is Run writing into a caller-owned Result, whose histogram
+// RunInto is RunCtx writing into a caller-owned Result, whose histogram
 // (when already allocated) is reset and reused — together with the
 // runner's own iteration scratch this makes the steady-state loop
-// allocation-free. res must not be shared with a Result still in use;
-// everything in it is overwritten.
-func (r *Runner) RunInto(res *Result, test *litmus.Test, iterations int, rng *xrand.Rand) error {
+// allocation-free (the per-iteration cancellation check is a
+// non-blocking select on a captured channel and allocates nothing).
+// res must not be shared with a Result still in use; everything in it
+// is overwritten.
+func (r *Runner) RunInto(ctx context.Context, res *Result, test *litmus.Test, iterations int, rng *xrand.Rand) error {
 	if iterations <= 0 {
 		return fmt.Errorf("harness: iterations=%d", iterations)
 	}
@@ -220,7 +232,16 @@ func (r *Runner) RunInto(res *Result, test *litmus.Test, iterations int, rng *xr
 	}
 	dom := r.scratch.dom
 	plan := &r.scratch.plan
+	cancelled := ctx.Done() // nil for context.Background(); the check is then branch-only
 	for iter := 0; iter < iterations; iter++ {
+		if cancelled != nil {
+			select {
+			case <-cancelled:
+				return fmt.Errorf("harness: %s interrupted after %d of %d iterations: %w",
+					test.Name, iter, iterations, ctx.Err())
+			default:
+			}
+		}
 		if err := plan.buildInto(test, &r.Params, rng); err != nil {
 			return err
 		}
@@ -229,7 +250,7 @@ func (r *Runner) RunInto(res *Result, test *litmus.Test, iterations int, rng *xr
 				plan.spec.Programs[i] = r.Lower(prog)
 			}
 		}
-		run, err := r.Device.Run(plan.spec, rng)
+		run, err := r.Device.RunCtx(ctx, plan.spec, rng)
 		if err != nil {
 			// Typed device failures (gpu.DeviceError) carry their own
 			// transience verdict, which the scheduler reads through

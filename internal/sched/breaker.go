@@ -228,6 +228,13 @@ func applyBreaker[R any](rep *Report[R], opts BreakerOptions) {
 		w := breakerWalk{opts: opts}
 		for _, i := range byDev[dev] {
 			r := &rep.Results[i]
+			if r.Interrupted {
+				// Abandoned by cancellation: the cell never resolved, so it
+				// neither feeds the failure streak nor consumes a cooldown
+				// slot — exactly how a resumed run, which re-executes it,
+				// will walk this position.
+				continue
+			}
 			if w.quarantine() {
 				var zero R
 				r.Value = zero
@@ -259,12 +266,14 @@ func applyBreaker[R any](rep *Report[R], opts BreakerOptions) {
 	rep.Failed, rep.Quarantined, rep.Retried = 0, 0, 0
 	for _, r := range rep.Results {
 		switch {
+		case r.Interrupted:
+			// Pending, not failed; counted in rep.Interrupted already.
 		case r.Quarantined:
 			rep.Quarantined++
 		case r.Err != nil:
 			rep.Failed++
 		}
-		if !r.Quarantined && r.Attempts > 1 {
+		if !r.Quarantined && !r.Interrupted && r.Attempts > 1 {
 			rep.Retried += r.Attempts - 1
 		}
 	}

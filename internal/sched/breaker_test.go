@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -11,7 +12,7 @@ import (
 )
 
 // failingDeviceExec fails every AMD cell and succeeds every other.
-func failingDeviceExec(c Cell, _ *xrand.Rand) (int, error) {
+func failingDeviceExec(_ context.Context, c Cell, _ *xrand.Rand) (int, error) {
 	if c.Device == "AMD" {
 		return 0, fmt.Errorf("amd is down")
 	}
@@ -75,7 +76,7 @@ func TestBreakerQuarantinesAfterThreshold(t *testing.T) {
 func TestBreakerProbationRecovery(t *testing.T) {
 	spec := testSpec(20)
 	amdSeen := 0
-	rep, err := Run(spec, func(c Cell, _ *xrand.Rand) (int, error) {
+	rep, err := Run(spec, func(_ context.Context, c Cell, _ *xrand.Rand) (int, error) {
 		if c.Device == "AMD" {
 			amdSeen++
 			if amdSeen <= 3 {
@@ -102,7 +103,7 @@ func TestBreakerProbationRecovery(t *testing.T) {
 
 // chaoticExec fails deterministically from the cell's own rng stream,
 // so the failure pattern is a pure function of the spec.
-func chaoticExec(_ Cell, rng *xrand.Rand) (uint64, error) {
+func chaoticExec(_ context.Context, _ Cell, rng *xrand.Rand) (uint64, error) {
 	draw := rng.Uint64()
 	if draw%4 == 0 {
 		return 0, fmt.Errorf("deterministic fault %d", draw%97)
@@ -181,7 +182,7 @@ func TestBreakerDefaults(t *testing.T) {
 func TestBreakerImpliesCollect(t *testing.T) {
 	spec := testSpec(10)
 	ran := 0
-	_, err := Run(spec, func(c Cell, _ *xrand.Rand) (int, error) {
+	_, err := Run(spec, func(_ context.Context, c Cell, _ *xrand.Rand) (int, error) {
 		ran++
 		if c.Device == "Intel" {
 			return 0, fmt.Errorf("boom")
@@ -196,17 +197,20 @@ func TestBreakerImpliesCollect(t *testing.T) {
 	}
 }
 
-// TestInjectedSleepBackoff: retry backoff goes through Options.Sleep,
-// doubling per retry, so tests never wall-clock real sleeps.
+// TestInjectedSleepBackoff: retry backoff goes through Options.Sleep
+// with the jittered duration — base doubling per retry, scaled by the
+// deterministic ±50% factor from the cell's split-seed RNG — so tests
+// never wall-clock real sleeps.
 func TestInjectedSleepBackoff(t *testing.T) {
 	spec := testSpec(1)
+	base := 100 * time.Millisecond
 	var slept []time.Duration
 	start := time.Now()
-	rep, err := Run(spec, func(Cell, *xrand.Rand) (int, error) {
+	rep, err := Run(spec, func(context.Context, Cell, *xrand.Rand) (int, error) {
 		return 0, Transient(fmt.Errorf("busy"))
 	}, Options[int]{
 		MaxRetries: 3,
-		Backoff:    100 * time.Millisecond,
+		Backoff:    base,
 		Sleep:      func(d time.Duration) { slept = append(slept, d) },
 	})
 	if err == nil {
@@ -215,18 +219,43 @@ func TestInjectedSleepBackoff(t *testing.T) {
 	if rep.Results[0].Attempts != 4 {
 		t.Fatalf("attempts = %d, want 4", rep.Results[0].Attempts)
 	}
-	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond}
-	if len(slept) != len(want) {
-		t.Fatalf("slept %v, want %v", slept, want)
+	if len(slept) != 3 {
+		t.Fatalf("slept %d times, want 3: %v", len(slept), slept)
 	}
-	for i := range want {
-		if slept[i] != want[i] {
-			t.Fatalf("sleep %d = %v, want %v", i, slept[i], want[i])
+	for i, got := range slept {
+		// The wait is exactly what RetryBackoff computes for this attempt…
+		if want := spec.RetryBackoff("cell-000", i, base); got != want {
+			t.Fatalf("sleep %d = %v, want RetryBackoff's %v", i, got, want)
+		}
+		// …and stays within the jitter envelope around the doubled base.
+		nominal := base << uint(i)
+		if got < nominal/2 || got >= nominal*3/2 {
+			t.Fatalf("sleep %d = %v outside [%v, %v)", i, got, nominal/2, nominal*3/2)
 		}
 	}
-	// 700ms of nominal backoff must not have actually elapsed.
+	// The nominal backoff must not have actually elapsed.
 	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
 		t.Fatalf("fake sleep still wall-clocked %v", elapsed)
+	}
+}
+
+// TestRetryBackoffDeterministic: the jittered schedule is a pure
+// function of (seed, name, key, attempt) — identical across calls and
+// distinct across cells and attempts.
+func TestRetryBackoffDeterministic(t *testing.T) {
+	spec := testSpec(2)
+	base := 50 * time.Millisecond
+	for attempt := 0; attempt < 4; attempt++ {
+		a := spec.RetryBackoff("cell-000", attempt, base)
+		if b := spec.RetryBackoff("cell-000", attempt, base); a != b {
+			t.Fatalf("attempt %d: %v then %v — not deterministic", attempt, a, b)
+		}
+	}
+	if spec.RetryBackoff("cell-000", 0, base) == spec.RetryBackoff("cell-001", 0, base) {
+		t.Fatal("two cells drew identical jitter — streams not split by key")
+	}
+	if spec.RetryBackoff("cell-000", 0, 0) != 0 {
+		t.Fatal("zero base must mean no wait")
 	}
 }
 
@@ -235,7 +264,7 @@ func TestInjectedSleepBackoff(t *testing.T) {
 func TestTransientSelfClassification(t *testing.T) {
 	spec := testSpec(1)
 	calls := 0
-	rep, err := Run(spec, func(Cell, *xrand.Rand) (int, error) {
+	rep, err := Run(spec, func(context.Context, Cell, *xrand.Rand) (int, error) {
 		calls++
 		if calls < 3 {
 			return 0, &selfTransient{ok: true}
@@ -250,7 +279,7 @@ func TestTransientSelfClassification(t *testing.T) {
 	}
 	// A self-declared permanent error must not be retried.
 	calls = 0
-	_, err = Run(spec, func(Cell, *xrand.Rand) (int, error) {
+	_, err = Run(spec, func(context.Context, Cell, *xrand.Rand) (int, error) {
 		calls++
 		return 0, &selfTransient{ok: false}
 	}, Options[int]{MaxRetries: 5})

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"sync"
 )
@@ -11,14 +12,20 @@ import (
 // Checkpoint persists completed cells as JSONL so an interrupted
 // campaign resumes by replaying them. The file layout is:
 //
-//	{"campaign":"<name>","manifest":"<hex>"}     // header, line 1
-//	{"key":"<cell key>","value":<result JSON>}   // one line per cell
+//	{"campaign":"<name>","manifest":"<hex>"}                  // header, line 1
+//	{"key":"<cell key>","value":<result JSON>,"crc":"<hex>"}  // one line per cell
 //
 // The manifest is Spec.Manifest(); resuming against a checkpoint whose
 // manifest differs (different cells, order or seed) is an error, since
-// its recorded results would not match what a clean run produces. A
-// torn final line — the tail of a run killed mid-write — is discarded
-// on open and the file truncated back to the last complete record.
+// its recorded results would not match what a clean run produces.
+//
+// Each record carries a Castagnoli CRC-32 of its value bytes, verified
+// on resume. Only the final line of the file may be malformed — the
+// torn tail of a run killed mid-write — and is then discarded and
+// truncated away. A malformed line with data after it, or any record
+// failing its checksum, is mid-file corruption and resuming fails with
+// ErrCheckpointCorrupt instead of silently resuming over bad data.
+// Records written before checksumming (no "crc" field) still load.
 type Checkpoint struct {
 	mu       sync.Mutex
 	f        *os.File
@@ -33,10 +40,22 @@ type checkpointHeader struct {
 	Manifest string `json:"manifest"`
 }
 
+// crcTable is the Castagnoli polynomial table used for record checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// crcHex renders the checksum of a record's value bytes.
+func crcHex(value []byte) string {
+	return fmt.Sprintf("%08x", crc32.Checksum(value, crcTable))
+}
+
 // checkpointRecord is one completed cell.
 type checkpointRecord struct {
 	Key   string          `json:"key"`
 	Value json.RawMessage `json:"value"`
+	// CRC is the Castagnoli CRC-32 of Value, hex-encoded. Optional on
+	// load for backward compatibility with pre-checksum files; always
+	// written, and verified when present.
+	CRC string `json:"crc,omitempty"`
 }
 
 // OpenCheckpoint opens (or creates) a checkpoint for the spec. With
@@ -103,11 +122,27 @@ func (c *Checkpoint) load(campaign string) error {
 			c.path, hdr.Manifest, c.manifest)
 	}
 	good := int64(len(sc.Bytes()) + 1) // header plus newline
+	lineNo := 1
+	torn := 0 // line number of a malformed line; only the final line may be torn
 	for sc.Scan() {
+		lineNo++
 		line := sc.Bytes()
+		if torn > 0 {
+			// A malformed line with data after it cannot be a torn tail:
+			// the file is corrupt in the middle.
+			f.Close()
+			return fmt.Errorf("sched: checkpoint %s: malformed record at line %d with records after it: %w; delete the file or rerun without -resume",
+				c.path, torn, ErrCheckpointCorrupt)
+		}
 		var rec checkpointRecord
 		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
-			break // torn tail from a killed run; discard the rest
+			torn = lineNo // torn tail if the scan ends here, corruption otherwise
+			continue
+		}
+		if rec.CRC != "" && crcHex(rec.Value) != rec.CRC {
+			f.Close()
+			return fmt.Errorf("sched: checkpoint %s: record %q (line %d) fails its checksum: %w; delete the file or rerun without -resume",
+				c.path, rec.Key, lineNo, ErrCheckpointCorrupt)
 		}
 		c.done[rec.Key] = append(json.RawMessage(nil), rec.Value...)
 		good += int64(len(line) + 1)
@@ -143,14 +178,14 @@ func (c *Checkpoint) Completed() int {
 	return len(c.done)
 }
 
-// record appends one completed cell and syncs the line to disk so a
+// record appends one completed cell — with its value checksum — so a
 // kill at any point loses at most the in-flight record.
 func (c *Checkpoint) record(key string, value any) error {
 	raw, err := json.Marshal(value)
 	if err != nil {
 		return fmt.Errorf("sched: checkpoint %s: %w", key, err)
 	}
-	line, err := json.Marshal(checkpointRecord{Key: key, Value: raw})
+	line, err := json.Marshal(checkpointRecord{Key: key, Value: raw, CRC: crcHex(raw)})
 	if err != nil {
 		return fmt.Errorf("sched: checkpoint %s: %w", key, err)
 	}
@@ -166,14 +201,32 @@ func (c *Checkpoint) record(key string, value any) error {
 	return nil
 }
 
-// Close flushes and closes the file.
+// Sync flushes the checkpoint to stable storage (fsync). The scheduler
+// calls it when a campaign finishes or drains, so a process exit right
+// after an interrupt cannot lose recorded cells to the page cache.
+func (c *Checkpoint) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("sched: sync checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the file.
 func (c *Checkpoint) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.f == nil {
 		return nil
 	}
-	err := c.f.Close()
+	err := c.f.Sync()
+	if cerr := c.f.Close(); err == nil {
+		err = cerr
+	}
 	c.f = nil
 	return err
 }

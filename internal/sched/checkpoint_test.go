@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -18,7 +20,7 @@ type cellValue struct {
 	Draw uint64 `json:"draw"`
 }
 
-func drawValue(c Cell, rng *xrand.Rand) (cellValue, error) {
+func drawValue(_ context.Context, c Cell, rng *xrand.Rand) (cellValue, error) {
 	return cellValue{Key: c.Key, Draw: rng.Uint64()}, nil
 }
 
@@ -39,11 +41,11 @@ func TestCheckpointResumeSkipsDoneCells(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = Run(spec, func(c Cell, rng *xrand.Rand) (cellValue, error) {
+	_, err = Run(spec, func(ctx context.Context, c Cell, rng *xrand.Rand) (cellValue, error) {
 		if c.Key == "cell-009" {
 			return cellValue{}, fmt.Errorf("killed")
 		}
-		return drawValue(c, rng)
+		return drawValue(ctx, c, rng)
 	}, Options[cellValue]{Workers: 1, Checkpoint: ck})
 	if err == nil {
 		t.Fatal("interrupted run reported success")
@@ -61,9 +63,9 @@ func TestCheckpointResumeSkipsDoneCells(t *testing.T) {
 		t.Fatalf("checkpoint holds %d cells, want 9", ck2.Completed())
 	}
 	var executed atomic.Int32
-	rep, err := Run(spec, func(c Cell, rng *xrand.Rand) (cellValue, error) {
+	rep, err := Run(spec, func(ctx context.Context, c Cell, rng *xrand.Rand) (cellValue, error) {
 		executed.Add(1)
-		return drawValue(c, rng)
+		return drawValue(ctx, c, rng)
 	}, Options[cellValue]{Workers: 4, Checkpoint: ck2})
 	if err != nil {
 		t.Fatal(err)
@@ -149,6 +151,141 @@ func TestCheckpointTornTailDiscarded(t *testing.T) {
 		t.Fatalf("checkpoint unreadable after torn-tail recovery: %v", err)
 	}
 	ck3.Close()
+}
+
+// TestCheckpointFlippedByteDetected: a single bit of mid-file
+// corruption — a flipped byte inside a record's value — fails that
+// record's CRC and the resume is refused with ErrCheckpointCorrupt,
+// instead of silently replaying a poisoned result.
+func TestCheckpointFlippedByteDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.ckpt")
+	spec := testSpec(6)
+	ck, err := OpenCheckpoint(path, spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(spec, drawValue, Options[cellValue]{Checkpoint: ck}); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one digit inside a Draw value in the middle of the file. The
+	// line stays valid JSON, so only the checksum can catch it.
+	idx := strings.Index(string(raw), `"draw":`)
+	if idx < 0 {
+		t.Fatal("no draw field in checkpoint")
+	}
+	pos := idx + len(`"draw":`)
+	if raw[pos] >= '5' {
+		raw[pos] = '1'
+	} else {
+		raw[pos] = '7'
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = OpenCheckpoint(path, spec, true)
+	if err == nil {
+		t.Fatal("flipped byte accepted")
+	}
+	if !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("error is not ErrCheckpointCorrupt: %v", err)
+	}
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+// TestCheckpointMidFileTruncationDetected: only the final record may be
+// torn. A malformed line with records after it means mid-file damage,
+// not a crash mid-append, and the resume is refused.
+func TestCheckpointMidFileTruncationDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.ckpt")
+	spec := testSpec(6)
+	ck, err := OpenCheckpoint(path, spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(spec, drawValue, Options[cellValue]{Checkpoint: ck}); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	// Truncate the third record (header + two records kept intact).
+	lines[3] = lines[3][:len(lines[3])/2]
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = OpenCheckpoint(path, spec, true)
+	if err == nil {
+		t.Fatal("mid-file truncation accepted")
+	}
+	if !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("error is not ErrCheckpointCorrupt: %v", err)
+	}
+}
+
+// TestCheckpointLegacyRecordsWithoutCRC: records written before the
+// per-record checksum existed (no "crc" field) still load, so old
+// checkpoints remain resumable.
+func TestCheckpointLegacyRecordsWithoutCRC(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.ckpt")
+	spec := testSpec(4)
+	ck, err := OpenCheckpoint(path, spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(spec, drawValue, Options[cellValue]{Checkpoint: ck}); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	// Strip every crc field, simulating a checkpoint from the previous
+	// format.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if i := strings.Index(line, `,"crc":"`); i >= 0 {
+			line = line[:i] + "}"
+		}
+		kept = append(kept, line)
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(kept, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ck2, err := OpenCheckpoint(path, spec, true)
+	if err != nil {
+		t.Fatalf("legacy checkpoint rejected: %v", err)
+	}
+	defer ck2.Close()
+	if ck2.Completed() != 4 {
+		t.Fatalf("Completed = %d, want 4", ck2.Completed())
+	}
+	rep, err := Run(spec, drawValue, Options[cellValue]{Checkpoint: ck2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replayed != 4 {
+		t.Fatalf("Replayed = %d, want 4", rep.Replayed)
+	}
 }
 
 func TestCheckpointResumeWithoutFileStartsFresh(t *testing.T) {

@@ -38,3 +38,18 @@ func IsTransient(err error) bool {
 // the report — never silently dropped — with this error and
 // CellResult.Quarantined set.
 var ErrQuarantined = errors.New("sched: cell quarantined: device circuit breaker open")
+
+// ErrInterrupted marks cells abandoned because the campaign context was
+// cancelled (user interrupt or deadline expiry) before they completed.
+// Interrupted cells are pending, not failed: they were never
+// checkpointed, so a resumed campaign re-runs them from their
+// deterministic per-cell streams and produces results byte-identical
+// to an uninterrupted run. RunContext's error wraps this sentinel when
+// any cell was abandoned; test with errors.Is.
+var ErrInterrupted = errors.New("sched: campaign interrupted")
+
+// ErrCheckpointCorrupt marks a checkpoint whose body failed validation
+// on resume: a malformed record that is not the torn tail, or a record
+// whose per-line checksum does not match its payload — mid-file bit
+// corruption that must be surfaced, never silently resumed over.
+var ErrCheckpointCorrupt = errors.New("sched: checkpoint corrupt")

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -11,6 +12,13 @@ import (
 // Reporter streams campaign throughput: cells/sec, instances/sec, and
 // each device's share of the fleet's busy time. It is safe for use
 // from every worker goroutine.
+//
+// With a positive interval the reporter also runs a heartbeat ticker
+// that emits a line every interval even when no cell completes, so
+// long cells keep streaming liveness. The heartbeat goroutine is tied
+// to the campaign context — cancelling the campaign tears it down with
+// everything else — and finish/stop additionally wait for it to exit,
+// so an interrupted campaign never leaks the ticker goroutine.
 type Reporter struct {
 	out      func(string)
 	interval time.Duration
@@ -22,31 +30,79 @@ type Reporter struct {
 	nReplayed    int
 	failed       int
 	nQuarantined int
+	nInterrupted int
 	retries      int
 	instances    int
 	deviceBusy   map[string]time.Duration
 	start        time.Time
 	lastEmit     time.Time
 	now          func() time.Time // test hook
+
+	stopHB func()        // cancels the heartbeat ctx; nil when none running
+	hbDone chan struct{} // closed when the heartbeat goroutine exits
 }
 
 // NewReporter builds a reporter that emits a line via out at most once
 // per interval (plus a final summary). A zero interval emits on every
-// completed cell.
+// completed cell and runs no heartbeat.
 func NewReporter(out func(string), interval time.Duration) *Reporter {
 	return &Reporter{out: out, interval: interval, now: time.Now}
 }
 
-func (p *Reporter) begin(name string, total int) {
+func (p *Reporter) begin(ctx context.Context, name string, total int) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.name = name
 	p.total = total
 	p.done, p.nReplayed, p.failed, p.instances = 0, 0, 0, 0
-	p.nQuarantined, p.retries = 0, 0
+	p.nQuarantined, p.nInterrupted, p.retries = 0, 0, 0
 	p.deviceBusy = map[string]time.Duration{}
 	p.start = p.now()
 	p.lastEmit = time.Time{}
+	var hbCtx context.Context
+	if p.out != nil && p.interval > 0 {
+		// Derive the heartbeat's lifetime from the campaign ctx so an
+		// interrupted campaign cancels it even before finish runs.
+		hbCtx, p.stopHB = context.WithCancel(ctx)
+		p.hbDone = make(chan struct{})
+	}
+	done := p.hbDone
+	p.mu.Unlock()
+	if hbCtx != nil {
+		go p.heartbeat(hbCtx, done)
+	}
+}
+
+// heartbeat emits a progress line every interval until its context — a
+// child of the campaign context — is cancelled.
+func (p *Reporter) heartbeat(ctx context.Context, done chan struct{}) {
+	defer close(done)
+	tick := time.NewTicker(p.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			p.mu.Lock()
+			line := p.line()
+			p.lastEmit = p.now()
+			p.mu.Unlock()
+			p.out(line)
+		}
+	}
+}
+
+// stop shuts the heartbeat down and waits for its goroutine to exit.
+// It is idempotent and safe when no heartbeat was started.
+func (p *Reporter) stop() {
+	p.mu.Lock()
+	cancel, done := p.stopHB, p.hbDone
+	p.stopHB, p.hbDone = nil, nil
+	p.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+	}
 }
 
 func (p *Reporter) replayed(Cell) {
@@ -61,6 +117,14 @@ func (p *Reporter) quarantined(Cell) {
 	p.mu.Lock()
 	p.done++
 	p.nQuarantined++
+	p.mu.Unlock()
+}
+
+// interrupted records a cell abandoned by campaign cancellation. The
+// cell is pending, not done: it will run again on resume.
+func (p *Reporter) interrupted(Cell) {
+	p.mu.Lock()
+	p.nInterrupted++
 	p.mu.Unlock()
 }
 
@@ -87,14 +151,22 @@ func (p *Reporter) cellDone(c Cell, wall time.Duration, instances int, ok bool, 
 	}
 }
 
-// finish renders the final summary line. The authoritative counters
-// come from the settled report — under a circuit breaker, live counts
-// can differ from the deterministic post-pass verdicts (a cell may have
-// executed speculatively and been quarantined after the fact).
-func (p *Reporter) finish(failed, quarantined, retried int) {
+// finish stops the heartbeat and renders the final summary line. The
+// authoritative counters come from the settled report — under a circuit
+// breaker, live counts can differ from the deterministic post-pass
+// verdicts (a cell may have executed speculatively and been quarantined
+// after the fact).
+func (p *Reporter) finish(failed, quarantined, retried, interrupted int) {
+	p.stop()
 	p.mu.Lock()
 	p.failed, p.nQuarantined, p.retries = failed, quarantined, retried
-	line := p.line() + " done"
+	p.nInterrupted = interrupted
+	line := p.line()
+	if interrupted > 0 {
+		line += " interrupted"
+	} else {
+		line += " done"
+	}
 	p.mu.Unlock()
 	if p.out != nil {
 		p.out(line)
@@ -119,6 +191,9 @@ func (p *Reporter) line() string {
 	}
 	if p.nQuarantined > 0 {
 		fmt.Fprintf(&b, " %d quarantined", p.nQuarantined)
+	}
+	if p.nInterrupted > 0 {
+		fmt.Fprintf(&b, " %d interrupted", p.nInterrupted)
 	}
 	if p.failed > 0 {
 		fmt.Fprintf(&b, " %d FAILED", p.failed)

@@ -23,10 +23,21 @@
 //     an interrupted campaign resumes by replaying done cells instead
 //     of re-running them, and a progress reporter streams cells/sec,
 //     instances/sec and per-device utilization.
+//
+// Campaigns are cancellable: RunContext threads a context through the
+// pool, workers check it between cells, retry backoff waits on it, and
+// cancellation (or deadline expiry) drains the campaign — in-flight
+// cells finish or are abandoned as incomplete, the checkpoint is
+// synced, and the partial report counts the abandoned cells in
+// Report.Interrupted. Abandoned cells are never checkpointed, so a
+// resumed campaign re-runs them from their deterministic per-cell
+// streams and ends byte-identical to an uninterrupted run.
 package sched
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -82,11 +93,33 @@ func (s *Spec) CellRand(key string, attempt int) *xrand.Rand {
 	return xrand.NewFromPath(s.Seed, s.Name, key, fmt.Sprintf("attempt-%d", attempt))
 }
 
-// Exec runs one cell attempt. The rng is the cell's private stream; the
-// returned value must round-trip through JSON when checkpointing is
-// enabled. Exec is called from multiple goroutines and must not mutate
-// shared state.
-type Exec[R any] func(cell Cell, rng *xrand.Rand) (R, error)
+// RetryBackoff returns the wait before retrying a cell after failed
+// attempt (0-based): the base backoff doubled per attempt, scaled by a
+// jitter factor in [0.5, 1.5) drawn from the cell's split-seed RNG. The
+// jitter decorrelates retry timing across cells — no synchronized retry
+// stampede when many workers hit a transient condition at once — while
+// staying a pure function of (seed, name, key, attempt), so retry
+// schedules are reproducible run to run.
+func (s *Spec) RetryBackoff(key string, attempt int, base time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	shift := attempt
+	if shift > 32 {
+		shift = 32 // doubling saturates; beyond this the jitter still varies
+	}
+	d := base << uint(shift)
+	jitter := 0.5 + xrand.NewFromPath(s.Seed, s.Name, key, fmt.Sprintf("backoff-%d", attempt)).Float64()
+	return time.Duration(float64(d) * jitter)
+}
+
+// Exec runs one cell attempt. The ctx is the campaign's (or, with
+// Options.CellTimeout, the cell's deadline-bounded child); executors
+// doing unbounded work should poll it. The rng is the cell's private
+// stream; the returned value must round-trip through JSON when
+// checkpointing is enabled. Exec is called from multiple goroutines and
+// must not mutate shared state.
+type Exec[R any] func(ctx context.Context, cell Cell, rng *xrand.Rand) (R, error)
 
 // Options configures one campaign run.
 type Options[R any] struct {
@@ -95,9 +128,15 @@ type Options[R any] struct {
 	// MaxRetries is how many times a transiently-failing cell is
 	// retried after its first attempt.
 	MaxRetries int
-	// Backoff is the sleep before the first retry; it doubles per
-	// retry. Zero means retry immediately (tests).
+	// Backoff is the base wait before the first retry; it doubles per
+	// retry and is jittered ±50% from the cell's split-seed RNG (see
+	// Spec.RetryBackoff). Zero means retry immediately (tests).
 	Backoff time.Duration
+	// CellTimeout, when positive, bounds each cell's wall-clock time:
+	// the cell's exec runs under a deadline-bounded child context and an
+	// overrun fails that one cell (it is not an interruption — the
+	// campaign continues under its error policy).
+	CellTimeout time.Duration
 	// Collect switches the error policy from fail-fast (default) to
 	// collect: every cell runs, failures accumulate in the report.
 	Collect bool
@@ -107,9 +146,9 @@ type Options[R any] struct {
 	// A breaker implies the collect error policy — device failures
 	// feed the breaker instead of aborting the campaign.
 	Breaker *BreakerOptions
-	// Sleep replaces time.Sleep for retry backoff. Tests inject a fake
-	// clock here so backoff paths run in microseconds. Nil means
-	// time.Sleep.
+	// Sleep replaces the backoff wait. Tests inject a fake clock here so
+	// backoff paths run in microseconds; it receives the jittered
+	// duration. Nil means an interruptible timer wait on the context.
 	Sleep func(time.Duration)
 	// Checkpoint, when non-nil, records completed cells and replays
 	// cells already done in a previous run.
@@ -118,8 +157,8 @@ type Options[R any] struct {
 	// throughput lines.
 	Reporter *Reporter
 	// OnCellStart, when non-nil, is called as each cell begins
-	// executing (not for replayed cells). It may be called from any
-	// worker goroutine.
+	// executing (not for replayed cells). Calls are serialized, so the
+	// callback may mutate shared state without its own locking.
 	OnCellStart func(Cell)
 	// Instances extracts a cell result's instance count for the
 	// reporter's instances/sec stream. Optional.
@@ -149,6 +188,11 @@ type CellResult[R any] struct {
 	// Quarantined marks cells skipped (or discarded) because their
 	// device's circuit breaker was open; Err is ErrQuarantined.
 	Quarantined bool
+	// Interrupted marks cells abandoned because the campaign context
+	// was cancelled before they completed; Err wraps ErrInterrupted.
+	// Interrupted cells are pending, not failed: they were never
+	// checkpointed, so a resume re-runs them.
+	Interrupted bool
 	// WallSeconds is host time spent executing the cell.
 	WallSeconds float64
 }
@@ -164,6 +208,9 @@ type Report[R any] struct {
 	Aborted  int
 	// Quarantined counts cells skipped by the device circuit breaker.
 	Quarantined int
+	// Interrupted counts cells abandoned by campaign cancellation —
+	// still pending, resumable from the checkpoint.
+	Interrupted int
 	// Retried counts extra attempts beyond the first across surviving
 	// cells.
 	Retried int
@@ -201,13 +248,27 @@ func (r *Report[R]) FirstErr() error {
 // campaign.
 var ErrAborted = fmt.Errorf("sched: campaign aborted")
 
-// Run executes the campaign. Results are returned in spec order
+// Run executes the campaign under context.Background(); see RunContext.
+func Run[R any](spec Spec, exec Exec[R], opts Options[R]) (*Report[R], error) {
+	return RunContext(context.Background(), spec, exec, opts)
+}
+
+// RunContext executes the campaign. Results are returned in spec order
 // regardless of completion order, so any aggregation over them is
 // deterministic under parallelism. Under the fail-fast policy the
-// first permanent cell failure is returned as Run's error (the partial
-// report is still returned); under collect, Run returns a nil error
-// and the caller inspects Report.Failed / FirstErr.
-func Run[R any](spec Spec, exec Exec[R], opts Options[R]) (*Report[R], error) {
+// first permanent cell failure is returned as the error (the partial
+// report is still returned); under collect, the error is nil and the
+// caller inspects Report.Failed / FirstErr.
+//
+// Cancelling ctx (or letting its deadline expire) drains the campaign:
+// queued cells are abandoned without running, in-flight cells are
+// abandoned as soon as they observe the cancellation, the checkpoint —
+// which holds only fully-completed cells — is synced, and RunContext
+// returns the partial report with an error wrapping ErrInterrupted.
+// Abandoned cells carry ErrInterrupted and count in Report.Interrupted;
+// they are pending, not failed, and a resumed run completes them with
+// results identical to an uninterrupted campaign.
+func RunContext[R any](ctx context.Context, spec Spec, exec Exec[R], opts Options[R]) (*Report[R], error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -221,7 +282,10 @@ func Run[R any](spec Spec, exec Exec[R], opts Options[R]) (*Report[R], error) {
 	rep := &Report[R]{Spec: spec, Results: make([]CellResult[R], len(spec.Cells))}
 	start := time.Now()
 	if opts.Reporter != nil {
-		opts.Reporter.begin(spec.Name, len(spec.Cells))
+		opts.Reporter.begin(ctx, spec.Name, len(spec.Cells))
+		// finish() also stops the heartbeat; the defer covers the early
+		// error returns below so the ticker goroutine can never leak.
+		defer opts.Reporter.stop()
 	}
 	// A breaker implies collect: device failures feed the breaker
 	// instead of aborting the campaign.
@@ -269,6 +333,21 @@ func Run[R any](spec Spec, exec Exec[R], opts Options[R]) (*Report[R], error) {
 			}
 			for i := range jobs {
 				cell := spec.Cells[i]
+				// Cancellation check between cells: once the campaign ctx
+				// is dead, remaining cells are abandoned as incomplete —
+				// never recorded as failures, never checkpointed — so the
+				// drain leaves a cleanly resumable state.
+				if ctx.Err() != nil {
+					rep.Results[i].Err = ErrInterrupted
+					rep.Results[i].Interrupted = true
+					mu.Lock()
+					rep.Interrupted++
+					mu.Unlock()
+					if opts.Reporter != nil {
+						opts.Reporter.interrupted(cell)
+					}
+					continue
+				}
 				mu.Lock()
 				aborted := abort
 				mu.Unlock()
@@ -291,11 +370,37 @@ func Run[R any](spec Spec, exec Exec[R], opts Options[R]) (*Report[R], error) {
 					continue
 				}
 				if opts.OnCellStart != nil {
+					mu.Lock()
 					opts.OnCellStart(cell)
+					mu.Unlock()
+				}
+				cellCtx, cancelCell := ctx, context.CancelFunc(nil)
+				if opts.CellTimeout > 0 {
+					cellCtx, cancelCell = context.WithTimeout(ctx, opts.CellTimeout)
 				}
 				cellStart := time.Now()
-				value, attempts, err := runCell(&spec, cell, wexec, &opts)
+				value, attempts, err := runCell(cellCtx, &spec, cell, wexec, &opts)
+				if cancelCell != nil {
+					cancelCell()
+				}
 				wall := time.Since(cellStart)
+				if err != nil && ctx.Err() != nil && isContextErr(err) {
+					// The campaign ctx died while this cell was in flight and
+					// the cell's failure is that cancellation surfacing — an
+					// abandoned cell, not a failed one. (A cell-timeout
+					// overrun with the campaign ctx alive takes the ordinary
+					// failure path below instead.)
+					rep.Results[i].Err = ErrInterrupted
+					rep.Results[i].Interrupted = true
+					rep.Results[i].Attempts = attempts
+					mu.Lock()
+					rep.Interrupted++
+					mu.Unlock()
+					if opts.Reporter != nil {
+						opts.Reporter.interrupted(cell)
+					}
+					continue
+				}
 				rep.Results[i].Value = value
 				rep.Results[i].Err = err
 				rep.Results[i].Attempts = attempts
@@ -343,41 +448,78 @@ func Run[R any](spec Spec, exec Exec[R], opts Options[R]) (*Report[R], error) {
 		applyBreaker(rep, *opts.Breaker)
 	}
 	rep.WallSeconds = time.Since(start).Seconds()
+	var syncErr error
+	if opts.Checkpoint != nil {
+		// Flush recorded cells to stable storage before handing control
+		// back: a drain followed by an immediate process exit must not
+		// lose completed work to the page cache.
+		syncErr = opts.Checkpoint.Sync()
+	}
 	if opts.Reporter != nil {
-		opts.Reporter.finish(rep.Failed, rep.Quarantined, rep.Retried)
+		opts.Reporter.finish(rep.Failed, rep.Quarantined, rep.Retried, rep.Interrupted)
 	}
 	if !collect && abortCause != nil {
 		return rep, abortCause
 	}
+	if rep.Interrupted > 0 {
+		return rep, fmt.Errorf("sched: campaign %q interrupted: %d of %d cells not completed: %w (%v)",
+			spec.Name, rep.Interrupted, len(spec.Cells), ErrInterrupted, ctx.Err())
+	}
+	if syncErr != nil {
+		return rep, syncErr
+	}
 	return rep, nil
 }
 
+// isContextErr reports whether err carries a context cancellation or
+// deadline expiry anywhere in its chain.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // runCell executes one cell's attempt/retry loop under panic recovery.
-func runCell[R any](spec *Spec, cell Cell, exec Exec[R], opts *Options[R]) (value R, attempts int, err error) {
-	backoff := opts.Backoff
-	sleep := opts.Sleep
-	if sleep == nil {
-		sleep = time.Sleep
-	}
+// Retry waits are jittered (Spec.RetryBackoff) and interruptible: a
+// context cancellation during the wait abandons the cell immediately
+// with an error wrapping the context's.
+func runCell[R any](ctx context.Context, spec *Spec, cell Cell, exec Exec[R], opts *Options[R]) (value R, attempts int, err error) {
 	for attempt := 0; ; attempt++ {
 		attempts++
-		value, err = attemptCell(spec, cell, attempt, exec)
+		value, err = attemptCell(ctx, spec, cell, attempt, exec)
 		if err == nil {
 			return value, attempts, nil
 		}
 		if !IsTransient(err) || attempt >= opts.MaxRetries {
 			return value, attempts, err
 		}
-		if backoff > 0 {
-			sleep(backoff)
-			backoff *= 2
+		if wait := spec.RetryBackoff(cell.Key, attempt, opts.Backoff); wait > 0 {
+			if !sleepInterruptible(ctx, wait, opts.Sleep) {
+				return value, attempts, fmt.Errorf("sched: cell %s: retry wait interrupted: %w", cell.Key, ctx.Err())
+			}
 		}
+	}
+}
+
+// sleepInterruptible waits for d or until ctx is cancelled, reporting
+// whether the full wait elapsed. A non-nil sleep (the injected test
+// clock) replaces the timer; cancellation is still honored around it.
+func sleepInterruptible(ctx context.Context, d time.Duration, sleep func(time.Duration)) bool {
+	if sleep != nil {
+		sleep(d)
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
 	}
 }
 
 // attemptCell runs a single attempt, converting panics into errors so
 // one bad cell cannot take down the whole fleet run.
-func attemptCell[R any](spec *Spec, cell Cell, attempt int, exec func(Cell, *xrand.Rand) (R, error)) (value R, err error) {
+func attemptCell[R any](ctx context.Context, spec *Spec, cell Cell, attempt int, exec Exec[R]) (value R, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			buf := make([]byte, 4096)
@@ -385,5 +527,5 @@ func attemptCell[R any](spec *Spec, cell Cell, attempt int, exec func(Cell, *xra
 			err = fmt.Errorf("sched: cell %s panicked: %v\n%s", cell.Key, r, buf)
 		}
 	}()
-	return exec(cell, spec.CellRand(cell.Key, attempt))
+	return exec(ctx, cell, spec.CellRand(cell.Key, attempt))
 }

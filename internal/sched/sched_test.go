@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -25,7 +26,7 @@ func testSpec(n int) Spec {
 
 // drawSum is a deterministic per-cell "result": a few RNG draws summed,
 // so any dependence on scheduling order shows up immediately.
-func drawSum(_ Cell, rng *xrand.Rand) (uint64, error) {
+func drawSum(_ context.Context, _ Cell, rng *xrand.Rand) (uint64, error) {
 	var sum uint64
 	for i := 0; i < 16; i++ {
 		sum += rng.Uint64()
@@ -73,7 +74,7 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 
 func TestResultsInSpecOrder(t *testing.T) {
 	spec := testSpec(20)
-	rep, err := Run(spec, func(c Cell, _ *xrand.Rand) (string, error) {
+	rep, err := Run(spec, func(_ context.Context, c Cell, _ *xrand.Rand) (string, error) {
 		return c.Key, nil
 	}, Options[string]{Workers: 8})
 	if err != nil {
@@ -91,7 +92,7 @@ func TestResultsInSpecOrder(t *testing.T) {
 
 func TestPanicRecovery(t *testing.T) {
 	spec := testSpec(5)
-	_, err := Run(spec, func(c Cell, _ *xrand.Rand) (int, error) {
+	_, err := Run(spec, func(_ context.Context, c Cell, _ *xrand.Rand) (int, error) {
 		if c.Key == "cell-002" {
 			panic("device exploded")
 		}
@@ -108,7 +109,7 @@ func TestPanicRecovery(t *testing.T) {
 func TestTransientRetry(t *testing.T) {
 	spec := testSpec(3)
 	var calls atomic.Int32
-	rep, err := Run(spec, func(c Cell, _ *xrand.Rand) (int, error) {
+	rep, err := Run(spec, func(_ context.Context, c Cell, _ *xrand.Rand) (int, error) {
 		if c.Key == "cell-001" && calls.Add(1) < 3 {
 			return 0, Transient(fmt.Errorf("busy"))
 		}
@@ -127,7 +128,7 @@ func TestTransientRetry(t *testing.T) {
 
 func TestTransientRetryExhaustion(t *testing.T) {
 	spec := testSpec(1)
-	rep, err := Run(spec, func(Cell, *xrand.Rand) (int, error) {
+	rep, err := Run(spec, func(context.Context, Cell, *xrand.Rand) (int, error) {
 		return 0, Transient(fmt.Errorf("always busy"))
 	}, Options[int]{MaxRetries: 2})
 	if err == nil {
@@ -140,7 +141,7 @@ func TestTransientRetryExhaustion(t *testing.T) {
 
 func TestPermanentErrorNotRetried(t *testing.T) {
 	spec := testSpec(1)
-	rep, err := Run(spec, func(Cell, *xrand.Rand) (int, error) {
+	rep, err := Run(spec, func(context.Context, Cell, *xrand.Rand) (int, error) {
 		return 0, fmt.Errorf("deterministic defect")
 	}, Options[int]{MaxRetries: 5})
 	if err == nil {
@@ -169,7 +170,7 @@ func TestFailFastAborts(t *testing.T) {
 	// Serial worker: cell 1 fails, later cells must not run.
 	spec := testSpec(10)
 	var ran atomic.Int32
-	rep, err := Run(spec, func(c Cell, _ *xrand.Rand) (int, error) {
+	rep, err := Run(spec, func(_ context.Context, c Cell, _ *xrand.Rand) (int, error) {
 		ran.Add(1)
 		if c.Key == "cell-001" {
 			return 0, fmt.Errorf("boom")
@@ -190,7 +191,7 @@ func TestFailFastAborts(t *testing.T) {
 func TestCollectPolicyRunsEverything(t *testing.T) {
 	spec := testSpec(10)
 	var ran atomic.Int32
-	rep, err := Run(spec, func(c Cell, _ *xrand.Rand) (int, error) {
+	rep, err := Run(spec, func(_ context.Context, c Cell, _ *xrand.Rand) (int, error) {
 		ran.Add(1)
 		if c.Key == "cell-001" || c.Key == "cell-007" {
 			return 0, fmt.Errorf("boom")
@@ -221,7 +222,7 @@ func TestOnCellStartAndReporter(t *testing.T) {
 		lines = append(lines, s)
 		mu.Unlock()
 	}, 0)
-	_, err := Run(spec, func(_ Cell, rng *xrand.Rand) (int, error) {
+	_, err := Run(spec, func(_ context.Context, _ Cell, rng *xrand.Rand) (int, error) {
 		return 100, nil
 	}, Options[int]{
 		Workers:  4,
@@ -284,7 +285,7 @@ func TestNewWorkerExecPerWorker(t *testing.T) {
 			// sharing it between goroutines would be a data race, which
 			// is exactly what the factory exists to prevent.
 			scratch := make([]uint64, 0, 16)
-			return func(c Cell, rng *xrand.Rand) (uint64, error) {
+			return func(_ context.Context, c Cell, rng *xrand.Rand) (uint64, error) {
 				scratch = scratch[:0]
 				for i := 0; i < 16; i++ {
 					scratch = append(scratch, rng.Uint64())

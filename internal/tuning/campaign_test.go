@@ -2,6 +2,7 @@ package tuning
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"path/filepath"
 	"strings"
@@ -106,11 +107,11 @@ func TestCampaignResumeMatchesCleanRun(t *testing.T) {
 	}
 	killAfter := len(spec.Cells) / 3
 	ran := 0
-	_, err = sched.Run(spec, func(c sched.Cell, rng *xrand.Rand) (Record, error) {
+	_, err = sched.Run(spec, func(ctx context.Context, c sched.Cell, rng *xrand.Rand) (Record, error) {
 		if ran++; ran > killAfter {
 			return Record{}, fmt.Errorf("simulated kill")
 		}
-		return runCell(work[c.Key], cfg.Faults, rng)
+		return runCell(ctx, work[c.Key], cfg.Faults, rng)
 	}, sched.Options[Record]{Workers: 1, Checkpoint: ck})
 	if err == nil {
 		t.Fatal("interrupted run succeeded")

@@ -1,9 +1,12 @@
 package tuning
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/gpu"
 	"repro/internal/sched"
@@ -89,11 +92,11 @@ func TestChaosCampaignResumeMatchesCleanRun(t *testing.T) {
 	// their own injected faults — then dies.
 	killAfter := len(spec.Cells) / 3
 	ran := 0
-	_, err = sched.Run(spec, func(c sched.Cell, rng *xrand.Rand) (Record, error) {
+	_, err = sched.Run(spec, func(ctx context.Context, c sched.Cell, rng *xrand.Rand) (Record, error) {
 		if ran++; ran > killAfter {
 			return Record{}, fmt.Errorf("simulated kill")
 		}
-		return runCell(work[c.Key], cfg.Faults, rng)
+		return runCell(ctx, work[c.Key], cfg.Faults, rng)
 	}, sched.Options[Record]{Workers: 1, Checkpoint: ck})
 	if err == nil {
 		t.Fatal("interrupted run succeeded")
@@ -113,4 +116,116 @@ func TestChaosCampaignResumeMatchesCleanRun(t *testing.T) {
 	if len(resumed.Dropped) != len(clean.Dropped) {
 		t.Fatalf("resume dropped %d cells, clean dropped %d", len(resumed.Dropped), len(clean.Dropped))
 	}
+}
+
+// TestCancelChaosResumeByteIdentical is the end-to-end drain contract
+// at the tuning level: cancel a parallel campaign at a randomized (but
+// seed-derived, so reproducible) cell index through the real
+// cancellation path, then resume from the checkpoint and require the
+// final dataset byte-identical to a never-interrupted baseline. The
+// reporter heartbeat runs throughout, and goroutine counts are checked
+// after the drains so an interrupted campaign can never leak it.
+func TestCancelChaosResumeByteIdentical(t *testing.T) {
+	cfg, tests := campaignConfig()
+	clean, err := RunCampaign(cfg, tests, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec, _, err := buildCampaign(&cfg, tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nCells := len(spec.Cells)
+	picker := xrand.New(cfg.Seed ^ 0x63616e63) // "canc"
+	before := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		// Cancel somewhere strictly inside the campaign so the drain has
+		// both completed and pending cells to deal with.
+		cancelAt := 1 + int(picker.Uint64()%uint64(nCells-2))
+		ckpt := filepath.Join(t.TempDir(), fmt.Sprintf("cancel-%d.ckpt", round))
+
+		ctx, cancel := context.WithCancel(context.Background())
+		started := 0
+		partial, err := RunCampaignCtx(ctx, cfg, tests, RunOptions{
+			Workers:        2,
+			CheckpointPath: ckpt,
+			Report:         func(string) {},
+			ReportEvery:    time.Millisecond,
+			Progress: func(string) {
+				if started++; started == cancelAt {
+					cancel()
+				}
+			},
+		})
+		cancel()
+		if err != nil {
+			t.Fatalf("round %d: drain returned error: %v", round, err)
+		}
+		if !partial.Interrupted {
+			t.Fatalf("round %d (cancel at %d): dataset not marked interrupted", round, cancelAt)
+		}
+		if len(partial.Records) >= nCells {
+			t.Fatalf("round %d: interrupted run completed everything", round)
+		}
+		if len(partial.Dropped) != 0 {
+			t.Fatalf("round %d: interruption recorded drops: %+v", round, partial.Dropped)
+		}
+
+		resumed, err := RunCampaignCtx(context.Background(), cfg, tests, RunOptions{
+			Workers:        4,
+			CheckpointPath: ckpt,
+			Resume:         true,
+		})
+		if err != nil {
+			t.Fatalf("round %d: resume: %v", round, err)
+		}
+		if resumed.Interrupted {
+			t.Fatalf("round %d: resumed run still marked interrupted", round)
+		}
+		datasetsIdentical(t, clean, resumed, fmt.Sprintf("round %d (cancel at %d)", round, cancelAt))
+	}
+	// The heartbeat goroutines are joined before RunCampaignCtx returns;
+	// give unrelated runtime goroutines a moment to settle.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after interrupted campaigns", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCampaignCtxPreCancelled: a dead context yields an all-pending
+// dataset — no records, no drops, Interrupted set — and no error.
+func TestCampaignCtxPreCancelled(t *testing.T) {
+	cfg, tests := campaignConfig()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ds, err := RunCampaignCtx(ctx, cfg, tests, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Interrupted || len(ds.Records) != 0 || len(ds.Dropped) != 0 {
+		t.Fatalf("pre-cancelled campaign: interrupted=%v records=%d dropped=%d",
+			ds.Interrupted, len(ds.Records), len(ds.Dropped))
+	}
+}
+
+// TestCampaignCellTimeoutDoesNotInterrupt: a generous per-cell budget
+// leaves a healthy campaign untouched — same dataset, not interrupted.
+func TestCampaignCellTimeoutDoesNotInterrupt(t *testing.T) {
+	cfg, tests := campaignConfig()
+	clean, err := RunCampaign(cfg, tests, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := RunCampaign(cfg, tests, RunOptions{Workers: 2, CellTimeout: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.Interrupted {
+		t.Fatal("cell timeout marked the campaign interrupted")
+	}
+	datasetsIdentical(t, clean, bounded, "clean vs cell-timeout")
 }

@@ -10,7 +10,9 @@
 package tuning
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -191,6 +193,12 @@ type Dataset struct {
 	// Dropped lists cells that produced no record, in campaign order;
 	// empty (and omitted) on a healthy fleet.
 	Dropped []DroppedRecord `json:"dropped,omitempty"`
+	// Interrupted marks a partial dataset from a campaign that was
+	// cancelled (signal or deadline expiry) and drained. Cells absent
+	// from Records and Dropped are pending, not failed; resuming from
+	// the campaign's checkpoint completes the dataset byte-identically
+	// to an uninterrupted run, at which point the field is false again.
+	Interrupted bool `json:"interrupted,omitempty"`
 }
 
 // Save writes the dataset as JSON.
@@ -252,6 +260,10 @@ type RunOptions struct {
 	// cell.
 	Retries int
 	Backoff time.Duration
+	// CellTimeout, when positive, bounds each cell's wall-clock time;
+	// an overrun fails that one cell (it lands in Dataset.Dropped under
+	// a collect policy) without interrupting the campaign.
+	CellTimeout time.Duration
 	// Breaker, when non-nil, enables the per-device circuit breaker:
 	// a device failing Threshold cells in a row is quarantined for
 	// Cooldown cells while the run continues on the surviving fleet.
@@ -303,7 +315,7 @@ func buildCampaign(cfg *Config, tests []*litmus.Test) (sched.Spec, map[string]tu
 // returns its dataset record. It is the cold path; scheduled campaigns
 // run cells through per-worker scratch (workerScratch) instead, which
 // reuses warm devices and runners.
-func runCell(w tuningCell, faults *gpu.FaultModel, rng *xrand.Rand) (Record, error) {
+func runCell(ctx context.Context, w tuningCell, faults *gpu.FaultModel, rng *xrand.Rand) (Record, error) {
 	prof, ok := gpu.ProfileByName(w.device)
 	if !ok {
 		return Record{}, fmt.Errorf("tuning: unknown device %q", w.device)
@@ -322,13 +334,13 @@ func runCell(w tuningCell, faults *gpu.FaultModel, rng *xrand.Rand) (Record, err
 		return Record{}, fmt.Errorf("tuning: %s: %w", w.envID, err)
 	}
 	var res harness.Result
-	return recordOf(w, runner, &res, rng)
+	return recordOf(ctx, w, runner, &res, rng)
 }
 
 // recordOf runs the cell on the given (possibly warm) runner, writing
 // into the caller's reusable Result, and assembles its dataset record.
-func recordOf(w tuningCell, runner *harness.Runner, res *harness.Result, rng *xrand.Rand) (Record, error) {
-	if err := runner.RunInto(res, w.test, w.iters, rng); err != nil {
+func recordOf(ctx context.Context, w tuningCell, runner *harness.Runner, res *harness.Result, rng *xrand.Rand) (Record, error) {
+	if err := runner.RunInto(ctx, res, w.test, w.iters, rng); err != nil {
 		return Record{}, fmt.Errorf("tuning: %s/%s/%s: %w", w.envID, w.device, w.test.Name, err)
 	}
 	return Record{
@@ -379,7 +391,7 @@ type workerScratch struct {
 }
 
 // exec is the sched.Exec this worker runs cells through.
-func (s *workerScratch) exec(c sched.Cell, rng *xrand.Rand) (Record, error) {
+func (s *workerScratch) exec(ctx context.Context, c sched.Cell, rng *xrand.Rand) (Record, error) {
 	w, ok := s.work[c.Key]
 	if !ok {
 		return Record{}, fmt.Errorf("tuning: unknown cell %q", c.Key)
@@ -388,7 +400,7 @@ func (s *workerScratch) exec(c sched.Cell, rng *xrand.Rand) (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
-	return recordOf(w, runner, &s.res, rng)
+	return recordOf(ctx, w, runner, &s.res, rng)
 }
 
 // runner returns the worker's warm runner for the cell's device and
@@ -441,12 +453,23 @@ func Run(cfg Config, tests []*litmus.Test, progress func(string)) (*Dataset, err
 	return RunCampaign(cfg, tests, RunOptions{Progress: progress})
 }
 
-// RunCampaign executes the tuning study as a scheduled campaign: every
-// (environment, device, test) cell derives its RNG stream purely from
-// the config seed and the cell's identity, so any worker count — and
-// any interleaving of checkpoint resume — produces a bit-identical
-// dataset.
+// RunCampaign is RunCampaignCtx under context.Background().
 func RunCampaign(cfg Config, tests []*litmus.Test, opts RunOptions) (*Dataset, error) {
+	return RunCampaignCtx(context.Background(), cfg, tests, opts)
+}
+
+// RunCampaignCtx executes the tuning study as a scheduled campaign:
+// every (environment, device, test) cell derives its RNG stream purely
+// from the config seed and the cell's identity, so any worker count —
+// and any interleaving of checkpoint resume — produces a bit-identical
+// dataset.
+//
+// Cancelling ctx drains the campaign and returns the partial dataset
+// with Interrupted set (and a nil error): completed cells are in
+// Records, failures in Dropped, and the abandoned remainder is pending
+// in the checkpoint, so a resumed run finishes the dataset
+// byte-identical to an uninterrupted one.
+func RunCampaignCtx(ctx context.Context, cfg Config, tests []*litmus.Test, opts RunOptions) (*Dataset, error) {
 	if len(tests) == 0 {
 		return nil, fmt.Errorf("tuning: no tests")
 	}
@@ -455,11 +478,12 @@ func RunCampaign(cfg Config, tests []*litmus.Test, opts RunOptions) (*Dataset, e
 		return nil, err
 	}
 	schedOpts := sched.Options[Record]{
-		Workers:    opts.Workers,
-		MaxRetries: opts.Retries,
-		Backoff:    opts.Backoff,
-		Breaker:    opts.Breaker,
-		Instances:  func(r Record) int { return r.Instances },
+		Workers:     opts.Workers,
+		MaxRetries:  opts.Retries,
+		Backoff:     opts.Backoff,
+		CellTimeout: opts.CellTimeout,
+		Breaker:     opts.Breaker,
+		Instances:   func(r Record) int { return r.Instances },
 		// Each worker gets private warm scratch — devices, runners and a
 		// Result reused across that worker's cells — so the steady-state
 		// campaign loop stops allocating. Cell randomness derives purely
@@ -499,15 +523,23 @@ func RunCampaign(cfg Config, tests []*litmus.Test, opts RunOptions) (*Dataset, e
 		defer ck.Close()
 		schedOpts.Checkpoint = ck
 	}
-	rep, err := sched.Run(spec, func(c sched.Cell, rng *xrand.Rand) (Record, error) {
-		return runCell(work[c.Key], cfg.Faults, rng)
+	rep, err := sched.RunContext(ctx, spec, func(ctx context.Context, c sched.Cell, rng *xrand.Rand) (Record, error) {
+		return runCell(ctx, work[c.Key], cfg.Faults, rng)
 	}, schedOpts)
-	if err != nil {
+	interrupted := errors.Is(err, sched.ErrInterrupted)
+	if err != nil && !interrupted {
 		return nil, err
 	}
-	ds := &Dataset{Config: cfg, Records: make([]Record, 0, len(rep.Results))}
+	ds := &Dataset{Config: cfg, Interrupted: interrupted,
+		Records: make([]Record, 0, len(rep.Results))}
 	for _, cr := range rep.Results {
-		if cr.Err != nil {
+		switch {
+		case cr.Interrupted:
+			// Abandoned by cancellation: pending, not failed. The cell is
+			// absent from the checkpoint, so a resumed run re-executes it;
+			// recording it as dropped would make the partial dataset claim
+			// a failure that never happened.
+		case cr.Err != nil:
 			ds.Dropped = append(ds.Dropped, DroppedRecord{
 				Key:         cr.Cell.Key,
 				Device:      cr.Cell.Device,
@@ -515,9 +547,9 @@ func RunCampaign(cfg Config, tests []*litmus.Test, opts RunOptions) (*Dataset, e
 				Quarantined: cr.Quarantined,
 				Attempts:    cr.Attempts,
 			})
-			continue
+		default:
+			ds.Records = append(ds.Records, cr.Value)
 		}
-		ds.Records = append(ds.Records, cr.Value)
 	}
 	return ds, nil
 }
