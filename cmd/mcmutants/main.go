@@ -10,24 +10,32 @@
 //	mcmutants devices
 //	mcmutants run -test NAME [-device NAME] [-env pte|site|pte-baseline|site-baseline] [-iters N] [-seed N] [-buggy]
 //	mcmutants conformance [-device NAME] [-iters N] [-seed N] [-fence-bug] [-coherence-bug] [-stale-cache-bug]
-//	mcmutants campaign -kind conformance|evaluate [-devices A,B] [-envs pte,site] [-iters N] [-seed N] [-parallel N] [-checkpoint FILE] [-resume] [-deadline D] [-cell-timeout D] [-faults] [-fault-rate P] [-watchdog N] [-loss-after N]
-//	mcmutants tune [-out FILE] [-envs N] [-site-iters N] [-pte-iters N] [-paper-scale] [-devices A,B] [-seed N] [-parallel N] [-checkpoint FILE] [-resume] [-deadline D] [-cell-timeout D] [-faults] [-fault-rate P] [-watchdog N] [-loss-after N]
-//
-// Exit status: 0 on success, 1 on usage or fatal errors, 2 when a
-// campaign or tuning run completed but some cells produced no data
-// (device failures or quarantined cells), 130 when the run was
-// interrupted (SIGINT/SIGTERM or -deadline expiry) after a graceful
-// drain — completed cells are checkpointed and the run is resumable
-// with -resume.
+//	mcmutants campaign -kind conformance|evaluate [-out FILE] [-devices A,B] [-envs pte,site] [-iters N] [-seed N] [-parallel N] [-checkpoint FILE] [-resume] [-fsync-every N] [-deadline D] [-cell-timeout D] [-faults] [-fault-rate P] [-watchdog N] [-loss-after N]
+//	mcmutants tune [-out FILE] [-envs N] [-site-iters N] [-pte-iters N] [-paper-scale] [-devices A,B] [-seed N] [-parallel N] [-checkpoint FILE] [-resume] [-fsync-every N] [-deadline D] [-cell-timeout D] [-faults] [-fault-rate P] [-watchdog N] [-loss-after N]
 //	mcmutants analyze -action mutation-score|merge|correlation [-stats FILE] [-family NAME] [-rep PCT] [-budget SECONDS] [-envs N] [-iters N]
 //	mcmutants cts -stats FILE [-family NAME] [-rep PCT] [-budget SECONDS]
+//
+// Exit status: 0 on success, 1 on usage or fatal errors, 2 when a
+// campaign or tuning run completed but degraded — some cells produced
+// no data (device failures or quarantined cells), or the checkpoint
+// hit a persistent storage failure (ENOSPC/EIO) and the run finished
+// in-memory — and 130 when the run was interrupted (SIGINT/SIGTERM or
+// -deadline expiry) after a graceful drain — completed cells are
+// checkpointed and the run is resumable with -resume.
+//
+// Final artifacts (datasets, reports, profiles) are published
+// atomically: write temp → fsync → rename → fsync dir, so a crash at
+// any instant leaves either the previous complete artifact or the new
+// one, never a partial file.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -39,6 +47,7 @@ import (
 
 	"repro/internal/confidence"
 	"repro/internal/core"
+	"repro/internal/diskio"
 	"repro/internal/gpu"
 	"repro/internal/harness"
 	"repro/internal/litmus"
@@ -213,7 +222,7 @@ func cmdSuite(args []string) error {
 		for _, t := range suite.All() {
 			name := strings.NewReplacer("/", "_", "+", "p").Replace(t.Name)
 			path := filepath.Join(*export, name+".litmus")
-			if err := os.WriteFile(path, []byte(litmus.Format(t)), 0o644); err != nil {
+			if err := diskio.WriteFileAtomic(diskio.OS{}, path, []byte(litmus.Format(t))); err != nil {
 				return err
 			}
 			n++
@@ -452,6 +461,20 @@ func (cf *cancelFlags) apply(ctx context.Context) (context.Context, context.Canc
 	return context.WithCancel(ctx)
 }
 
+// storageFlags is the shared durability flag group of the campaign and
+// tune subcommands.
+type storageFlags struct {
+	fsyncEvery *int
+}
+
+// addStorageFlags registers the checkpoint-durability flags on fs.
+func addStorageFlags(fs *flag.FlagSet) *storageFlags {
+	return &storageFlags{
+		fsyncEvery: fs.Int("fsync-every", 0,
+			"fsync the checkpoint after every N recorded cells (0: default bounded-loss policy; negative: only at drain and close)"),
+	}
+}
+
 // profileFlags is the shared -cpuprofile/-memprofile flag group of the
 // long-running campaign and tune subcommands.
 type profileFlags struct {
@@ -470,36 +493,49 @@ func addProfileFlags(fs *flag.FlagSet) *profileFlags {
 // start begins CPU profiling when requested and returns a stop function
 // to defer. stop finishes the CPU profile and writes the heap profile;
 // it runs on every exit path, so profiles are captured even when a run
-// completes degraded (partial-failure exit).
+// completes degraded (partial-failure exit). Both profiles are
+// published atomically — the CPU profile streams into a temp file that
+// is fsynced and renamed into place only once complete, and the heap
+// profile goes through diskio.WriteAtomic — so a crash mid-write never
+// leaves a truncated profile at the requested path.
 func (pf *profileFlags) start() (stop func(), err error) {
-	var cpuFile *os.File
-	if *pf.cpu != "" {
-		cpuFile, err = os.Create(*pf.cpu)
+	fsys := diskio.OS{}
+	var cpuFile diskio.File
+	cpuPath, memPath := *pf.cpu, *pf.mem
+	if cpuPath != "" {
+		cpuFile, err = diskio.Create(fsys, cpuPath+".tmp")
 		if err != nil {
 			return nil, err
 		}
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
 			cpuFile.Close()
+			fsys.Remove(cpuPath + ".tmp")
 			return nil, err
 		}
 	}
-	memPath := *pf.mem
 	return func() {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
-			cpuFile.Close()
+			err := cpuFile.Sync()
+			if cerr := cpuFile.Close(); err == nil {
+				err = cerr
+			}
+			if err == nil {
+				err = fsys.Rename(cpuPath+".tmp", cpuPath)
+			}
+			if err == nil {
+				err = fsys.SyncDir(filepath.Dir(cpuPath))
+			}
+			if err != nil {
+				fsys.Remove(cpuPath + ".tmp")
+				fmt.Fprintf(os.Stderr, "mcmutants: cpuprofile: %v\n", err)
+			}
 		}
 		if memPath == "" {
 			return
 		}
-		f, err := os.Create(memPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mcmutants: memprofile: %v\n", err)
-			return
-		}
-		defer f.Close()
 		runtime.GC() // settle the heap so the profile reflects live objects
-		if err := pprof.WriteHeapProfile(f); err != nil {
+		if err := diskio.WriteAtomic(fsys, memPath, pprof.WriteHeapProfile); err != nil {
 			fmt.Fprintf(os.Stderr, "mcmutants: memprofile: %v\n", err)
 		}
 	}, nil
@@ -508,9 +544,54 @@ func (pf *profileFlags) start() (stop func(), err error) {
 // cmdCampaign runs a scheduled campaign over the device fleet: either
 // the conformance suite on every platform, or a multi-environment
 // mutation-score evaluation on one device.
+// campaignArtifact is the machine-readable report that campaign -out
+// publishes. It is written atomically (write temp → fsync → rename →
+// fsync dir), so a crash mid-write never leaves a truncated report.
+type campaignArtifact struct {
+	Kind            string                    `json:"kind"`
+	Conformance     []*core.ConformanceReport `json:"conformance,omitempty"`
+	Evaluate        []evaluateEntry           `json:"evaluate,omitempty"`
+	StorageDegraded bool                      `json:"storage_degraded,omitempty"`
+}
+
+// evaluateEntry pairs a device with its environment-evaluation score in
+// the campaign artifact.
+type evaluateEntry struct {
+	Device string         `json:"device"`
+	Score  *core.EnvScore `json:"score"`
+}
+
+// campaignVerdict maps a completed campaign's degradations to its exit
+// state: nil when fully healthy, partialFailure (exit 2) when cells
+// produced no data or the checkpoint degraded to in-memory on a
+// persistent storage failure.
+func campaignVerdict(failedCells, quarantined int, storageDegraded bool, storageErr string) error {
+	var parts []string
+	if failedCells > 0 {
+		parts = append(parts, fmt.Sprintf("%d cell(s) produced no data (%d quarantined)", failedCells, quarantined))
+	}
+	if storageDegraded {
+		parts = append(parts, fmt.Sprintf("checkpoint storage degraded (%s), results not durably checkpointed", storageErr))
+	}
+	if len(parts) == 0 {
+		return nil
+	}
+	return &partialFailure{"campaign degraded: " + strings.Join(parts, "; ")}
+}
+
+// writeCampaignArtifact publishes the campaign report atomically.
+func writeCampaignArtifact(path string, a *campaignArtifact) error {
+	return diskio.WriteAtomic(diskio.OS{}, path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(a)
+	})
+}
+
 func cmdCampaign(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
 	kind := fs.String("kind", "conformance", "campaign kind: conformance or evaluate")
+	out := fs.String("out", "", "write a machine-readable JSON report to this path (atomic)")
 	devices := fs.String("devices", "", "comma-separated device names (default: the Table 3 fleet)")
 	envNames := fs.String("envs", "pte,site", "comma-separated environment presets")
 	iters := fs.Int("iters", 10, "kernel launches per cell")
@@ -524,6 +605,7 @@ func cmdCampaign(ctx context.Context, args []string) error {
 	ff := addFaultFlags(fs)
 	cf := addCancelFlags(fs)
 	pf := addProfileFlags(fs)
+	sf := addStorageFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -553,6 +635,7 @@ func cmdCampaign(ctx context.Context, args []string) error {
 		Resume:         *resume,
 		Collect:        *ff.enable,
 		Breaker:        ff.breaker(),
+		FsyncEvery:     *sf.fsyncEvery,
 	}
 	faultModel := ff.model(*seed)
 	if !*quiet {
@@ -581,6 +664,12 @@ func cmdCampaign(ctx context.Context, args []string) error {
 		interrupted := errors.Is(err, sched.ErrInterrupted)
 		if err != nil && !interrupted {
 			return err
+		}
+		storageDegraded, storageErr := false, ""
+		for _, rep := range reports {
+			if rep.StorageDegraded {
+				storageDegraded, storageErr = true, rep.StorageErr
+			}
 		}
 		bad, failedCells, quarantined, pending := 0, 0, 0, 0
 		for _, rep := range reports {
@@ -621,6 +710,16 @@ func cmdCampaign(ctx context.Context, args []string) error {
 		} else {
 			fmt.Println("\nfleet conforms")
 		}
+		if storageDegraded {
+			fmt.Fprintf(os.Stderr, "mcmutants: checkpoint storage degraded, finished in-memory: %s\n", storageErr)
+		}
+		if *out != "" {
+			art := &campaignArtifact{Kind: "conformance", Conformance: reports, StorageDegraded: storageDegraded}
+			if err := writeCampaignArtifact(*out, art); err != nil {
+				return err
+			}
+			fmt.Printf("wrote report to %s\n", *out)
+		}
 		if interrupted {
 			msg := fmt.Sprintf("campaign interrupted: %d cell(s) pending", pending)
 			if *checkpoint != "" {
@@ -628,13 +727,22 @@ func cmdCampaign(ctx context.Context, args []string) error {
 			}
 			return &interruptedRun{msg}
 		}
-		if failedCells > 0 {
-			return &partialFailure{fmt.Sprintf(
-				"campaign degraded: %d cell(s) produced no data (%d quarantined)", failedCells, quarantined)}
-		}
-		return nil
+		return campaignVerdict(failedCells, quarantined, storageDegraded, storageErr)
 	case "evaluate":
 		failedCells, quarantined := 0, 0
+		storageDegraded, storageErr := false, ""
+		var entries []evaluateEntry
+		publish := func() error {
+			if *out == "" {
+				return nil
+			}
+			art := &campaignArtifact{Kind: "evaluate", Evaluate: entries, StorageDegraded: storageDegraded}
+			if err := writeCampaignArtifact(*out, art); err != nil {
+				return err
+			}
+			fmt.Printf("wrote report to %s\n", *out)
+			return nil
+		}
 		for _, name := range names {
 			p := core.Platform{Device: strings.TrimSpace(name), Faults: faultModel}
 			if *fenceBug {
@@ -650,6 +758,11 @@ func cmdCampaign(ctx context.Context, args []string) error {
 			if err != nil && !interrupted {
 				return err
 			}
+			if score.StorageDegraded {
+				storageDegraded, storageErr = true, score.StorageErr
+				fmt.Fprintf(os.Stderr, "mcmutants: checkpoint storage degraded, finished in-memory: %s\n", score.StorageErr)
+			}
+			entries = append(entries, evaluateEntry{Device: p.Device, Score: score})
 			note := ""
 			if interrupted {
 				note = " [interrupted, partial]"
@@ -668,6 +781,9 @@ func cmdCampaign(ctx context.Context, args []string) error {
 				fmt.Printf("  %d cell(s) produced no data (%d quarantined)\n", len(score.Failures), nq)
 			}
 			if interrupted {
+				if err := publish(); err != nil {
+					return err
+				}
 				msg := "campaign interrupted: per-device evaluation incomplete"
 				if opts.CheckpointPath != "" {
 					msg += fmt.Sprintf("; resume with -checkpoint %s -resume", opts.CheckpointPath)
@@ -675,11 +791,10 @@ func cmdCampaign(ctx context.Context, args []string) error {
 				return &interruptedRun{msg}
 			}
 		}
-		if failedCells > 0 {
-			return &partialFailure{fmt.Sprintf(
-				"campaign degraded: %d cell(s) produced no data (%d quarantined)", failedCells, quarantined)}
+		if err := publish(); err != nil {
+			return err
 		}
-		return nil
+		return campaignVerdict(failedCells, quarantined, storageDegraded, storageErr)
 	default:
 		return fmt.Errorf("unknown campaign kind %q (conformance, evaluate)", *kind)
 	}
@@ -702,6 +817,7 @@ func cmdTune(ctx context.Context, args []string) error {
 	ff := addFaultFlags(fs)
 	cf := addCancelFlags(fs)
 	pf := addProfileFlags(fs)
+	sf := addStorageFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -738,6 +854,7 @@ func cmdTune(ctx context.Context, args []string) error {
 		Retries:        *retries,
 		CellTimeout:    *cf.cellTimeout,
 		Breaker:        ff.breaker(),
+		FsyncEvery:     *sf.fsyncEvery,
 	}
 	if opts.Resume && opts.CheckpointPath == "" {
 		opts.CheckpointPath = *out + ".ckpt"
@@ -750,13 +867,11 @@ func cmdTune(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(*out)
-	if err != nil {
+	if err := ds.SaveAtomic(nil, *out); err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := ds.Save(f); err != nil {
-		return err
+	if ds.StorageDegraded {
+		fmt.Fprintf(os.Stderr, "mcmutants: checkpoint storage degraded, finished in-memory: %s\n", ds.StorageErr)
 	}
 	if ds.Interrupted {
 		fmt.Printf("wrote %d records to %s (run interrupted; dataset partial)\n", len(ds.Records), *out)
@@ -786,9 +901,15 @@ func cmdTune(ctx context.Context, args []string) error {
 	}
 	fmt.Println()
 	fmt.Print(report.Fig5(ds))
+	var parts []string
 	if len(ds.Dropped) > 0 {
-		return &partialFailure{fmt.Sprintf(
-			"tuning run degraded: %d cell(s) dropped (%d quarantined)", len(ds.Dropped), nq)}
+		parts = append(parts, fmt.Sprintf("%d cell(s) dropped (%d quarantined)", len(ds.Dropped), nq))
+	}
+	if ds.StorageDegraded {
+		parts = append(parts, fmt.Sprintf("checkpoint storage degraded (%s), results not durably checkpointed", ds.StorageErr))
+	}
+	if len(parts) > 0 {
+		return &partialFailure{"tuning run degraded: " + strings.Join(parts, "; ")}
 	}
 	return nil
 }

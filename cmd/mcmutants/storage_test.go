@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// noTmpResidue asserts atomic publication cleaned up after itself: no
+// .tmp files anywhere in dir.
+func noTmpResidue(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("publication left temp residue: %s", e.Name())
+		}
+	}
+}
+
+// TestCampaignOutArtifact: campaign -out publishes a machine-readable
+// JSON report for both kinds, atomically (no .tmp residue).
+func TestCampaignOutArtifact(t *testing.T) {
+	dir := t.TempDir()
+	conf := filepath.Join(dir, "conf.json")
+	out, err := capture(t, func() error {
+		return run([]string{"campaign", "-kind", "conformance", "-devices", "AMD",
+			"-iters", "2", "-quiet", "-out", conf})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrote report to") {
+		t.Errorf("campaign output does not mention the report:\n%s", out)
+	}
+	raw, err := os.ReadFile(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		Kind        string            `json:"kind"`
+		Conformance []json.RawMessage `json:"conformance"`
+		Evaluate    []json.RawMessage `json:"evaluate"`
+	}
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if art.Kind != "conformance" || len(art.Conformance) != 1 {
+		t.Fatalf("artifact kind=%q conformance=%d", art.Kind, len(art.Conformance))
+	}
+
+	eval := filepath.Join(dir, "eval.json")
+	if _, err := capture(t, func() error {
+		return run([]string{"campaign", "-kind", "evaluate", "-devices", "AMD",
+			"-envs", "pte", "-iters", "2", "-quiet", "-out", eval})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatalf("evaluate artifact is not valid JSON: %v", err)
+	}
+	if art.Kind != "evaluate" || len(art.Evaluate) != 1 {
+		t.Fatalf("artifact kind=%q evaluate=%d", art.Kind, len(art.Evaluate))
+	}
+	noTmpResidue(t, dir)
+}
+
+// TestTuneFsyncEveryFlag: every fsync policy — eager, default, and
+// drain-only — produces the same dataset, and a checkpointed run under
+// the eager policy resumes byte-identically.
+func TestTuneFsyncEveryFlag(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"tune", "-envs", "1", "-site-iters", "2", "-pte-iters", "1",
+		"-devices", "AMD", "-quiet"}
+
+	cleanPath := filepath.Join(dir, "clean.json")
+	if _, err := capture(t, func() error {
+		return run(append(base, "-out", cleanPath))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(cleanPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, every := range []string{"1", "-1"} {
+		path := filepath.Join(dir, "tuned"+every+".json")
+		if _, err := capture(t, func() error {
+			return run(append(base, "-out", path, "-resume", "-fsync-every", every))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(clean) {
+			t.Fatalf("-fsync-every %s dataset differs from the default policy's", every)
+		}
+	}
+	noTmpResidue(t, dir)
+}
+
+// TestProfilesPublishedAtomically: -cpuprofile and -memprofile land as
+// complete files with no temp residue.
+func TestProfilesPublishedAtomically(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if _, err := capture(t, func() error {
+		return run([]string{"tune", "-envs", "1", "-site-iters", "2", "-pte-iters", "1",
+			"-devices", "AMD", "-quiet", "-out", filepath.Join(dir, "out.json"),
+			"-cpuprofile", cpu, "-memprofile", mem})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not published: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	noTmpResidue(t, dir)
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/diskio"
 	"repro/internal/gpu"
 	"repro/internal/harness"
 	"repro/internal/litmus"
@@ -34,6 +35,13 @@ type CampaignOptions struct {
 	// Resume replays cells already in the checkpoint instead of
 	// re-running them. Requires CheckpointPath.
 	Resume bool
+	// FsyncEvery tunes the checkpoint's bounded-loss durability policy:
+	// the file is fsynced after every N recorded cells. 0 means
+	// sched.DefaultFsyncEvery; negative syncs only at drain and close.
+	FsyncEvery int
+	// FS is the filesystem the checkpoint goes through; nil means the
+	// real filesystem. Tests inject a fault model (diskio.FaultFS).
+	FS diskio.FS
 	// Collect switches the scheduler from fail-fast to collect: every
 	// cell runs, and failed cells surface in the result (EnvScore
 	// failures, error-carrying findings) instead of aborting the
@@ -81,7 +89,8 @@ func applyCampaignOptions[R any](o CampaignOptions, spec sched.Spec, opts *sched
 		return closer, fmt.Errorf("core: Resume requires CheckpointPath")
 	}
 	if o.CheckpointPath != "" {
-		ck, err := sched.OpenCheckpoint(o.CheckpointPath, spec, o.Resume)
+		ck, err := sched.OpenCheckpointOpts(o.CheckpointPath, spec, o.Resume,
+			sched.CheckpointOptions{FS: o.FS, FsyncEvery: o.FsyncEvery})
 		if err != nil {
 			return closer, err
 		}
@@ -203,7 +212,9 @@ func (st *Study) EvaluateEnvironmentsCtx(ctx context.Context, p Platform, envs [
 	score := &EnvScore{
 		PerMutant: merged, Total: nm,
 		Failures: cellFailures(rep), Health: rep.Health,
-		Interrupted: interrupted,
+		Interrupted:     interrupted,
+		StorageDegraded: rep.StorageDegraded,
+		StorageErr:      rep.StorageErr,
 	}
 	rates := 0.0
 	for _, res := range merged {
@@ -296,7 +307,10 @@ func (st *Study) CheckFleetConformanceCtx(ctx context.Context, platforms []Platf
 	nc := len(st.Suite.Conformance)
 	reports := make([]*ConformanceReport, len(platforms))
 	for pi := range platforms {
-		r := &ConformanceReport{Platform: platforms[pi], Interrupted: interrupted}
+		r := &ConformanceReport{
+			Platform: platforms[pi], Interrupted: interrupted,
+			StorageDegraded: rep.StorageDegraded, StorageErr: rep.StorageErr,
+		}
 		for ti := 0; ti < nc; ti++ {
 			cr := rep.Results[pi*nc+ti]
 			f := cr.Value

@@ -104,6 +104,13 @@ type EnvScore struct {
 	// cell ran: the score covers only the completed cells, and a resumed
 	// run (same seed, same checkpoint) will finish the rest.
 	Interrupted bool
+	// StorageDegraded is true when the campaign's checkpoint hit a
+	// persistent storage failure (ENOSPC, EIO) and finished in-memory:
+	// the score is complete and correct, but cells completed after the
+	// failure are not durably checkpointed. StorageErr carries the
+	// cause.
+	StorageDegraded bool
+	StorageErr      string
 }
 
 // Score returns the mutation score in [0, 1].
@@ -161,6 +168,12 @@ type ConformanceReport struct {
 	// platform's every test ran; interrupted findings are pending, not
 	// failed.
 	Interrupted bool
+	// StorageDegraded is true when the campaign's checkpoint degraded
+	// to in-memory on a persistent storage failure (ENOSPC, EIO); the
+	// findings are complete but not durably checkpointed. StorageErr
+	// carries the cause.
+	StorageDegraded bool
+	StorageErr      string
 }
 
 // Failed returns the findings whose cells produced no data (device

@@ -1,0 +1,152 @@
+// Package diskio is the storage layer's filesystem abstraction. Every
+// writer whose output must survive an ungraceful death — the campaign
+// checkpoint, the tuning dataset, report artifacts, pprof profiles —
+// goes through a diskio.FS instead of the os package directly, so the
+// same code paths run against the real filesystem in production and
+// against a deterministic fault-injecting filesystem (FaultFS) in
+// tests.
+//
+// The injecting filesystem can tear a write at any byte offset, fail
+// Sync or Rename with EIO/ENOSPC, and "crash" — freeze all subsequent
+// I/O — at the Nth operation. That enables the crash-at-every-boundary
+// property: run a campaign, crash it at each successive I/O boundary,
+// resume on a healthy filesystem, and assert the final dataset is
+// byte-identical to an uninterrupted run.
+//
+// The package also defines the error taxonomy the storage layer's
+// graceful degradation relies on: IsStorageErr recognizes the
+// exhausted-or-failing-media conditions (ENOSPC, EIO) that a campaign
+// survives by going in-memory, as opposed to a simulated crash
+// (ErrCrashed) or a logic error, which do not degrade.
+package diskio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// File is the subset of *os.File the storage layer needs. Every method
+// of a FaultFS file is gated by the fault stream, so a torn write or a
+// failed fsync surfaces exactly where the real syscall would fail.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Name returns the path the file was opened with.
+	Name() string
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Truncate changes the file's size.
+	Truncate(size int64) error
+}
+
+// FS abstracts the filesystem operations of the storage layer. Real
+// code uses OS{}; tests substitute a FaultFS wrapping it.
+type FS interface {
+	// OpenFile is the generalized open call (os.OpenFile semantics).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// SyncDir fsyncs a directory, making prior renames and creates in
+	// it durable. Required after the rename of an atomic publication.
+	SyncDir(dir string) error
+}
+
+// Create opens name for writing, truncating it if it exists.
+func Create(fsys FS, name string) (File, error) {
+	return fsys.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// Open opens name read-only.
+func Open(fsys FS, name string) (File, error) {
+	return fsys.OpenFile(name, os.O_RDONLY, 0)
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+// OpenFile opens a file through the os package.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// Rename renames through the os package.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove removes through the os package.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// SyncDir fsyncs the directory so entries created or renamed into it
+// are durable.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// IsStorageErr reports whether err is an exhausted-or-failing-media
+// condition — ENOSPC or EIO anywhere in the chain — that the storage
+// layer degrades gracefully on (finish in-memory, flag the report)
+// rather than aborting the campaign. A simulated crash (ErrCrashed) is
+// deliberately not a storage error: a crashed process cannot degrade,
+// it is dead.
+func IsStorageErr(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EIO)
+}
+
+// WriteAtomic publishes a file at path with all-or-nothing visibility:
+// the content is written to a sibling temp file, fsynced, renamed over
+// path, and the containing directory fsynced. A reader — or a process
+// that crashes at any instant — observes either the complete previous
+// content or the complete new content, never a partial artifact.
+//
+// write receives the temp file; any error it returns aborts the
+// publication and removes the temp file, leaving path untouched.
+func WriteAtomic(fsys FS, path string, write func(w io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := Create(fsys, tmp)
+	if err != nil {
+		return fmt.Errorf("diskio: create %s: %w", tmp, err)
+	}
+	fail := func(stage string, err error) error {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("diskio: %s %s: %w", stage, tmp, err)
+	}
+	if err := write(f); err != nil {
+		return fail("write", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail("sync", err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("diskio: close %s: %w", tmp, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("diskio: publish %s: %w", path, err)
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}
+
+// WriteFileAtomic is WriteAtomic for a byte slice.
+func WriteFileAtomic(fsys FS, path string, data []byte) error {
+	return WriteAtomic(fsys, path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

@@ -214,6 +214,14 @@ type Report[R any] struct {
 	// Retried counts extra attempts beyond the first across surviving
 	// cells.
 	Retried int
+	// StorageDegraded is true when the checkpoint hit a persistent
+	// storage failure (ENOSPC, EIO) mid-campaign and degraded to
+	// in-memory operation: results are complete and correct, but cells
+	// completed after the failure are not durably checkpointed and
+	// would re-run on resume.
+	StorageDegraded bool
+	// StorageErr is the degradation cause rendered as text.
+	StorageErr string
 	// Health summarizes per-device fleet health; populated when the
 	// breaker is enabled, sorted by device name.
 	Health []DeviceHealth
@@ -454,6 +462,14 @@ func RunContext[R any](ctx context.Context, spec Spec, exec Exec[R], opts Option
 		// back: a drain followed by an immediate process exit must not
 		// lose completed work to the page cache.
 		syncErr = opts.Checkpoint.Sync()
+		if derr := opts.Checkpoint.Degraded(); derr != nil {
+			// The disk filled or failed mid-campaign and the checkpoint
+			// went in-memory; the results are whole, their durability is
+			// not. Callers surface this as a degraded completion (CLI
+			// exit 2), never a crash.
+			rep.StorageDegraded = true
+			rep.StorageErr = derr.Error()
+		}
 	}
 	if opts.Reporter != nil {
 		opts.Reporter.finish(rep.Failed, rep.Quarantined, rep.Retried, rep.Interrupted)

@@ -1,0 +1,204 @@
+package tuning
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"repro/internal/diskio"
+)
+
+// countTuningOps runs the campaign to completion through a fault-free
+// FaultFS and returns the checkpoint's mutating-I/O op count — the
+// crash-boundary space at the tuning level.
+func countTuningOps(t *testing.T) int {
+	t.Helper()
+	cfg, tests := campaignConfig()
+	dir := t.TempDir()
+	ffs := diskio.NewFaultFS(diskio.OS{}, 11)
+	_, err := RunCampaign(cfg, tests, RunOptions{
+		Workers: 1, CheckpointPath: filepath.Join(dir, "t.ckpt"),
+		FsyncEvery: 1, FS: ffs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ffs.Ops()
+}
+
+// TestTuningDatasetSurvivesCrashes: kill the tuning campaign's process
+// at a spread of I/O boundaries; after resuming on a healthy disk the
+// final dataset is byte-identical to an uninterrupted run's. The
+// exhaustive every-boundary sweep lives at the sched level
+// (TestCampaignSurvivesCrashAtEveryIOBoundary); this samples the space
+// end to end through the tuning layer, including first and last ops.
+func TestTuningDatasetSurvivesCrashes(t *testing.T) {
+	cfg, tests := campaignConfig()
+	clean, err := RunCampaign(cfg, tests, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := countTuningOps(t)
+	if total < 10 {
+		t.Fatalf("only %d checkpoint ops; implausibly small", total)
+	}
+	boundaries := []int{1, 2, 3, total - 1, total}
+	for n := total / 4; n < total-1; n += total / 4 {
+		boundaries = append(boundaries, n)
+	}
+	for _, n := range boundaries {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "t.ckpt")
+		ffs := diskio.NewFaultFS(diskio.OS{}, 11)
+		ffs.CrashAfter(n)
+		// The run fails with ErrCrashed — except when the crash lands on
+		// the deferred close's sync, after the campaign already drained;
+		// then it legitimately succeeds with every record durable.
+		_, err := RunCampaign(cfg, tests, RunOptions{
+			Workers: 1, CheckpointPath: path, FsyncEvery: 1, FS: ffs,
+		})
+		if err != nil && !errors.Is(err, diskio.ErrCrashed) {
+			t.Fatalf("n=%d: non-crash error: %v", n, err)
+		}
+		if !ffs.Crashed() {
+			t.Fatalf("n=%d: crash never fired", n)
+		}
+		resumed, err := RunCampaign(cfg, tests, RunOptions{
+			Workers: 1, CheckpointPath: path, Resume: true,
+		})
+		if err != nil {
+			t.Fatalf("n=%d: resume failed: %v", n, err)
+		}
+		datasetsIdentical(t, clean, resumed, "clean vs crash-resumed")
+	}
+}
+
+// TestTuningStorageDegradation: disk-full mid-campaign yields a
+// complete, correct dataset flagged StorageDegraded instead of a dead
+// run.
+func TestTuningStorageDegradation(t *testing.T) {
+	cfg, tests := campaignConfig()
+	clean, err := RunCampaign(cfg, tests, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ffs := diskio.NewFaultFS(diskio.OS{}, 11)
+	ffs.FailFrom(8, syscall.ENOSPC)
+	ds, err := RunCampaign(cfg, tests, RunOptions{
+		Workers: 1, CheckpointPath: filepath.Join(dir, "t.ckpt"),
+		FsyncEvery: 1, FS: ffs,
+	})
+	if err != nil {
+		t.Fatalf("ENOSPC killed the tuning run: %v", err)
+	}
+	if !ds.StorageDegraded || ds.StorageErr == "" {
+		t.Fatalf("dataset not marked degraded: %v %q", ds.StorageDegraded, ds.StorageErr)
+	}
+	// The degradation affects durability metadata only — the science is
+	// identical.
+	ds.StorageDegraded, ds.StorageErr = false, ""
+	datasetsIdentical(t, clean, ds, "clean vs storage-degraded")
+}
+
+// TestDatasetSaveAtomic: SaveAtomic publishes all-or-nothing — the
+// bytes equal a plain Save, an existing file is replaced, and no .tmp
+// residue is left behind.
+func TestDatasetSaveAtomic(t *testing.T) {
+	cfg, tests := campaignConfig()
+	ds, err := RunCampaign(cfg, tests, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("stale previous artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SaveAtomic(nil, path); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := ds.Save(&want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatal("SaveAtomic bytes differ from Save")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want just the artifact: %v", len(entries), entries)
+	}
+
+	// The published artifact round-trips.
+	if _, err := Load(bytes.NewReader(got)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash at any publication boundary leaves either the stale or the
+	// new complete artifact.
+	for n := 1; ; n++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "out.json")
+		stale := []byte(`{"records":null}`)
+		if err := os.WriteFile(path, stale, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ffs := diskio.NewFaultFS(diskio.OS{}, 11)
+		ffs.CrashAfter(n)
+		err := ds.SaveAtomic(ffs, path)
+		if !ffs.Crashed() {
+			if err != nil {
+				t.Fatalf("n=%d: fault-free save failed: %v", n, err)
+			}
+			break // past the last op: publication completed
+		}
+		if err == nil {
+			t.Fatalf("n=%d: crashed save reported success", n)
+		}
+		after, rerr := os.ReadFile(path)
+		if rerr != nil {
+			t.Fatalf("n=%d: artifact vanished: %v", n, rerr)
+		}
+		if !bytes.Equal(after, stale) && !bytes.Equal(after, want.Bytes()) {
+			t.Fatalf("n=%d: artifact is neither the old nor the new version (%d bytes)", n, len(after))
+		}
+	}
+}
+
+// TestTuningFsyncEveryPlumbing: the flag value reaches the checkpoint —
+// a negative policy (sync only at drain/close) still produces a
+// resumable checkpoint, via context for coverage of the non-default
+// paths.
+func TestTuningFsyncEveryPlumbing(t *testing.T) {
+	cfg, tests := campaignConfig()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.ckpt")
+	clean, err := RunCampaign(cfg, tests, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunCampaignCtx(context.Background(), cfg, tests, RunOptions{
+		Workers: 1, CheckpointPath: path, FsyncEvery: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := RunCampaign(cfg, tests, RunOptions{
+		Workers: 1, CheckpointPath: path, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsIdentical(t, clean, resumed, "clean vs fsync-never resumed")
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/confidence"
+	"repro/internal/diskio"
 	"repro/internal/gpu"
 	"repro/internal/harness"
 	"repro/internal/litmus"
@@ -199,6 +200,13 @@ type Dataset struct {
 	// the campaign's checkpoint completes the dataset byte-identically
 	// to an uninterrupted run, at which point the field is false again.
 	Interrupted bool `json:"interrupted,omitempty"`
+	// StorageDegraded marks a dataset whose campaign checkpoint hit a
+	// persistent storage failure (ENOSPC, EIO) and finished in-memory:
+	// the records are complete and correct, but the checkpoint does not
+	// durably cover them, so a crash before this dataset was written
+	// would have re-run them. StorageErr carries the cause.
+	StorageDegraded bool   `json:"storage_degraded,omitempty"`
+	StorageErr      string `json:"storage_err,omitempty"`
 }
 
 // Save writes the dataset as JSON.
@@ -206,6 +214,17 @@ func (ds *Dataset) Save(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(ds)
+}
+
+// SaveAtomic publishes the dataset at path with all-or-nothing
+// visibility (write temp → fsync → rename → fsync dir): a reader — or
+// a crash at any instant — observes either the previous complete
+// dataset or the new complete one, never a partial JSON document.
+func (ds *Dataset) SaveAtomic(fsys diskio.FS, path string) error {
+	if fsys == nil {
+		fsys = diskio.OS{}
+	}
+	return diskio.WriteAtomic(fsys, path, ds.Save)
 }
 
 // Load reads a dataset written by Save.
@@ -249,6 +268,13 @@ type RunOptions struct {
 	// Resume replays cells already present in the checkpoint instead
 	// of re-running them. Requires CheckpointPath.
 	Resume bool
+	// FsyncEvery tunes the checkpoint's bounded-loss durability policy:
+	// the file is fsynced after every N recorded cells. 0 means
+	// sched.DefaultFsyncEvery; negative syncs only at drain and close.
+	FsyncEvery int
+	// FS is the filesystem the checkpoint goes through; nil means the
+	// real filesystem. Tests inject a fault model (diskio.FaultFS).
+	FS diskio.FS
 	// Progress, when non-nil, receives one line as each cell starts.
 	Progress func(string)
 	// Report, when non-nil, receives throughput lines (cells/sec,
@@ -516,7 +542,8 @@ func RunCampaignCtx(ctx context.Context, cfg Config, tests []*litmus.Test, opts 
 		return nil, fmt.Errorf("tuning: Resume requires CheckpointPath")
 	}
 	if opts.CheckpointPath != "" {
-		ck, err := sched.OpenCheckpoint(opts.CheckpointPath, spec, opts.Resume)
+		ck, err := sched.OpenCheckpointOpts(opts.CheckpointPath, spec, opts.Resume,
+			sched.CheckpointOptions{FS: opts.FS, FsyncEvery: opts.FsyncEvery})
 		if err != nil {
 			return nil, err
 		}
@@ -531,6 +558,7 @@ func RunCampaignCtx(ctx context.Context, cfg Config, tests []*litmus.Test, opts 
 		return nil, err
 	}
 	ds := &Dataset{Config: cfg, Interrupted: interrupted,
+		StorageDegraded: rep.StorageDegraded, StorageErr: rep.StorageErr,
 		Records: make([]Record, 0, len(rep.Results))}
 	for _, cr := range rep.Results {
 		switch {
