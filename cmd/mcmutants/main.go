@@ -14,6 +14,7 @@
 //	mcmutants tune [-out FILE] [-envs N] [-site-iters N] [-pte-iters N] [-paper-scale] [-devices A,B] [-seed N] [-parallel N] [-checkpoint FILE] [-resume] [-fsync-every N] [-deadline D] [-cell-timeout D] [-faults] [-fault-rate P] [-watchdog N] [-loss-after N]
 //	mcmutants analyze -action mutation-score|merge|correlation [-stats FILE] [-family NAME] [-rep PCT] [-budget SECONDS] [-envs N] [-iters N]
 //	mcmutants cts -stats FILE [-family NAME] [-rep PCT] [-budget SECONDS]
+//	mcmutants serve [-addr HOST:PORT] [-state DIR] [-runners N] [-parallel N] [-queue N] [-per-client N] [-fsync-every N] [-quiet]
 //
 // Exit status: 0 on success, 1 on usage or fatal errors, 2 when a
 // campaign or tuning run completed but degraded — some cells produced
@@ -31,11 +32,10 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
+	"net"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -54,6 +54,7 @@ import (
 	"repro/internal/mutation"
 	"repro/internal/report"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/tuning"
 	"repro/internal/wgsl"
 	"repro/internal/xrand"
@@ -134,6 +135,8 @@ func dispatch(ctx context.Context, args []string) error {
 		return cmdAnalyze(args[1:])
 	case "cts":
 		return cmdCTS(args[1:])
+	case "serve":
+		return cmdServe(ctx, args[1:])
 	case "optimize":
 		return cmdOptimize(args[1:])
 	case "trace":
@@ -159,6 +162,7 @@ subcommands:
   tune         run a tuning study and save the dataset (JSON)
   analyze      mutation-score / merge / correlation analyses
   cts          curate a conformance-test-suite plan from a dataset
+  serve        run the multi-tenant HTTP campaign service
   optimize     search for a per-test specialized environment
   trace        run one instance with event tracing and verification`)
 }
@@ -236,36 +240,9 @@ func cmdSuite(args []string) error {
 	return nil
 }
 
-// envByName resolves an environment preset.
+// envByName resolves an environment preset (see core.EnvByName).
 func envByName(name string, wgs, wgSize int) (harness.Params, error) {
-	switch name {
-	case "pte":
-		p := harness.PTEBaseline(wgs, wgSize)
-		p.MaxWorkgroups = p.TestingWorkgroups + 4
-		p.MemStressPct = 100
-		p.MemStressIters = 16
-		p.PreStressPct = 80
-		p.PreStressIters = 4
-		p.MemStride = 2
-		p.MemLocOffset = 1
-		return p, nil
-	case "pte-baseline":
-		return harness.PTEBaseline(wgs, wgSize), nil
-	case "site":
-		p := harness.SITEBaseline()
-		p.MaxWorkgroups = 16
-		p.MemStressPct = 100
-		p.MemStressIters = 16
-		p.PreStressPct = 100
-		p.PreStressIters = 4
-		p.MemStride = 2
-		p.MemLocOffset = 1
-		return p, nil
-	case "site-baseline":
-		return harness.SITEBaseline(), nil
-	default:
-		return harness.Params{}, fmt.Errorf("unknown environment %q (pte, pte-baseline, site, site-baseline)", name)
-	}
+	return core.EnvByName(name, wgs, wgSize)
 }
 
 func cmdRun(args []string) error {
@@ -413,6 +390,17 @@ func addFaultFlags(fs *flag.FlagSet) *faultFlags {
 	}
 }
 
+// validate rejects nonsensical fault parameters at flag-check time.
+func (ff *faultFlags) validate() error {
+	if *ff.rate < 0 || *ff.rate > 1 {
+		return fmt.Errorf("-fault-rate %v out of range [0, 1]", *ff.rate)
+	}
+	if *ff.lossAfter < 0 {
+		return fmt.Errorf("-loss-after must be non-negative")
+	}
+	return nil
+}
+
 // model builds the fault model the flags select, seeding the fault
 // stream from the campaign seed. Without -faults it is the zero model
 // (plus any explicit watchdog), which injects nothing.
@@ -541,24 +529,50 @@ func (pf *profileFlags) start() (stop func(), err error) {
 	}, nil
 }
 
-// cmdCampaign runs a scheduled campaign over the device fleet: either
-// the conformance suite on every platform, or a multi-environment
-// mutation-score evaluation on one device.
-// campaignArtifact is the machine-readable report that campaign -out
-// publishes. It is written atomically (write temp → fsync → rename →
-// fsync dir), so a crash mid-write never leaves a truncated report.
-type campaignArtifact struct {
-	Kind            string                    `json:"kind"`
-	Conformance     []*core.ConformanceReport `json:"conformance,omitempty"`
-	Evaluate        []evaluateEntry           `json:"evaluate,omitempty"`
-	StorageDegraded bool                      `json:"storage_degraded,omitempty"`
+// resolveDevices expands and validates a -devices list: empty selects
+// the whole Table 3 fleet; an unknown name is a usage error, caught
+// before any campaign work begins.
+func resolveDevices(list string) ([]string, error) {
+	if list == "" {
+		var names []string
+		for _, prof := range gpu.Profiles() {
+			names = append(names, prof.ShortName)
+		}
+		return names, nil
+	}
+	var names []string
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if _, ok := gpu.ProfileByName(name); !ok {
+			return nil, fmt.Errorf("unknown device %q", name)
+		}
+		names = append(names, name)
+	}
+	return names, nil
 }
 
-// evaluateEntry pairs a device with its environment-evaluation score in
-// the campaign artifact.
-type evaluateEntry struct {
-	Device string         `json:"device"`
-	Score  *core.EnvScore `json:"score"`
+// probeOutputPaths verifies each requested output destination (report,
+// dataset, profile) is writable before any long-running work begins: a
+// path that cannot be created must fail the run up front with exit 1,
+// not hours later when the artifact is finally published. The probe
+// creates and removes a temp sibling, the same directory the atomic
+// writers will use, without touching any existing artifact at the path.
+func probeOutputPaths(paths ...string) error {
+	fsys := diskio.OS{}
+	for _, path := range paths {
+		if path == "" {
+			continue
+		}
+		f, err := diskio.Create(fsys, path+".probe")
+		if err != nil {
+			return fmt.Errorf("output path not writable: %w", err)
+		}
+		f.Close()
+		if err := fsys.Remove(path + ".probe"); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // campaignVerdict maps a completed campaign's degradations to its exit
@@ -579,13 +593,11 @@ func campaignVerdict(failedCells, quarantined int, storageDegraded bool, storage
 	return &partialFailure{"campaign degraded: " + strings.Join(parts, "; ")}
 }
 
-// writeCampaignArtifact publishes the campaign report atomically.
-func writeCampaignArtifact(path string, a *campaignArtifact) error {
-	return diskio.WriteAtomic(diskio.OS{}, path, func(w io.Writer) error {
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		return enc.Encode(a)
-	})
+// writeCampaignArtifact publishes the campaign report atomically
+// through the canonical core encoding, so `campaign -out` files and
+// serve job reports for the same spec are byte-identical.
+func writeCampaignArtifact(path string, a *core.CampaignArtifact) error {
+	return a.WriteAtomic(nil, path)
 }
 
 func cmdCampaign(ctx context.Context, args []string) error {
@@ -609,6 +621,33 @@ func cmdCampaign(ctx context.Context, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Fail fast: everything a flag can get wrong — kind, devices,
+	// environment presets, fault parameters, output and profile paths —
+	// is rejected here, to stderr with exit 1, before profiling starts,
+	// the suite generates, or any campaign work begins.
+	switch *kind {
+	case "conformance", "evaluate":
+	default:
+		return fmt.Errorf("unknown campaign kind %q (conformance, evaluate)", *kind)
+	}
+	names, err := resolveDevices(*devices)
+	if err != nil {
+		return err
+	}
+	var envs []harness.Params
+	for _, name := range strings.Split(*envNames, ",") {
+		env, err := envByName(strings.TrimSpace(name), 16, 32)
+		if err != nil {
+			return err
+		}
+		envs = append(envs, env)
+	}
+	if err := ff.validate(); err != nil {
+		return err
+	}
+	if err := probeOutputPaths(*out, *pf.cpu, *pf.mem); err != nil {
+		return err
+	}
 	ctx, cancel := cf.apply(ctx)
 	defer cancel()
 	stopProf, err := pf.start()
@@ -619,13 +658,6 @@ func cmdCampaign(ctx context.Context, args []string) error {
 	study, err := core.NewStudy()
 	if err != nil {
 		return err
-	}
-	names := strings.Split(*devices, ",")
-	if *devices == "" {
-		names = names[:0]
-		for _, prof := range gpu.Profiles() {
-			names = append(names, prof.ShortName)
-		}
 	}
 	opts := core.CampaignOptions{
 		Workers:        *parallel,
@@ -642,19 +674,11 @@ func cmdCampaign(ctx context.Context, args []string) error {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 		opts.Report = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
-	var envs []harness.Params
-	for _, name := range strings.Split(*envNames, ",") {
-		env, err := envByName(strings.TrimSpace(name), 16, 32)
-		if err != nil {
-			return err
-		}
-		envs = append(envs, env)
-	}
 	switch *kind {
 	case "conformance":
 		var platforms []core.Platform
 		for _, name := range names {
-			p := core.Platform{Device: strings.TrimSpace(name), Faults: faultModel}
+			p := core.Platform{Device: name, Faults: faultModel}
 			if *fenceBug {
 				p.Driver = wgsl.DriverFenceDropping
 			}
@@ -714,7 +738,7 @@ func cmdCampaign(ctx context.Context, args []string) error {
 			fmt.Fprintf(os.Stderr, "mcmutants: checkpoint storage degraded, finished in-memory: %s\n", storageErr)
 		}
 		if *out != "" {
-			art := &campaignArtifact{Kind: "conformance", Conformance: reports, StorageDegraded: storageDegraded}
+			art := &core.CampaignArtifact{Kind: "conformance", Conformance: reports, StorageDegraded: storageDegraded}
 			if err := writeCampaignArtifact(*out, art); err != nil {
 				return err
 			}
@@ -731,12 +755,12 @@ func cmdCampaign(ctx context.Context, args []string) error {
 	case "evaluate":
 		failedCells, quarantined := 0, 0
 		storageDegraded, storageErr := false, ""
-		var entries []evaluateEntry
+		var entries []core.EvaluateEntry
 		publish := func() error {
 			if *out == "" {
 				return nil
 			}
-			art := &campaignArtifact{Kind: "evaluate", Evaluate: entries, StorageDegraded: storageDegraded}
+			art := &core.CampaignArtifact{Kind: "evaluate", Evaluate: entries, StorageDegraded: storageDegraded}
 			if err := writeCampaignArtifact(*out, art); err != nil {
 				return err
 			}
@@ -744,7 +768,7 @@ func cmdCampaign(ctx context.Context, args []string) error {
 			return nil
 		}
 		for _, name := range names {
-			p := core.Platform{Device: strings.TrimSpace(name), Faults: faultModel}
+			p := core.Platform{Device: name, Faults: faultModel}
 			if *fenceBug {
 				p.Driver = wgsl.DriverFenceDropping
 			}
@@ -762,7 +786,7 @@ func cmdCampaign(ctx context.Context, args []string) error {
 				storageDegraded, storageErr = true, score.StorageErr
 				fmt.Fprintf(os.Stderr, "mcmutants: checkpoint storage degraded, finished in-memory: %s\n", score.StorageErr)
 			}
-			entries = append(entries, evaluateEntry{Device: p.Device, Score: score})
+			entries = append(entries, core.EvaluateEntry{Device: p.Device, Score: score})
 			note := ""
 			if interrupted {
 				note = " [interrupted, partial]"
@@ -821,6 +845,25 @@ func cmdTune(ctx context.Context, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Fail fast on bad flags — before profiling, suite generation or
+	// any tuning work (see the same block in cmdCampaign).
+	if *envs <= 0 || *siteIters <= 0 || *pteIters <= 0 {
+		return fmt.Errorf("-envs, -site-iters and -pte-iters must be positive")
+	}
+	var tuneDevices []string
+	if *devices != "" {
+		devs, err := resolveDevices(*devices)
+		if err != nil {
+			return err
+		}
+		tuneDevices = devs
+	}
+	if err := ff.validate(); err != nil {
+		return err
+	}
+	if err := probeOutputPaths(*out, *pf.cpu, *pf.mem); err != nil {
+		return err
+	}
 	ctx, cancel := cf.apply(ctx)
 	defer cancel()
 	stopProf, err := pf.start()
@@ -841,8 +884,8 @@ func cmdTune(ctx context.Context, args []string) error {
 		cfg = tuning.PaperConfig()
 		cfg.Seed = *seed
 	}
-	if *devices != "" {
-		cfg.Devices = strings.Split(*devices, ",")
+	if len(tuneDevices) > 0 {
+		cfg.Devices = tuneDevices
 	}
 	if fm := ff.model(*seed); fm.Enabled() || fm.WatchdogTicks > 0 {
 		cfg.Faults = &fm
@@ -910,6 +953,59 @@ func cmdTune(ctx context.Context, args []string) error {
 	}
 	if len(parts) > 0 {
 		return &partialFailure{"tuning run degraded: " + strings.Join(parts, "; ")}
+	}
+	return nil
+}
+
+// cmdServe runs the campaign service: an HTTP server that accepts
+// campaign and tuning specs as JSON jobs, executes them on a runner
+// pool with durable checkpoints under -state, streams progress over
+// SSE and exposes Prometheus metrics. SIGINT/SIGTERM drains
+// gracefully — running jobs stop at the next cell boundary and are
+// re-queued durably for the next boot — and exits 130, matching the
+// campaign and tune verbs.
+func cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8344", "listen address (port 0 picks a free port, printed on stdout)")
+	state := fs.String("state", "mcmutants-state", "state directory for job records, checkpoints and reports")
+	runners := fs.Int("runners", 2, "jobs executing concurrently")
+	parallel := fs.Int("parallel", 4, "scheduler workers per job (any count yields identical artifacts)")
+	queueDepth := fs.Int("queue", 64, "bound on queued jobs; submissions beyond it get 429")
+	perClient := fs.Int("per-client", 4, "per-client in-flight job cap (X-API-Key or remote address)")
+	quiet := fs.Bool("quiet", false, "suppress server log lines")
+	sf := addStorageFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := serve.Config{
+		StateDir:   *state,
+		Runners:    *runners,
+		JobWorkers: *parallel,
+		QueueDepth: *queueDepth,
+		PerClient:  *perClient,
+		FsyncEvery: *sf.fsyncEvery,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "mcmutants: "+format+"\n", args...)
+		}
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The bound address goes to stdout so scripts using port 0 can
+	// learn the port (everything else the server prints is stderr).
+	fmt.Printf("serving on http://%s (state %s)\n", ln.Addr(), *state)
+	if err := srv.Run(ctx, ln); err != nil {
+		return err
+	}
+	if ctx.Err() != nil {
+		return &interruptedRun{"serve: drained and shut down"}
 	}
 	return nil
 }

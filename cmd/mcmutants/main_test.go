@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // capture redirects stdout around fn and returns what was printed.
@@ -427,5 +429,101 @@ func TestSuiteDotCommand(t *testing.T) {
 	}
 	if err := run([]string{"suite", "-dot", "bogus"}); err == nil {
 		t.Error("bogus dot name accepted")
+	}
+}
+
+// TestFlagValidationFailsFast: flag mistakes — unknown kind, device or
+// environment preset, out-of-range fault parameters, unwritable output
+// or profile paths — must be rejected with exit 1 before any campaign
+// work starts. Each case carries an enormous iteration count, so a
+// validation that only triggers after the campaign begins would blow
+// the elapsed bound; and no artifact may appear at -out.
+func TestFlagValidationFailsFast(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "report.json")
+	noDir := filepath.Join(dir, "no-such-dir", "x")
+	cases := [][]string{
+		{"campaign", "-kind", "bogus", "-iters", "1000000", "-out", out, "-quiet"},
+		{"campaign", "-devices", "NoSuchGPU", "-iters", "1000000", "-out", out, "-quiet"},
+		{"campaign", "-envs", "warp9", "-iters", "1000000", "-out", out, "-quiet"},
+		{"campaign", "-faults", "-fault-rate", "1.5", "-iters", "1000000", "-out", out, "-quiet"},
+		{"campaign", "-cpuprofile", noDir, "-iters", "1000000", "-out", out, "-quiet"},
+		{"campaign", "-memprofile", noDir, "-iters", "1000000", "-out", out, "-quiet"},
+		{"campaign", "-out", noDir, "-iters", "1000000", "-quiet"},
+		{"tune", "-devices", "NoSuchGPU", "-site-iters", "1000000", "-out", out, "-quiet"},
+		{"tune", "-envs", "0", "-out", out, "-quiet"},
+		{"tune", "-memprofile", noDir, "-site-iters", "1000000", "-out", out, "-quiet"},
+		{"tune", "-out", noDir, "-site-iters", "1000000", "-quiet"},
+	}
+	for _, args := range cases {
+		start := time.Now()
+		err := run(args)
+		if err == nil {
+			t.Errorf("%v: accepted", args)
+			continue
+		}
+		if code := exitCode(err); code != 1 {
+			t.Errorf("%v: exit %d (%v), want 1", args, code, err)
+		}
+		if el := time.Since(start); el > 5*time.Second {
+			t.Errorf("%v: rejected only after %v — validation ran after campaign work started", args, el)
+		}
+		if _, statErr := os.Stat(out); !os.IsNotExist(statErr) {
+			t.Errorf("%v: artifact written despite fatal flag error", args)
+		}
+	}
+}
+
+// TestServeVerbDrain: the serve verb boots the campaign service and a
+// context cancellation — the CLI signal path — drains gracefully and
+// exits 130, like the campaign and tune verbs.
+func TestServeVerbDrain(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "state")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- dispatch(ctx, []string{"serve", "-addr", "127.0.0.1:0", "-state", state, "-quiet"})
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(filepath.Join(state, "jobs")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never created its state directory")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if exitCode(err) != 130 {
+			t.Fatalf("serve exit = %d (%v), want 130", exitCode(err), err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not drain after cancellation")
+	}
+}
+
+// TestServeVerbErrors: unusable flags fail fast with exit 1.
+func TestServeVerbErrors(t *testing.T) {
+	dir := t.TempDir()
+	occupied := filepath.Join(dir, "occupied")
+	if err := os.WriteFile(occupied, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"serve", "-addr", "127.0.0.1:0", "-state", occupied, "-quiet"},
+		{"serve", "-addr", "127.0.0.1:notaport", "-state", filepath.Join(dir, "s"), "-quiet"},
+	} {
+		err := run(args)
+		if err == nil {
+			t.Errorf("%v: accepted", args)
+			continue
+		}
+		if code := exitCode(err); code != 1 {
+			t.Errorf("%v: exit %d (%v), want 1", args, code, err)
+		}
 	}
 }

@@ -1,0 +1,305 @@
+// Loadgen: exercise the campaign service the way a fleet of tenants
+// would — concurrent clients submitting jobs over HTTP, streaming
+// progress over SSE, and collecting reports — then verify the service
+// kept every promise it makes:
+//
+//   - idempotency: two clients submitting the same spec share one job
+//   - live streaming: every job emits progress snapshots with
+//     monotonically non-decreasing completion counts and exactly one
+//     terminal event
+//   - byte-identity: a job's report equals the artifact the same spec
+//     produces when executed locally, bypassing the service entirely
+//   - observability: /healthz answers and /metrics exposes the
+//     Prometheus series the run must have incremented
+//
+// By default it starts an in-process server on a loopback port and
+// tears it down afterwards; point -addr at a running `mcmutants
+// serve` to drive a real deployment. Exits non-zero on any violation.
+//
+//	go run ./examples/loadgen
+//	go run ./examples/loadgen -addr 127.0.0.1:8344 -clients 12
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "", "server address (default: start an in-process server)")
+	clients := flag.Int("clients", 8, "concurrent clients (minimum 2: one pair shares a spec)")
+	flag.Parse()
+	if *clients < 2 {
+		log.Fatal("need at least 2 clients for the shared-spec pair")
+	}
+	if err := run(*addr, *clients); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr string, clients int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	base := addr
+	if base == "" {
+		dir, err := os.MkdirTemp("", "mcmutants-loadgen-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		srv, err := serve.New(serve.Config{
+			StateDir:      dir,
+			Runners:       2,
+			JobWorkers:    2,
+			ProgressEvery: 5 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srvCtx, stop := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- srv.Run(srvCtx, ln) }()
+		defer func() { stop(); <-done }()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("in-process server on %s (state %s)\n", base, dir)
+	}
+	if !strings.HasPrefix(base, "http") {
+		base = "http://" + base
+	}
+
+	// Small distinct conformance specs, except clients 0 and 1, which
+	// deliberately share one: the service must map them to one job.
+	specs := make([]serve.JobSpec, clients)
+	for i := range specs {
+		specs[i] = serve.JobSpec{
+			Kind:    "conformance",
+			Devices: []string{"AMD"},
+			Envs:    []string{"pte"},
+			Iters:   2,
+			Seed:    uint64(100 + i),
+		}
+	}
+	specs[1] = specs[0]
+
+	type result struct {
+		client   int
+		id       string
+		existing bool
+		progress int
+		report   []byte
+	}
+	results := make([]result, clients)
+	errs := make([]error, clients)
+	firstSubmitted := make(chan struct{}) // client 1 resubmits after client 0
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// A per-client API key: admission control tracks each tenant
+			// separately even though every connection shares loopback.
+			c := &serve.Client{BaseURL: base, APIKey: fmt.Sprintf("loadgen-%d", i)}
+			if i == 1 {
+				<-firstSubmitted
+			}
+			sub, err := c.Submit(ctx, specs[i])
+			if i == 0 {
+				close(firstSubmitted)
+			}
+			if err != nil {
+				errs[i] = fmt.Errorf("client %d: submit: %w", i, err)
+				return
+			}
+			res := result{client: i, id: sub.Job.ID, existing: sub.Existing}
+
+			// Stream the SSE feed to the end, checking monotonicity.
+			lastDone, sawTerminal := -1, false
+			err = c.Events(ctx, sub.Job.ID, func(name string, data json.RawMessage) error {
+				switch name {
+				case "progress":
+					var p struct {
+						Done int `json:"done"`
+					}
+					if err := json.Unmarshal(data, &p); err != nil {
+						return err
+					}
+					if p.Done < lastDone {
+						return fmt.Errorf("progress went backwards: %d after %d", p.Done, lastDone)
+					}
+					lastDone = p.Done
+					res.progress++
+				case "done":
+					sawTerminal = true
+				}
+				return nil
+			})
+			if err != nil {
+				errs[i] = fmt.Errorf("client %d: events: %w", i, err)
+				return
+			}
+			if res.progress == 0 {
+				errs[i] = fmt.Errorf("client %d: no progress events", i)
+				return
+			}
+			if !sawTerminal {
+				errs[i] = fmt.Errorf("client %d: stream ended without a terminal event", i)
+				return
+			}
+
+			j, err := c.Job(ctx, sub.Job.ID)
+			if err != nil {
+				errs[i] = fmt.Errorf("client %d: job: %w", i, err)
+				return
+			}
+			if j.State != serve.StateDone {
+				errs[i] = fmt.Errorf("client %d: job %s ended %s (%s)", i, j.ID, j.State, j.Error)
+				return
+			}
+			res.report, err = c.Report(ctx, sub.Job.ID)
+			if err != nil {
+				errs[i] = fmt.Errorf("client %d: report: %w", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Idempotency: the shared spec collapsed to one job, and the second
+	// submission was answered from the existing record.
+	if results[0].id != results[1].id {
+		return fmt.Errorf("shared spec produced two jobs: %s vs %s", results[0].id, results[1].id)
+	}
+	if !results[1].existing {
+		return fmt.Errorf("resubmission of job %s was not deduplicated", results[1].id)
+	}
+	if !bytes.Equal(results[0].report, results[1].report) {
+		return fmt.Errorf("clients of job %s read different reports", results[0].id)
+	}
+
+	// Byte-identity: the service's report for spec 0 must equal the
+	// artifact produced by executing the same spec locally.
+	local, err := localArtifact(ctx, specs[0])
+	if err != nil {
+		return fmt.Errorf("local oracle: %w", err)
+	}
+	if !bytes.Equal(results[0].report, local) {
+		return fmt.Errorf("job %s report differs from the locally executed artifact", results[0].id)
+	}
+
+	if err := checkObservability(ctx, base); err != nil {
+		return err
+	}
+
+	totalProgress := 0
+	for _, r := range results {
+		totalProgress += r.progress
+	}
+	fmt.Printf("%d clients, %d jobs done, %d progress events streamed\n",
+		clients, clients-1, totalProgress)
+	fmt.Println("idempotency, byte-identity and metrics checks passed")
+	return nil
+}
+
+// localArtifact runs the spec's campaign directly — no server, no
+// queue — and renders it through the same canonical encoding the
+// service and the CLI's -out flag use.
+func localArtifact(ctx context.Context, spec serve.JobSpec) ([]byte, error) {
+	study, err := core.NewStudy()
+	if err != nil {
+		return nil, err
+	}
+	env, err := core.EnvByName(spec.Envs[0], 16, 32)
+	if err != nil {
+		return nil, err
+	}
+	platforms := make([]core.Platform, 0, len(spec.Devices))
+	for _, d := range spec.Devices {
+		platforms = append(platforms, core.Platform{Device: d})
+	}
+	// Any worker count yields identical bytes — that is the scheduler's
+	// determinism contract, exercised here with a count the server does
+	// not use.
+	reports, err := study.CheckFleetConformanceCtx(ctx, platforms, env, spec.Iters, spec.Seed,
+		core.CampaignOptions{Workers: 3})
+	if err != nil {
+		return nil, err
+	}
+	art := &core.CampaignArtifact{Kind: "conformance", Conformance: reports}
+	var buf bytes.Buffer
+	if err := art.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// checkObservability scrapes /healthz and /metrics and verifies the
+// series this run must have moved.
+func checkObservability(ctx context.Context, base string) error {
+	body, err := get(ctx, base+"/healthz")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(body, `"status"`) {
+		return fmt.Errorf("healthz body unexpected: %s", body)
+	}
+	body, err = get(ctx, base+"/metrics")
+	if err != nil {
+		return err
+	}
+	for _, series := range []string{
+		"mcmutants_jobs{state=\"done\"}",
+		"mcmutants_jobs_completed_total{state=\"done\"}",
+		"mcmutants_cells_executed_total",
+		"mcmutants_queue_depth",
+	} {
+		if !strings.Contains(body, series) {
+			return fmt.Errorf("metrics missing series %s", series)
+		}
+	}
+	return nil
+}
+
+func get(ctx context.Context, url string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	return string(data), nil
+}

@@ -54,6 +54,14 @@ type CampaignOptions struct {
 	Breaker *sched.BreakerOptions
 	// Progress, when non-nil, receives one line as each cell starts.
 	Progress func(string)
+	// OnProgress, when non-nil, receives cumulative structured campaign
+	// snapshots — one every ProgressEvery plus a final settled one
+	// before the campaign returns (see sched.Progress). The serve
+	// subsystem's SSE hub and metrics feed from this hook.
+	OnProgress func(sched.Progress)
+	// ProgressEvery is the OnProgress cadence; zero means
+	// sched.DefaultProgressEvery.
+	ProgressEvery time.Duration
 	// Report, when non-nil, receives throughput lines (cells/sec,
 	// instances/sec, per-device utilization) at most every ReportEvery
 	// (default 2s).
@@ -71,6 +79,8 @@ func applyCampaignOptions[R any](o CampaignOptions, spec sched.Spec, opts *sched
 	opts.CellTimeout = o.CellTimeout
 	opts.Collect = o.Collect
 	opts.Breaker = o.Breaker
+	opts.OnProgress = o.OnProgress
+	opts.ProgressEvery = o.ProgressEvery
 	if o.Progress != nil {
 		progress := o.Progress
 		opts.OnCellStart = func(c sched.Cell) {
@@ -134,6 +144,47 @@ func cellFailures[R any](rep *sched.Report[R]) []CellFailure {
 	return out
 }
 
+// evalCell is one evaluation campaign cell's work order.
+type evalCell struct {
+	env    harness.Params
+	mutant *litmus.Test
+}
+
+// evaluateCampaign expands (environments × mutants) into the scheduler
+// spec and per-key work map of an evaluation campaign. Cell order is
+// env-major: result i belongs to mutant i mod len(mutants).
+func (st *Study) evaluateCampaign(p Platform, envs []harness.Params, seed uint64) (sched.Spec, map[string]evalCell, error) {
+	if len(envs) == 0 {
+		return sched.Spec{}, nil, fmt.Errorf("core: no environments")
+	}
+	if _, ok := gpu.ProfileByName(p.Device); !ok {
+		return sched.Spec{}, nil, fmt.Errorf("core: unknown device %q", p.Device)
+	}
+	spec := sched.Spec{Name: "evaluate", Seed: seed}
+	work := map[string]evalCell{}
+	for ei, env := range envs {
+		for _, mt := range st.Suite.Mutants {
+			key := fmt.Sprintf("env-%02d/%s", ei, mt.Name)
+			spec.Cells = append(spec.Cells, sched.Cell{Key: key, Device: p.Device})
+			work[key] = evalCell{env: env, mutant: mt}
+		}
+	}
+	return spec, work, nil
+}
+
+// EvaluateSpec returns the scheduler spec EvaluateEnvironments runs for
+// the platform with numEnvs environments, without executing anything.
+// Its Manifest() identifies the campaign's cell grid — the serve
+// subsystem derives idempotent job IDs from it, and it is the manifest
+// a checkpoint written by the run will carry.
+func (st *Study) EvaluateSpec(p Platform, numEnvs int, seed uint64) (sched.Spec, error) {
+	if numEnvs <= 0 {
+		return sched.Spec{}, fmt.Errorf("core: no environments")
+	}
+	spec, _, err := st.evaluateCampaign(p, make([]harness.Params, numEnvs), seed)
+	return spec, err
+}
+
 // EvaluateEnvironments runs every mutant in every environment on the
 // platform as one campaign and scores the ensemble: per-mutant results
 // are merged across environments (a mutant counts as killed when any
@@ -150,24 +201,9 @@ func (st *Study) EvaluateEnvironments(p Platform, envs []harness.Params, iterati
 // returned with Interrupted set alongside an error wrapping
 // sched.ErrInterrupted.
 func (st *Study) EvaluateEnvironmentsCtx(ctx context.Context, p Platform, envs []harness.Params, iterations int, seed uint64, opts CampaignOptions) (*EnvScore, error) {
-	if len(envs) == 0 {
-		return nil, fmt.Errorf("core: no environments")
-	}
-	if _, ok := gpu.ProfileByName(p.Device); !ok {
-		return nil, fmt.Errorf("core: unknown device %q", p.Device)
-	}
-	type evalCell struct {
-		env    harness.Params
-		mutant *litmus.Test
-	}
-	spec := sched.Spec{Name: "evaluate", Seed: seed}
-	work := map[string]evalCell{}
-	for ei, env := range envs {
-		for _, mt := range st.Suite.Mutants {
-			key := fmt.Sprintf("env-%02d/%s", ei, mt.Name)
-			spec.Cells = append(spec.Cells, sched.Cell{Key: key, Device: p.Device})
-			work[key] = evalCell{env: env, mutant: mt}
-		}
+	spec, work, err := st.evaluateCampaign(p, envs, seed)
+	if err != nil {
+		return nil, err
 	}
 	schedOpts := sched.Options[*harness.Result]{
 		Instances: func(r *harness.Result) int { return r.Instances },
@@ -230,6 +266,44 @@ func (st *Study) EvaluateEnvironmentsCtx(ctx context.Context, p Platform, envs [
 	return score, nil
 }
 
+// confCell is one conformance campaign cell's work order.
+type confCell struct {
+	platform Platform
+	test     *litmus.Test
+}
+
+// fleetConformanceCampaign expands (platforms × conformance tests)
+// into the scheduler spec and per-key work map of a fleet conformance
+// campaign.
+func (st *Study) fleetConformanceCampaign(platforms []Platform, seed uint64) (sched.Spec, map[string]confCell, error) {
+	if len(platforms) == 0 {
+		return sched.Spec{}, nil, fmt.Errorf("core: no platforms")
+	}
+	spec := sched.Spec{Name: "conformance", Seed: seed}
+	work := map[string]confCell{}
+	for pi, p := range platforms {
+		if _, ok := gpu.ProfileByName(p.Device); !ok {
+			return sched.Spec{}, nil, fmt.Errorf("core: unknown device %q", p.Device)
+		}
+		for _, test := range st.Suite.Conformance {
+			key := fmt.Sprintf("fleet-%02d-%s/%s", pi, p.Device, test.Name)
+			spec.Cells = append(spec.Cells, sched.Cell{Key: key, Device: p.Device})
+			work[key] = confCell{platform: p, test: test}
+		}
+	}
+	return spec, work, nil
+}
+
+// FleetConformanceSpec returns the scheduler spec CheckFleetConformance
+// runs for the platforms, without executing anything. Its Manifest()
+// identifies the campaign's cell grid — the serve subsystem derives
+// idempotent job IDs from it, and it is the manifest a checkpoint
+// written by the run will carry.
+func (st *Study) FleetConformanceSpec(platforms []Platform, seed uint64) (sched.Spec, error) {
+	spec, _, err := st.fleetConformanceCampaign(platforms, seed)
+	return spec, err
+}
+
 // CheckFleetConformance runs the conformance suite on every platform
 // as one campaign and returns one report per platform, in input order.
 // This is the fleet-wide version of CheckConformance: all
@@ -245,24 +319,9 @@ func (st *Study) CheckFleetConformance(platforms []Platform, env harness.Params,
 // interrupted findings marked pending, report Interrupted set — with an
 // error wrapping sched.ErrInterrupted.
 func (st *Study) CheckFleetConformanceCtx(ctx context.Context, platforms []Platform, env harness.Params, iterations int, seed uint64, opts CampaignOptions) ([]*ConformanceReport, error) {
-	if len(platforms) == 0 {
-		return nil, fmt.Errorf("core: no platforms")
-	}
-	type confCell struct {
-		platform Platform
-		test     *litmus.Test
-	}
-	spec := sched.Spec{Name: "conformance", Seed: seed}
-	work := map[string]confCell{}
-	for pi, p := range platforms {
-		if _, ok := gpu.ProfileByName(p.Device); !ok {
-			return nil, fmt.Errorf("core: unknown device %q", p.Device)
-		}
-		for _, test := range st.Suite.Conformance {
-			key := fmt.Sprintf("fleet-%02d-%s/%s", pi, p.Device, test.Name)
-			spec.Cells = append(spec.Cells, sched.Cell{Key: key, Device: p.Device})
-			work[key] = confCell{platform: p, test: test}
-		}
+	spec, work, err := st.fleetConformanceCampaign(platforms, seed)
+	if err != nil {
+		return nil, err
 	}
 	schedOpts := sched.Options[Finding]{
 		Instances: func(f Finding) int { return f.Instances },

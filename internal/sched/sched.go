@@ -160,6 +160,18 @@ type Options[R any] struct {
 	// executing (not for replayed cells). Calls are serialized, so the
 	// callback may mutate shared state without its own locking.
 	OnCellStart func(Cell)
+	// OnProgress, when non-nil, receives cumulative campaign snapshots:
+	// one every ProgressEvery while the campaign runs, plus exactly one
+	// final snapshot (Progress.Final) carrying the settled verdicts,
+	// delivered before RunContext returns. Calls are serialized and
+	// Progress.Done never decreases from one snapshot to the next, so
+	// streaming consumers (the serve SSE hub) may drop intermediate
+	// snapshots and still converge on the truth.
+	OnProgress func(Progress)
+	// ProgressEvery is the OnProgress snapshot cadence; zero or
+	// negative means DefaultProgressEvery. The final snapshot is
+	// emitted regardless.
+	ProgressEvery time.Duration
 	// Instances extracts a cell result's instance count for the
 	// reporter's instances/sec stream. Optional.
 	Instances func(R) int
@@ -295,6 +307,23 @@ func RunContext[R any](ctx context.Context, spec Spec, exec Exec[R], opts Option
 		// error returns below so the ticker goroutine can never leak.
 		defer opts.Reporter.stop()
 	}
+	var prog *progressTracker
+	if opts.OnProgress != nil {
+		every := opts.ProgressEvery
+		if every <= 0 {
+			every = DefaultProgressEvery
+		}
+		prog = newProgressTracker(opts.OnProgress, spec.Name, len(spec.Cells), every)
+		// finish() emits the final snapshot on the ordinary return path;
+		// the defer only guarantees the ticker goroutine cannot outlive
+		// an early error return.
+		defer func() {
+			if prog.stopTick != nil {
+				prog.stopTick()
+				<-prog.tickDone
+			}
+		}()
+	}
 	// A breaker implies collect: device failures feed the breaker
 	// instead of aborting the campaign.
 	collect := opts.Collect || opts.Breaker != nil
@@ -320,6 +349,9 @@ func RunContext[R any](ctx context.Context, spec Spec, exec Exec[R], opts Option
 				breaker.resolve(cell.Device, i, true)
 				if opts.Reporter != nil {
 					opts.Reporter.replayed(cell)
+				}
+				if prog != nil {
+					prog.cellReplayed()
 				}
 				continue
 			}
@@ -354,6 +386,9 @@ func RunContext[R any](ctx context.Context, spec Spec, exec Exec[R], opts Option
 					if opts.Reporter != nil {
 						opts.Reporter.interrupted(cell)
 					}
+					if prog != nil {
+						prog.cellInterrupted()
+					}
 					continue
 				}
 				mu.Lock()
@@ -374,6 +409,9 @@ func RunContext[R any](ctx context.Context, spec Spec, exec Exec[R], opts Option
 					mu.Unlock()
 					if opts.Reporter != nil {
 						opts.Reporter.quarantined(cell)
+					}
+					if prog != nil {
+						prog.cellQuarantined()
 					}
 					continue
 				}
@@ -406,6 +444,9 @@ func RunContext[R any](ctx context.Context, spec Spec, exec Exec[R], opts Option
 					mu.Unlock()
 					if opts.Reporter != nil {
 						opts.Reporter.interrupted(cell)
+					}
+					if prog != nil {
+						prog.cellInterrupted()
 					}
 					continue
 				}
@@ -441,6 +482,9 @@ func RunContext[R any](ctx context.Context, spec Spec, exec Exec[R], opts Option
 				if opts.Reporter != nil {
 					opts.Reporter.cellDone(cell, wall, instances, rep.Results[i].Err == nil, attempts-1)
 				}
+				if prog != nil {
+					prog.cellDone(cell, wall, instances, rep.Results[i].Err == nil, attempts-1)
+				}
 			}
 		}()
 	}
@@ -473,6 +517,15 @@ func RunContext[R any](ctx context.Context, spec Spec, exec Exec[R], opts Option
 	}
 	if opts.Reporter != nil {
 		opts.Reporter.finish(rep.Failed, rep.Quarantined, rep.Retried, rep.Interrupted)
+	}
+	if prog != nil {
+		prog.finish(reportCounters{
+			executed: rep.Executed, replayed: rep.Replayed,
+			failed: rep.Failed, quarantined: rep.Quarantined,
+			interrupted: rep.Interrupted, retried: rep.Retried,
+			health:          rep.Health,
+			storageDegraded: rep.StorageDegraded,
+		})
 	}
 	if !collect && abortCause != nil {
 		return rep, abortCause

@@ -1,0 +1,221 @@
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// Progress is one structured snapshot of a running campaign — the
+// machine-readable sibling of the Reporter's text lines, built for
+// consumers that stream campaign state elsewhere (the serve subsystem's
+// SSE hub, metrics scrapers). Snapshots are cumulative: every counter
+// covers the campaign from its start, so a consumer may drop
+// intermediate snapshots and still hold a correct view.
+//
+// Done is monotonically non-decreasing across the snapshots of one
+// campaign. The final snapshot (Final true) carries the settled
+// post-campaign verdicts — under a circuit breaker these can differ
+// from live counts, because a speculatively-executed cell may be
+// quarantined after the fact — plus the per-device Health summary.
+type Progress struct {
+	// Campaign is the spec name; Total the cell count.
+	Campaign string `json:"campaign"`
+	Total    int    `json:"total"`
+	// Done counts resolved cells: executed (ok or failed), replayed
+	// from the checkpoint, or skipped by an open circuit breaker.
+	// Interrupted and aborted cells are not done.
+	Done int `json:"done"`
+	// Executed, Replayed, Failed, Quarantined, Interrupted and Retried
+	// mirror the Report counters of the same names.
+	Executed    int `json:"executed"`
+	Replayed    int `json:"replayed"`
+	Failed      int `json:"failed"`
+	Quarantined int `json:"quarantined"`
+	Interrupted int `json:"interrupted"`
+	Retried     int `json:"retried"`
+	// Instances accumulates Options.Instances over succeeded cells.
+	Instances int `json:"instances"`
+	// ElapsedSeconds is host time since the campaign began;
+	// CellsPerSec and InstancesPerSec are the throughput over it.
+	ElapsedSeconds  float64 `json:"elapsed_seconds"`
+	CellsPerSec     float64 `json:"cells_per_sec"`
+	InstancesPerSec float64 `json:"instances_per_sec"`
+	// DeviceBusy is each device's accumulated cell wall time in
+	// seconds — the raw feed behind the Reporter's utilization line.
+	DeviceBusy map[string]float64 `json:"device_busy,omitempty"`
+	// Final marks the last snapshot of the campaign, emitted after the
+	// verdicts settle and before RunContext returns.
+	Final bool `json:"final"`
+	// Health is the per-device fleet summary; populated on the final
+	// snapshot when the campaign ran with a circuit breaker.
+	Health []DeviceHealth `json:"health,omitempty"`
+	// StorageDegraded is set on the final snapshot when the checkpoint
+	// degraded to in-memory operation (see Report.StorageDegraded).
+	StorageDegraded bool `json:"storage_degraded,omitempty"`
+}
+
+// DefaultProgressEvery is the OnProgress snapshot cadence when
+// Options.ProgressEvery is unset.
+const DefaultProgressEvery = time.Second
+
+// progressTracker accumulates live counters and drives the OnProgress
+// callback: a ticker goroutine emits periodic snapshots, and finish
+// (called after the campaign settles, with the ticker already stopped)
+// emits the final one. All callback invocations are serialized — the
+// ticker goroutine is joined before the final emit — so OnProgress
+// needs no locking of its own and the Final snapshot is always the
+// last delivered.
+type progressTracker struct {
+	mu         sync.Mutex
+	cb         func(Progress)
+	campaign   string
+	total      int
+	start      time.Time
+	now        func() time.Time
+	executed   int
+	replayed   int
+	failed     int
+	quarantine int
+	interrupts int
+	retried    int
+	instances  int
+	deviceBusy map[string]time.Duration
+
+	stopTick func()        // cancels the ticker goroutine; nil when none
+	tickDone chan struct{} // closed when the ticker goroutine exits
+}
+
+// newProgressTracker starts the tracker and, with a positive interval,
+// its ticker goroutine. done is a channel the ticker selects on so the
+// campaign context tears it down alongside everything else.
+func newProgressTracker(cb func(Progress), campaign string, total int, every time.Duration) *progressTracker {
+	t := &progressTracker{
+		cb:         cb,
+		campaign:   campaign,
+		total:      total,
+		now:        time.Now,
+		deviceBusy: map[string]time.Duration{},
+	}
+	t.start = t.now()
+	if every > 0 {
+		stop := make(chan struct{})
+		t.stopTick = sync.OnceFunc(func() { close(stop) })
+		t.tickDone = make(chan struct{})
+		go t.tick(every, stop)
+	}
+	return t
+}
+
+// tick emits a snapshot every interval until stopped.
+func (t *progressTracker) tick(every time.Duration, stop chan struct{}) {
+	defer close(t.tickDone)
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			t.cb(t.snapshot())
+		}
+	}
+}
+
+// snapshot assembles a cumulative Progress from the live counters.
+func (t *progressTracker) snapshot() Progress {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := Progress{
+		Campaign:    t.campaign,
+		Total:       t.total,
+		Done:        t.executed + t.replayed + t.quarantine,
+		Executed:    t.executed,
+		Replayed:    t.replayed,
+		Failed:      t.failed,
+		Quarantined: t.quarantine,
+		Interrupted: t.interrupts,
+		Retried:     t.retried,
+		Instances:   t.instances,
+	}
+	p.ElapsedSeconds = t.now().Sub(t.start).Seconds()
+	elapsed := p.ElapsedSeconds
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	p.CellsPerSec = float64(t.executed) / elapsed
+	p.InstancesPerSec = float64(t.instances) / elapsed
+	if len(t.deviceBusy) > 0 {
+		p.DeviceBusy = make(map[string]float64, len(t.deviceBusy))
+		for d, busy := range t.deviceBusy {
+			p.DeviceBusy[d] = busy.Seconds()
+		}
+	}
+	return p
+}
+
+func (t *progressTracker) cellReplayed() {
+	t.mu.Lock()
+	t.replayed++
+	t.mu.Unlock()
+}
+
+func (t *progressTracker) cellQuarantined() {
+	t.mu.Lock()
+	t.quarantine++
+	t.mu.Unlock()
+}
+
+func (t *progressTracker) cellInterrupted() {
+	t.mu.Lock()
+	t.interrupts++
+	t.mu.Unlock()
+}
+
+func (t *progressTracker) cellDone(c Cell, wall time.Duration, instances int, ok bool, retries int) {
+	t.mu.Lock()
+	t.executed++
+	t.instances += instances
+	t.retried += retries
+	if !ok {
+		t.failed++
+	}
+	if c.Device != "" {
+		t.deviceBusy[c.Device] += wall
+	}
+	t.mu.Unlock()
+}
+
+// finish joins the ticker goroutine, overlays the settled report
+// verdicts, and emits the final snapshot. It runs after applyBreaker,
+// so under a circuit breaker the Final counters are the authoritative
+// post-pass ones. Done stays monotonic: every cell is by now executed,
+// replayed, quarantined, interrupted or aborted, and Done counts
+// exactly the first three — the same population the live counter grew
+// over.
+func (t *progressTracker) finish(rep reportCounters) {
+	if t.stopTick != nil {
+		t.stopTick()
+		<-t.tickDone
+	}
+	t.mu.Lock()
+	t.executed = rep.executed
+	t.replayed = rep.replayed
+	t.failed = rep.failed
+	t.quarantine = rep.quarantined
+	t.interrupts = rep.interrupted
+	t.retried = rep.retried
+	t.mu.Unlock()
+	p := t.snapshot()
+	p.Final = true
+	p.Health = rep.health
+	p.StorageDegraded = rep.storageDegraded
+	t.cb(p)
+}
+
+// reportCounters carries the settled aggregates finish overlays onto
+// the final snapshot.
+type reportCounters struct {
+	executed, replayed, failed, quarantined, interrupted, retried int
+	health                                                        []DeviceHealth
+	storageDegraded                                               bool
+}

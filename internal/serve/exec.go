@@ -1,0 +1,320 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/harness"
+	"repro/internal/sched"
+	"repro/internal/tuning"
+	"repro/internal/wgsl"
+)
+
+// jobPlan is what validation learns about a spec before anything
+// runs: the combined scheduler manifest the job ID derives from, the
+// total planned cell count, and how many sequential campaigns the job
+// expands to (evaluate runs one per device, like the CLI).
+type jobPlan struct {
+	manifest  string
+	cells     int
+	campaigns int
+}
+
+// plan validates a normalized spec against the suite and fleet and
+// computes its identity — every rejection here happens at admission
+// time, before the job touches the queue.
+func (s *Server) plan(js *JobSpec) (*jobPlan, error) {
+	if len(js.Devices) == 0 {
+		return nil, fmt.Errorf("no devices")
+	}
+	for _, d := range js.Devices {
+		if _, ok := gpu.ProfileByName(d); !ok {
+			return nil, fmt.Errorf("unknown device %q", d)
+		}
+	}
+	switch js.Kind {
+	case "conformance":
+		if err := checkEnvs(js.Envs); err != nil {
+			return nil, err
+		}
+		spec, err := s.study.FleetConformanceSpec(platformsOf(js), js.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return &jobPlan{manifest: spec.Manifest(), cells: len(spec.Cells), campaigns: 1}, nil
+	case "evaluate":
+		if err := checkEnvs(js.Envs); err != nil {
+			return nil, err
+		}
+		var manifests bytes.Buffer
+		cells := 0
+		for _, p := range platformsOf(js) {
+			spec, err := s.study.EvaluateSpec(p, len(js.Envs), js.Seed)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(&manifests, "%s/%s\n", p.Device, spec.Manifest())
+			cells += len(spec.Cells)
+		}
+		return &jobPlan{manifest: manifests.String(), cells: cells, campaigns: len(js.Devices)}, nil
+	case "tune":
+		if js.TuneEnvs <= 0 || js.SiteIters <= 0 || js.PTEIters <= 0 {
+			return nil, fmt.Errorf("tune sizes must be positive")
+		}
+		spec, err := tuning.CampaignSpec(tuneConfigOf(js), s.study.Suite.Mutants)
+		if err != nil {
+			return nil, err
+		}
+		return &jobPlan{manifest: spec.Manifest(), cells: len(spec.Cells), campaigns: 1}, nil
+	case "":
+		return nil, fmt.Errorf("missing kind (conformance, evaluate, tune)")
+	default:
+		return nil, fmt.Errorf("unknown kind %q (conformance, evaluate, tune)", js.Kind)
+	}
+}
+
+// checkEnvs resolves every environment preset, rejecting unknowns.
+func checkEnvs(names []string) error {
+	if len(names) == 0 {
+		return fmt.Errorf("no environments")
+	}
+	for _, n := range names {
+		if _, err := core.EnvByName(n, 16, 32); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// platformsOf expands the spec's devices into campaign platforms,
+// mirroring the CLI's -devices/-fence-bug handling.
+func platformsOf(js *JobSpec) []core.Platform {
+	platforms := make([]core.Platform, 0, len(js.Devices))
+	for _, d := range js.Devices {
+		p := core.Platform{Device: d}
+		if js.FenceBug {
+			p.Driver = wgsl.DriverFenceDropping
+		}
+		platforms = append(platforms, p)
+	}
+	return platforms
+}
+
+// tuneConfigOf builds the tuning config the CLI's tune verb would:
+// SmallConfig with the spec's sizes, seed and fleet subset.
+func tuneConfigOf(js *JobSpec) tuning.Config {
+	cfg := tuning.SmallConfig()
+	cfg.Environments = js.TuneEnvs
+	cfg.SITEIterations = js.SiteIters
+	cfg.PTEIterations = js.PTEIters
+	cfg.Seed = js.Seed
+	cfg.Devices = append([]string(nil), js.Devices...)
+	return cfg
+}
+
+// execResult is a finished (or drained) execution attempt.
+type execResult struct {
+	// artifact is the canonical report rendering — byte-identical to
+	// what the CLI's -out flag writes for the same spec. Nil when the
+	// run was interrupted.
+	artifact []byte
+	// degraded mirrors the CLI's exit-2 verdict: cells produced no
+	// data or the checkpoint storage degraded.
+	degraded   bool
+	storageErr string
+	// interrupted marks a graceful drain (shutdown or cancellation);
+	// completed cells are checkpointed and the job can resume.
+	interrupted bool
+}
+
+// progressAggregator folds the per-campaign snapshot streams of a
+// multi-campaign job (evaluate runs one campaign per device) into one
+// job-level cumulative stream. Campaigns run sequentially on a single
+// runner goroutine, so no locking is needed; the output hook carries
+// job totals with Final set only on the last campaign's settlement.
+type progressAggregator struct {
+	out       func(sched.Progress)
+	jobID     string
+	total     int
+	campaigns int
+
+	finished int
+	base     sched.Progress
+}
+
+// hook returns the OnProgress callback to hand the next campaign.
+func (a *progressAggregator) hook() func(sched.Progress) {
+	return func(p sched.Progress) {
+		q := p
+		q.Campaign = a.jobID
+		q.Total = a.total
+		q.Done += a.base.Done
+		q.Executed += a.base.Executed
+		q.Replayed += a.base.Replayed
+		q.Failed += a.base.Failed
+		q.Quarantined += a.base.Quarantined
+		q.Interrupted += a.base.Interrupted
+		q.Retried += a.base.Retried
+		q.Instances += a.base.Instances
+		q.ElapsedSeconds += a.base.ElapsedSeconds
+		if len(a.base.DeviceBusy) > 0 {
+			merged := make(map[string]float64, len(a.base.DeviceBusy)+len(p.DeviceBusy))
+			for d, v := range a.base.DeviceBusy {
+				merged[d] = v
+			}
+			for d, v := range p.DeviceBusy {
+				merged[d] += v
+			}
+			q.DeviceBusy = merged
+		}
+		if len(a.base.Health) > 0 {
+			q.Health = append(append([]sched.DeviceHealth(nil), a.base.Health...), p.Health...)
+		}
+		q.StorageDegraded = p.StorageDegraded || a.base.StorageDegraded
+		if p.Final {
+			a.finished++
+			base := q
+			base.Final = false
+			base.Health = append([]sched.DeviceHealth(nil), q.Health...)
+			a.base = base
+		}
+		q.Final = p.Final && a.finished == a.campaigns
+		a.out(q)
+	}
+}
+
+// execute runs one job to completion or drain. onProgress receives
+// job-level cumulative snapshots (see progressAggregator); the
+// checkpoint lives under the server's state directory keyed by job
+// ID, and Resume is always on — a fresh checkpoint file falls through
+// to a fresh start, so the same call serves first runs and restart
+// recovery alike.
+func (s *Server) execute(ctx context.Context, job *Job, onProgress func(sched.Progress)) (*execResult, error) {
+	js := job.Spec
+	agg := &progressAggregator{
+		out:       onProgress,
+		jobID:     job.ID,
+		total:     job.Cells,
+		campaigns: 1,
+	}
+	opts := core.CampaignOptions{
+		Workers:        s.cfg.JobWorkers,
+		CheckpointPath: s.store.checkpointPath(job.ID),
+		Resume:         true,
+		FsyncEvery:     s.cfg.FsyncEvery,
+		FS:             s.fs,
+		ProgressEvery:  s.cfg.ProgressEvery,
+	}
+	switch js.Kind {
+	case "conformance":
+		opts.OnProgress = agg.hook()
+		env, err := core.EnvByName(js.Envs[0], 16, 32)
+		if err != nil {
+			return nil, err
+		}
+		reports, err := s.study.CheckFleetConformanceCtx(ctx, platformsOf(&js), env, js.Iters, js.Seed, opts)
+		interrupted := errors.Is(err, sched.ErrInterrupted)
+		if err != nil && !interrupted {
+			return nil, err
+		}
+		if interrupted {
+			return &execResult{interrupted: true}, nil
+		}
+		res := &execResult{}
+		failed := 0
+		for _, rep := range reports {
+			if rep.StorageDegraded {
+				res.degraded, res.storageErr = true, rep.StorageErr
+			}
+			failed += len(rep.Failed())
+		}
+		if failed > 0 {
+			res.degraded = true
+		}
+		storageDegraded := res.storageErr != ""
+		art := &core.CampaignArtifact{Kind: "conformance", Conformance: reports, StorageDegraded: storageDegraded}
+		var buf bytes.Buffer
+		if err := art.Encode(&buf); err != nil {
+			return nil, err
+		}
+		res.artifact = buf.Bytes()
+		return res, nil
+	case "evaluate":
+		agg.campaigns = len(js.Devices)
+		envList := make([]harness.Params, 0, len(js.Envs))
+		for _, n := range js.Envs {
+			env, err := core.EnvByName(n, 16, 32)
+			if err != nil {
+				return nil, err
+			}
+			envList = append(envList, env)
+		}
+		res := &execResult{}
+		failed := 0
+		var entries []core.EvaluateEntry
+		for _, p := range platformsOf(&js) {
+			devOpts := opts
+			devOpts.OnProgress = agg.hook()
+			// One campaign per device; keep their checkpoints apart
+			// (the same suffix scheme the CLI uses).
+			devOpts.CheckpointPath = fmt.Sprintf("%s.%s", opts.CheckpointPath, p.Device)
+			score, err := s.study.EvaluateEnvironmentsCtx(ctx, p, envList, js.Iters, js.Seed, devOpts)
+			interrupted := errors.Is(err, sched.ErrInterrupted)
+			if err != nil && !interrupted {
+				return nil, err
+			}
+			if interrupted {
+				return &execResult{interrupted: true}, nil
+			}
+			if score.StorageDegraded {
+				res.degraded, res.storageErr = true, score.StorageErr
+			}
+			failed += len(score.Failures)
+			entries = append(entries, core.EvaluateEntry{Device: p.Device, Score: score})
+		}
+		if failed > 0 {
+			res.degraded = true
+		}
+		storageDegraded := res.storageErr != ""
+		art := &core.CampaignArtifact{Kind: "evaluate", Evaluate: entries, StorageDegraded: storageDegraded}
+		var buf bytes.Buffer
+		if err := art.Encode(&buf); err != nil {
+			return nil, err
+		}
+		res.artifact = buf.Bytes()
+		return res, nil
+	case "tune":
+		ropts := tuning.RunOptions{
+			Workers:        s.cfg.JobWorkers,
+			CheckpointPath: opts.CheckpointPath,
+			Resume:         true,
+			FsyncEvery:     s.cfg.FsyncEvery,
+			FS:             s.fs,
+			OnProgress:     agg.hook(),
+			ProgressEvery:  s.cfg.ProgressEvery,
+		}
+		ds, err := tuning.RunCampaignCtx(ctx, tuneConfigOf(&js), s.study.Suite.Mutants, ropts)
+		if err != nil {
+			return nil, err
+		}
+		if ds.Interrupted {
+			return &execResult{interrupted: true}, nil
+		}
+		res := &execResult{
+			degraded:   len(ds.Dropped) > 0 || ds.StorageDegraded,
+			storageErr: ds.StorageErr,
+		}
+		var buf bytes.Buffer
+		if err := ds.Save(&buf); err != nil {
+			return nil, err
+		}
+		res.artifact = buf.Bytes()
+		return res, nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q", js.Kind)
+	}
+}

@@ -1,0 +1,107 @@
+package serve
+
+import "sync"
+
+// event is one server-sent event: a name and a JSON payload.
+type event struct {
+	name string
+	data []byte
+}
+
+// hub fans job events out to SSE subscribers. Snapshots are
+// cumulative, so slow consumers are handled by dropping intermediate
+// events rather than blocking the publisher: each subscriber gets a
+// buffered channel and a full buffer loses the oldest news, never the
+// terminal event (the channel close carries that even when the buffer
+// is full). A late subscriber replays the job's latest progress event
+// and, if the job already ended, its terminal event.
+type hub struct {
+	mu   sync.Mutex
+	subs map[string]map[chan event]struct{}
+	last map[string]event // latest progress event per job
+	done map[string]event // terminal event per job
+}
+
+func newHub() *hub {
+	return &hub{
+		subs: map[string]map[chan event]struct{}{},
+		last: map[string]event{},
+		done: map[string]event{},
+	}
+}
+
+// publish delivers a non-terminal event to the job's subscribers and
+// records it for replay.
+func (h *hub) publish(id string, ev event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.last[id] = ev
+	for ch := range h.subs[id] {
+		select {
+		case ch <- ev:
+		default: // slow consumer: drop — the next snapshot supersedes this one
+		}
+	}
+}
+
+// finish delivers the job's terminal event, closes every subscriber
+// channel, and records the event so later subscribers see it too.
+func (h *hub) finish(id string, ev event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.done[id] = ev
+	for ch := range h.subs[id] {
+		select {
+		case ch <- ev:
+		default:
+		}
+		close(ch)
+	}
+	delete(h.subs, id)
+}
+
+// reset clears a job's replay state — a requeued job starts a fresh
+// event stream.
+func (h *hub) reset(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.last, id)
+	delete(h.done, id)
+}
+
+// subscribe attaches a listener to the job's event stream. The
+// returned channel is closed after the terminal event; cancel detaches
+// early and is safe to call after the close.
+func (h *hub) subscribe(id string) (<-chan event, func()) {
+	ch := make(chan event, 16)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if ev, ok := h.last[id]; ok {
+		ch <- ev
+	}
+	if ev, ok := h.done[id]; ok {
+		ch <- ev
+		close(ch)
+		return ch, func() {}
+	}
+	set := h.subs[id]
+	if set == nil {
+		set = map[chan event]struct{}{}
+		h.subs[id] = set
+	}
+	set[ch] = struct{}{}
+	cancel := func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if cur, ok := h.subs[id]; ok {
+			if _, live := cur[ch]; live {
+				delete(cur, ch)
+				close(ch)
+				if len(cur) == 0 {
+					delete(h.subs, id)
+				}
+			}
+		}
+	}
+	return ch, cancel
+}

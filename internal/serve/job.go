@@ -1,0 +1,234 @@
+// Package serve turns the campaign workbench into a long-running
+// multi-tenant service: an HTTP API accepts campaign and tuning specs
+// as JSON, validates them against the device fleet and suite, and
+// executes them on a bounded job queue drained by a runner pool built
+// on the deterministic scheduler.
+//
+// Jobs are idempotent by construction. A job's identity is derived
+// from the scheduler spec manifest of the campaign it would run plus
+// the execution parameters that do not appear in the cell grid
+// (iterations, environment presets, driver defects), so resubmitting
+// the same spec returns the existing job instead of queueing a
+// duplicate. Job records, checkpoints and reports live under a state
+// directory and are written atomically; a server restarted over the
+// same directory requeues interrupted jobs and resumes them from
+// their checkpoints, producing artifacts byte-identical to an
+// uninterrupted run — and byte-identical to the same spec run through
+// the local `mcmutants campaign`/`tune` verbs.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// JobState is a job's position in its lifecycle. Queued and running
+// are live; done, degraded, failed and cancelled are terminal.
+type JobState string
+
+const (
+	// StateQueued: accepted and waiting for a runner. A job returns to
+	// queued when a server shutdown drains it mid-run — it resumes from
+	// its checkpoint on the next boot.
+	StateQueued JobState = "queued"
+	// StateRunning: a runner is executing the job's campaign.
+	StateRunning JobState = "running"
+	// StateDone: completed with every cell producing data and the
+	// checkpoint durable. The report artifact is available.
+	StateDone JobState = "done"
+	// StateDegraded: completed with usable results, but some cells
+	// produced no data (device failures, quarantine) or the checkpoint
+	// degraded to in-memory on a persistent storage failure. The report
+	// artifact is available; this is the serve analogue of exit code 2.
+	StateDegraded JobState = "degraded"
+	// StateFailed: the campaign aborted with a fatal error; no report.
+	StateFailed JobState = "failed"
+	// StateCancelled: cancelled via DELETE and drained gracefully.
+	// Completed cells remain checkpointed; resubmitting the same spec
+	// requeues the job and resumes where it stopped.
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is an end state.
+func (s JobState) Terminal() bool {
+	switch s {
+	case StateDone, StateDegraded, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// JobSpec is the client-facing description of one campaign or tuning
+// run — the JSON body of POST /api/v1/jobs. Zero-valued fields take
+// the same defaults as the corresponding CLI flags, so a spec and the
+// equivalent `mcmutants campaign`/`tune` invocation produce
+// byte-identical artifacts.
+type JobSpec struct {
+	// Kind selects the workload: "conformance", "evaluate" or "tune".
+	Kind string `json:"kind"`
+	// Devices is the fleet subset; empty means every Table 3 device.
+	Devices []string `json:"devices,omitempty"`
+	// Seed is the campaign seed; 0 means the kind's CLI default
+	// (1 for campaigns, 2023 for tuning).
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Envs lists environment presets for campaign kinds; empty means
+	// ["pte", "site"]. Conformance uses the first, evaluate all.
+	Envs []string `json:"envs,omitempty"`
+	// Iters is kernel launches per cell for campaign kinds; 0 means 10.
+	Iters int `json:"iters,omitempty"`
+	// FenceBug injects the fence-dropping driver on every platform.
+	FenceBug bool `json:"fence_bug,omitempty"`
+
+	// TuneEnvs, SiteIters and PTEIters size a tuning run; 0 means the
+	// CLI defaults (12 environments, 50 SITE / 8 PTE iterations).
+	TuneEnvs  int `json:"tune_envs,omitempty"`
+	SiteIters int `json:"site_iters,omitempty"`
+	PTEIters  int `json:"pte_iters,omitempty"`
+}
+
+// normalize fills CLI-equivalent defaults in place. It runs before
+// validation and before the job ID is derived, so an explicit spec and
+// its defaulted shorthand are the same job.
+func (js *JobSpec) normalize(fleet []string) {
+	if len(js.Devices) == 0 {
+		js.Devices = append([]string(nil), fleet...)
+	}
+	for i, d := range js.Devices {
+		js.Devices[i] = strings.TrimSpace(d)
+	}
+	switch js.Kind {
+	case "tune":
+		if js.Seed == 0 {
+			js.Seed = 2023
+		}
+		if js.TuneEnvs == 0 {
+			js.TuneEnvs = 12
+		}
+		if js.SiteIters == 0 {
+			js.SiteIters = 50
+		}
+		if js.PTEIters == 0 {
+			js.PTEIters = 8
+		}
+	default:
+		if js.Seed == 0 {
+			js.Seed = 1
+		}
+		if len(js.Envs) == 0 {
+			js.Envs = []string{"pte", "site"}
+		}
+		for i, e := range js.Envs {
+			js.Envs[i] = strings.TrimSpace(e)
+		}
+		if js.Iters == 0 {
+			js.Iters = 10
+		}
+	}
+}
+
+// jobID derives the idempotency key: the scheduler spec manifest
+// (which pins campaign name, seed and the ordered cell grid) combined
+// with the canonical JSON of the normalized spec, covering execution
+// parameters the grid cannot see — iterations, environment presets,
+// injected driver defects. Two submissions collide exactly when they
+// would run the same cells the same way.
+func jobID(manifest string, js JobSpec) string {
+	h := sha256.New()
+	io.WriteString(h, manifest)
+	h.Write([]byte{0})
+	b, err := json.Marshal(js)
+	if err != nil {
+		// A JobSpec is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("serve: marshal job spec: %v", err))
+	}
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Summary condenses a job's campaign outcome: the settled counters of
+// the final progress snapshot plus fleet health and storage verdicts.
+type Summary struct {
+	Cells       int `json:"cells"`
+	Done        int `json:"done"`
+	Executed    int `json:"executed"`
+	Replayed    int `json:"replayed"`
+	Failed      int `json:"failed"`
+	Quarantined int `json:"quarantined"`
+	Interrupted int `json:"interrupted,omitempty"`
+	Retried     int `json:"retried,omitempty"`
+
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	CellsPerSec    float64 `json:"cells_per_sec"`
+
+	Health          []sched.DeviceHealth `json:"health,omitempty"`
+	StorageDegraded bool                 `json:"storage_degraded,omitempty"`
+	StorageErr      string               `json:"storage_err,omitempty"`
+}
+
+// summaryOf folds a job-level progress snapshot into a Summary.
+func summaryOf(p sched.Progress) *Summary {
+	return &Summary{
+		Cells:           p.Total,
+		Done:            p.Done,
+		Executed:        p.Executed,
+		Replayed:        p.Replayed,
+		Failed:          p.Failed,
+		Quarantined:     p.Quarantined,
+		Interrupted:     p.Interrupted,
+		Retried:         p.Retried,
+		ElapsedSeconds:  p.ElapsedSeconds,
+		CellsPerSec:     p.CellsPerSec,
+		Health:          p.Health,
+		StorageDegraded: p.StorageDegraded,
+	}
+}
+
+// Job is one tracked submission: the API's job resource and the
+// record persisted under <state>/jobs/<id>.json.
+type Job struct {
+	ID     string  `json:"id"`
+	Spec   JobSpec `json:"spec"`
+	Client string  `json:"client,omitempty"`
+	State  JobState `json:"state"`
+	// Error carries the fatal cause when State is failed.
+	Error string `json:"error,omitempty"`
+	// Cells is the planned cell count; Manifest the combined scheduler
+	// spec manifest the job ID derives from.
+	Cells    int    `json:"cells"`
+	Manifest string `json:"manifest"`
+	// Resumes counts re-entries into the queue: restart recovery after
+	// a shutdown or crash, and resubmission after failure/cancellation.
+	Resumes int `json:"resumes,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+
+	// Summary is the campaign outcome, set on terminal states (and
+	// on a drained-back-to-queued job, covering the partial run).
+	Summary *Summary `json:"summary,omitempty"`
+}
+
+// clone returns an independent copy safe to hand across goroutines.
+// Slices in Spec and Summary are replaced wholesale on update, never
+// mutated in place, so a shallow copy of those is sound.
+func (j *Job) clone() *Job {
+	c := *j
+	if j.StartedAt != nil {
+		t := *j.StartedAt
+		c.StartedAt = &t
+	}
+	if j.FinishedAt != nil {
+		t := *j.FinishedAt
+		c.FinishedAt = &t
+	}
+	return &c
+}

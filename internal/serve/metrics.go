@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// metrics holds the server's counters and renders the Prometheus text
+// exposition format without any client-library dependency. Counters
+// are process-lifetime (they restart at zero with the server, as
+// Prometheus counters do); gauges are computed at scrape time from
+// live server state and passed in through gaugeSet.
+type metrics struct {
+	mu            sync.Mutex
+	jobsCompleted map[JobState]int64
+	cellsExec     int64
+	cellsReplayed int64
+	cellsRetried  int64
+	cellsQuar     int64
+	// perJob remembers each live job's last cumulative snapshot so a
+	// new snapshot contributes only its delta to the counters.
+	perJob map[string]cellCounts
+}
+
+type cellCounts struct {
+	executed, replayed, retried, quarantined int
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		jobsCompleted: map[JobState]int64{},
+		perJob:        map[string]cellCounts{},
+	}
+}
+
+// observe folds one job-level progress snapshot into the cell
+// counters. Snapshots are cumulative per job, so the delta against
+// the previous observation is what the totals gain.
+func (m *metrics) observe(id string, p sched.Progress) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prev := m.perJob[id]
+	cur := cellCounts{
+		executed:    p.Executed,
+		replayed:    p.Replayed,
+		retried:     p.Retried,
+		quarantined: p.Quarantined,
+	}
+	m.cellsExec += max64(0, cur.executed-prev.executed)
+	m.cellsReplayed += max64(0, cur.replayed-prev.replayed)
+	m.cellsRetried += max64(0, cur.retried-prev.retried)
+	m.cellsQuar += max64(0, cur.quarantined-prev.quarantined)
+	m.perJob[id] = cur
+}
+
+func max64(a, b int) int64 {
+	if b > a {
+		return int64(b)
+	}
+	return int64(a)
+}
+
+// forget drops a job's delta baseline once it leaves the running
+// state; a later re-run starts its cumulative counters from zero.
+func (m *metrics) forget(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.perJob, id)
+}
+
+// jobFinished bumps the terminal-state counter.
+func (m *metrics) jobFinished(state JobState) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsCompleted[state]++
+}
+
+// gaugeSet carries the scrape-time gauges the server computes from
+// its live state.
+type gaugeSet struct {
+	jobsByState     map[JobState]int
+	queueDepth      int
+	runningJobs     int
+	cellsPerSec     float64
+	storageDegraded int
+	draining        bool
+}
+
+// jobStates is the fixed label universe, so every scrape exposes
+// every series (absent states read 0, not missing).
+var jobStates = []JobState{
+	StateQueued, StateRunning, StateDone, StateDegraded, StateFailed, StateCancelled,
+}
+
+// terminalStates is the label universe of jobs_completed_total.
+var terminalStates = []JobState{StateDone, StateDegraded, StateFailed, StateCancelled}
+
+// render writes the exposition. Families appear in a fixed order with
+// HELP/TYPE headers; values use Go's shortest-roundtrip float format,
+// which the Prometheus text parser accepts.
+func (m *metrics) render(w io.Writer, g gaugeSet) {
+	m.mu.Lock()
+	completed := make(map[JobState]int64, len(m.jobsCompleted))
+	for k, v := range m.jobsCompleted {
+		completed[k] = v
+	}
+	cellsExec, cellsReplayed := m.cellsExec, m.cellsReplayed
+	cellsRetried, cellsQuar := m.cellsRetried, m.cellsQuar
+	m.mu.Unlock()
+
+	head := func(name, help, typ string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	num := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+	head("mcmutants_jobs", "Jobs currently tracked, by lifecycle state.", "gauge")
+	for _, st := range jobStates {
+		fmt.Fprintf(w, "mcmutants_jobs{state=%q} %d\n", st, g.jobsByState[st])
+	}
+	head("mcmutants_jobs_completed_total", "Jobs that reached a terminal state since the server started.", "counter")
+	for _, st := range terminalStates {
+		fmt.Fprintf(w, "mcmutants_jobs_completed_total{state=%q} %d\n", st, completed[st])
+	}
+	head("mcmutants_queue_depth", "Jobs waiting in the FIFO queue.", "gauge")
+	fmt.Fprintf(w, "mcmutants_queue_depth %d\n", g.queueDepth)
+	head("mcmutants_running_jobs", "Jobs currently executing on the runner pool.", "gauge")
+	fmt.Fprintf(w, "mcmutants_running_jobs %d\n", g.runningJobs)
+	head("mcmutants_cells_executed_total", "Campaign cells executed since the server started.", "counter")
+	fmt.Fprintf(w, "mcmutants_cells_executed_total %d\n", cellsExec)
+	head("mcmutants_cells_replayed_total", "Campaign cells replayed from checkpoints since the server started.", "counter")
+	fmt.Fprintf(w, "mcmutants_cells_replayed_total %d\n", cellsReplayed)
+	head("mcmutants_cells_retried_total", "Cell retry attempts since the server started.", "counter")
+	fmt.Fprintf(w, "mcmutants_cells_retried_total %d\n", cellsRetried)
+	head("mcmutants_cells_quarantined_total", "Cells skipped by the device circuit breaker since the server started.", "counter")
+	fmt.Fprintf(w, "mcmutants_cells_quarantined_total %d\n", cellsQuar)
+	head("mcmutants_cells_per_second", "Aggregate execution throughput across running jobs.", "gauge")
+	fmt.Fprintf(w, "mcmutants_cells_per_second %s\n", num(g.cellsPerSec))
+	head("mcmutants_storage_degraded_jobs", "Jobs whose checkpoint degraded to in-memory on a storage failure.", "gauge")
+	fmt.Fprintf(w, "mcmutants_storage_degraded_jobs %d\n", g.storageDegraded)
+	head("mcmutants_draining", "1 while the server is draining for shutdown.", "gauge")
+	b := 0
+	if g.draining {
+		b = 1
+	}
+	fmt.Fprintf(w, "mcmutants_draining %d\n", b)
+}

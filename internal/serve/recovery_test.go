@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/diskio"
+)
+
+// TestCrashRecoveryByteIdentity is the serve half of the storage
+// story: a server whose filesystem crashes mid-campaign — torn
+// checkpoint write, frozen disk — is "rebooted" over the surviving
+// bytes and must finish the job with a report byte-identical to an
+// uninterrupted run of the same spec.
+func TestCrashRecoveryByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	ffs := diskio.NewFaultFS(diskio.OS{}, 42)
+	cfg := Config{
+		StateDir:      dir,
+		FS:            ffs,
+		Runners:       1,
+		JobWorkers:    2,
+		ProgressEvery: time.Millisecond,
+		FsyncEvery:    1, // every completed cell is durable before the crash
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx, ln) }()
+	c := &Client{BaseURL: "http://" + ln.Addr().String()}
+
+	js := smallConformance()
+	js.Iters = 30
+	sub, err := c.Submit(context.Background(), js)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Let a few cells land in the checkpoint, then freeze the disk:
+	// the next write tears at a derived offset and everything after
+	// fails with ErrCrashed — the simulated machine is dead.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		s.mu.Lock()
+		var cellsDone int
+		if rj := s.running[sub.Job.ID]; rj != nil {
+			cellsDone = rj.last.Done
+		}
+		s.mu.Unlock()
+		if cellsDone >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never completed 3 cells")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ffs.CrashAfter(ffs.Ops() + 1)
+
+	// The campaign aborts on the dead disk; the in-memory job record
+	// goes failed (its persistence fails too — the disk is gone).
+	for {
+		j, err := c.Job(context.Background(), sub.Job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State.Terminal() {
+			if j.State != StateFailed {
+				t.Fatalf("post-crash state = %s, want failed", j.State)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never failed after crash")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("crashed server did not stop")
+	}
+
+	// On disk the record still says "running" — the terminal write
+	// never survived. Reboot over the surviving bytes with a healthy
+	// filesystem: the job is re-queued, resumes from the checkpoint
+	// prefix, and completes.
+	_, c2 := startServer(t, Config{StateDir: dir, Runners: 1, JobWorkers: 4})
+	j, err := c2.Wait(context.Background(), sub.Job.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != StateDone {
+		t.Fatalf("recovered job state = %s (error %q)", j.State, j.Error)
+	}
+	if j.Resumes == 0 {
+		t.Fatalf("recovered job should count a resume: %+v", j)
+	}
+	if j.Summary == nil || j.Summary.Replayed == 0 {
+		t.Fatalf("recovered job replayed nothing: %+v", j.Summary)
+	}
+	got, err := c2.Report(context.Background(), j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localConformanceArtifact(t, j.Spec)
+	if !bytes.Equal(got, want) {
+		t.Fatal("post-crash report differs from uninterrupted local artifact")
+	}
+}
+
+// TestStoreBootSkipsCorruptRecord: a record that somehow decodes to
+// garbage must not prevent the healthy majority from loading.
+func TestStoreBootSkipsCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, jobsDir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, jobsDir, "bad.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good := &Job{ID: "goodjob", State: StateDone, SubmittedAt: time.Now().UTC()}
+	st, err := openStore(diskio.OS{}, dir, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.put(good); err != nil {
+		t.Fatal(err)
+	}
+	var warned bool
+	st2, err := openStore(diskio.OS{}, dir, func(string, ...any) { warned = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warned {
+		t.Error("corrupt record produced no warning")
+	}
+	if _, ok := st2.get("goodjob"); !ok {
+		t.Error("healthy record lost alongside the corrupt one")
+	}
+	if len(st2.list()) != 1 {
+		t.Errorf("store loaded %d records, want 1", len(st2.list()))
+	}
+}

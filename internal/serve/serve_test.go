@@ -1,0 +1,512 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// startServer boots a full server (runner pool + HTTP listener) on an
+// ephemeral port and tears it down through the graceful-drain path.
+func startServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	if cfg.StateDir == "" {
+		cfg.StateDir = t.TempDir()
+	}
+	if cfg.ProgressEvery == 0 {
+		cfg.ProgressEvery = 2 * time.Millisecond
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx, ln) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("server Run: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Error("server did not drain within 30s")
+		}
+	})
+	return s, &Client{BaseURL: "http://" + ln.Addr().String()}
+}
+
+// queuedServer builds a server whose runner pool never starts, so
+// submitted jobs stay queued — deterministic ground for admission and
+// queued-cancellation tests.
+func queuedServer(t *testing.T, cfg Config) (*Server, *Client, *httptest.Server) {
+	t.Helper()
+	if cfg.StateDir == "" {
+		cfg.StateDir = t.TempDir()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, &Client{BaseURL: hs.URL}, hs
+}
+
+// smallConformance is the standard quick job: one device, one env.
+func smallConformance() JobSpec {
+	return JobSpec{Kind: "conformance", Devices: []string{"AMD"}, Envs: []string{"pte"}, Iters: 2, Seed: 7}
+}
+
+// localConformanceArtifact renders the artifact the CLI/library would
+// produce for the spec — the byte-identity oracle.
+func localConformanceArtifact(t *testing.T, js JobSpec) []byte {
+	t.Helper()
+	study, err := core.NewStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := core.EnvByName(js.Envs[0], 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := study.CheckFleetConformanceCtx(context.Background(), platformsOf(&js), env,
+		js.Iters, js.Seed, core.CampaignOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := &core.CampaignArtifact{Kind: "conformance", Conformance: reports}
+	var buf bytes.Buffer
+	if err := art.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestJobLifecycleAndByteIdentity(t *testing.T) {
+	_, c := startServer(t, Config{Runners: 2, JobWorkers: 4})
+	ctx := context.Background()
+	sub, err := c.Submit(ctx, smallConformance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Existing {
+		t.Fatal("fresh submission reported existing")
+	}
+	if sub.Job.State != StateQueued && sub.Job.State != StateRunning {
+		t.Fatalf("fresh job state = %s", sub.Job.State)
+	}
+	if sub.Job.Cells == 0 || sub.Job.Manifest == "" {
+		t.Fatalf("job missing plan: %+v", sub.Job)
+	}
+	j, err := c.Wait(ctx, sub.Job.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != StateDone {
+		t.Fatalf("job state = %s (error %q), want done", j.State, j.Error)
+	}
+	if j.Summary == nil || j.Summary.Done != j.Cells || j.Summary.Executed == 0 {
+		t.Fatalf("bad summary: %+v", j.Summary)
+	}
+	got, err := c.Report(ctx, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localConformanceArtifact(t, j.Spec)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("server report differs from local artifact:\nserver: %d bytes\nlocal:  %d bytes", len(got), len(want))
+	}
+
+	// Idempotent resubmission of the completed job returns it as-is —
+	// including a spec spelled via defaults instead of explicitly.
+	again, err := c.Submit(ctx, JobSpec{Kind: "conformance", Devices: []string{" AMD "}, Envs: []string{"pte"}, Iters: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Existing || again.Job.ID != j.ID || again.Job.State != StateDone {
+		t.Fatalf("resubmission not idempotent: existing=%v id=%s state=%s", again.Existing, again.Job.ID, again.Job.State)
+	}
+}
+
+func TestMetricsAndHealthz(t *testing.T) {
+	_, c := startServer(t, Config{Runners: 1, JobWorkers: 4})
+	ctx := context.Background()
+	sub, err := c.Submit(ctx, smallConformance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, sub.Job.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(c.BaseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+	for _, want := range []string{
+		`mcmutants_jobs{state="done"} 1`,
+		`mcmutants_jobs_completed_total{state="done"} 1`,
+		"mcmutants_queue_depth 0",
+		"mcmutants_running_jobs 0",
+		"# TYPE mcmutants_cells_executed_total counter",
+		"mcmutants_draining 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+	// The executed counter covers the whole campaign.
+	if !strings.Contains(body, "mcmutants_cells_executed_total 20") {
+		t.Errorf("cells_executed_total != 20:\n%s", body)
+	}
+	hresp, err := http.Get(c.BaseURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", hresp.StatusCode)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil || health.Status != "ok" {
+		t.Fatalf("healthz body: %v %+v", err, health)
+	}
+}
+
+func TestSSEProgressStream(t *testing.T) {
+	_, c := startServer(t, Config{Runners: 1, JobWorkers: 2, ProgressEvery: time.Millisecond})
+	ctx := context.Background()
+	js := smallConformance()
+	js.Iters = 5 // enough work for mid-run snapshots at a 1ms cadence
+	sub, err := c.Submit(ctx, js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progress []sched.Progress
+	var doneEvents int
+	err = c.Events(ctx, sub.Job.ID, func(name string, data json.RawMessage) error {
+		switch name {
+		case "progress":
+			var p sched.Progress
+			if err := json.Unmarshal(data, &p); err != nil {
+				return err
+			}
+			progress = append(progress, p)
+		case "done":
+			doneEvents++
+			var j Job
+			if err := json.Unmarshal(data, &j); err != nil {
+				return err
+			}
+			if !j.State.Terminal() {
+				t.Errorf("done event with non-terminal state %s", j.State)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doneEvents != 1 {
+		t.Fatalf("got %d done events, want 1", doneEvents)
+	}
+	if len(progress) == 0 {
+		t.Fatal("no progress events before terminal")
+	}
+	last := -1
+	finals := 0
+	for i, p := range progress {
+		if p.Done < last {
+			t.Fatalf("progress %d: done %d < %d (not monotonic)", i, p.Done, last)
+		}
+		last = p.Done
+		if p.Final {
+			finals++
+		}
+	}
+	if finals != 1 || !progress[len(progress)-1].Final {
+		t.Fatalf("final snapshots: %d (last final: %v)", finals, progress[len(progress)-1].Final)
+	}
+	if progress[len(progress)-1].Done != sub.Job.Cells {
+		t.Fatalf("final done = %d, want %d", progress[len(progress)-1].Done, sub.Job.Cells)
+	}
+
+	// A late subscriber replays the terminal event immediately.
+	doneEvents = 0
+	if err := c.Events(ctx, sub.Job.ID, func(name string, data json.RawMessage) error {
+		if name == "done" {
+			doneEvents++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if doneEvents != 1 {
+		t.Fatalf("late subscriber saw %d done events, want 1", doneEvents)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	_, c, _ := queuedServer(t, Config{QueueDepth: 2, PerClient: 2})
+	ctx := context.Background()
+	mk := func(seed uint64) JobSpec {
+		js := smallConformance()
+		js.Seed = seed
+		return js
+	}
+	// Two distinct clients fill the queue without tripping their
+	// per-client caps.
+	c1 := &Client{BaseURL: c.BaseURL, APIKey: "alice"}
+	c2 := &Client{BaseURL: c.BaseURL, APIKey: "bob"}
+	if _, err := c1.Submit(ctx, mk(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Submit(ctx, mk(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Queue (depth 2) is now full for any client.
+	_, err := c2.Submit(ctx, mk(3))
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-full submit: %v, want 429", err)
+	}
+	if !strings.Contains(apiErr.Message, "queue full") {
+		t.Fatalf("queue-full message: %q", apiErr.Message)
+	}
+	// Resubmitting an already-queued spec is not an admission event.
+	again, err := c1.Submit(ctx, mk(1))
+	if err != nil || !again.Existing {
+		t.Fatalf("idempotent resubmit under full queue: %v existing=%v", err, again)
+	}
+}
+
+func TestPerClientCap(t *testing.T) {
+	_, c, _ := queuedServer(t, Config{QueueDepth: 16, PerClient: 2})
+	ctx := context.Background()
+	alice := &Client{BaseURL: c.BaseURL, APIKey: "alice"}
+	for seed := uint64(1); seed <= 2; seed++ {
+		js := smallConformance()
+		js.Seed = seed
+		if _, err := alice.Submit(ctx, js); err != nil {
+			t.Fatal(err)
+		}
+	}
+	js := smallConformance()
+	js.Seed = 3
+	_, err := alice.Submit(ctx, js)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("per-client submit: %v, want 429", err)
+	}
+	if !strings.Contains(apiErr.Message, "in flight") {
+		t.Fatalf("per-client message: %q", apiErr.Message)
+	}
+	// Another client is unaffected.
+	bob := &Client{BaseURL: c.BaseURL, APIKey: "bob"}
+	if _, err := bob.Submit(ctx, js); err != nil {
+		t.Fatalf("bob blocked by alice's cap: %v", err)
+	}
+}
+
+func TestValidationRejects(t *testing.T) {
+	_, c, _ := queuedServer(t, Config{})
+	ctx := context.Background()
+	cases := []JobSpec{
+		{},                              // no kind
+		{Kind: "bogus"},                 // unknown kind
+		{Kind: "conformance", Devices: []string{"NoSuchGPU"}},
+		{Kind: "evaluate", Envs: []string{"warp-drive"}},
+		{Kind: "tune", TuneEnvs: -1},
+	}
+	for _, js := range cases {
+		_, err := c.Submit(ctx, js)
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %+v: err %v, want 400", js, err)
+		}
+	}
+	// Unknown fields are rejected too — a misspelled parameter must
+	// not silently select defaults.
+	resp, err := http.Post(c.BaseURL+"/api/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"conformance","itres":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	_, c, _ := queuedServer(t, Config{})
+	ctx := context.Background()
+	sub, err := c.Submit(ctx, smallConformance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := c.Cancel(ctx, sub.Job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != StateCancelled {
+		t.Fatalf("cancelled queued job state = %s", j.State)
+	}
+	// Cancelling a terminal job conflicts.
+	_, err = c.Cancel(ctx, sub.Job.ID)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusConflict {
+		t.Fatalf("double cancel: %v, want 409", err)
+	}
+	// Resubmission requeues it.
+	again, err := c.Submit(ctx, smallConformance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Existing || !again.Requeued || again.Job.State != StateQueued || again.Job.Resumes != 1 {
+		t.Fatalf("resubmit after cancel: %+v", again.Job)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	s, c := startServer(t, Config{Runners: 1, JobWorkers: 1, ProgressEvery: time.Millisecond})
+	ctx := context.Background()
+	js := smallConformance()
+	js.Iters = 3000 // long enough that cancellation always lands mid-run
+	sub, err := c.Submit(ctx, js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		s.mu.Lock()
+		running := len(s.running) > 0
+		s.mu.Unlock()
+		if running {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := c.Cancel(ctx, sub.Job.ID); err != nil {
+		t.Fatal(err)
+	}
+	j, err := c.Wait(ctx, sub.Job.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != StateCancelled {
+		t.Fatalf("state after cancel = %s (error %q)", j.State, j.Error)
+	}
+	if j.Summary == nil || j.Summary.Done >= j.Cells {
+		t.Fatalf("cancelled job summary should be partial: %+v", j.Summary)
+	}
+	// No report for a cancelled job.
+	_, err = c.Report(ctx, j.ID)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusConflict {
+		t.Fatalf("report of cancelled job: %v, want 409", err)
+	}
+}
+
+func TestDrainRequeuesRunningJob(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{StateDir: dir, Runners: 1, JobWorkers: 1, ProgressEvery: time.Millisecond}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx, ln) }()
+	c := &Client{BaseURL: "http://" + ln.Addr().String()}
+
+	// Cells slow enough that the drain lands mid-run, fast enough
+	// that the resumed server finishes the remainder quickly.
+	js := smallConformance()
+	js.Iters = 50
+	sub, err := c.Submit(context.Background(), js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until at least one cell completed (and is checkpointed), so
+	// the resumed run has something to replay.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		s.mu.Lock()
+		var done int
+		if rj := s.running[sub.Job.ID]; rj != nil {
+			done = rj.last.Done
+		}
+		s.mu.Unlock()
+		if done >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never completed a cell")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel() // graceful drain
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain timed out")
+	}
+
+	// The drained job is queued on disk; a new server over the same
+	// state dir resumes and completes it with a byte-identical report.
+	s2, c2 := startServer(t, Config{StateDir: dir, Runners: 1, JobWorkers: 4})
+	_ = s2
+	j, err := c2.Wait(context.Background(), sub.Job.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != StateDone {
+		t.Fatalf("resumed job state = %s (error %q)", j.State, j.Error)
+	}
+	if j.Resumes == 0 {
+		t.Fatalf("resumed job should count a resume: %+v", j)
+	}
+	if j.Summary.Replayed == 0 {
+		t.Fatalf("resumed job replayed no cells: %+v", j.Summary)
+	}
+	got, err := c2.Report(context.Background(), j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localConformanceArtifact(t, j.Spec)
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed report differs from uninterrupted local artifact")
+	}
+}

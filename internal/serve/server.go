@@ -1,0 +1,711 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diskio"
+	"repro/internal/gpu"
+	"repro/internal/sched"
+)
+
+// Config sizes the campaign server. The zero value of each field
+// selects a sensible default (see New).
+type Config struct {
+	// StateDir is the root of the server's durable state: job records,
+	// checkpoints and published reports. Required.
+	StateDir string
+	// Runners is the pool size — how many jobs execute concurrently.
+	// Default 2.
+	Runners int
+	// JobWorkers is each job's scheduler worker count (the -parallel
+	// flag of the CLI verbs; any value yields identical artifacts).
+	// Default 4.
+	JobWorkers int
+	// QueueDepth bounds the FIFO queue; submissions beyond it are
+	// rejected with 429. Default 64.
+	QueueDepth int
+	// PerClient caps one client's live (queued + running) jobs;
+	// submissions beyond it are rejected with 429. Default 4.
+	PerClient int
+	// FsyncEvery is the checkpoint durability policy (see the CLI
+	// -fsync-every flag). Default 0: the scheduler's bounded-loss
+	// default.
+	FsyncEvery int
+	// ProgressEvery is the cadence of progress snapshots feeding the
+	// SSE hub and metrics. Default sched.DefaultProgressEvery.
+	ProgressEvery time.Duration
+	// FS is the filesystem seam for all durable writes; nil means the
+	// real filesystem. Tests inject a fault model.
+	FS diskio.FS
+	// Logf, when non-nil, receives one line per server event (job
+	// transitions, boot recovery, drain).
+	Logf func(format string, args ...any)
+}
+
+// errJobCancelled is the cancel cause distinguishing a client DELETE
+// from a server shutdown: the former ends the job as cancelled, the
+// latter re-queues it for the next boot.
+var errJobCancelled = errors.New("serve: job cancelled by client")
+
+// runningJob is the server's handle on an executing job.
+type runningJob struct {
+	cancel context.CancelCauseFunc
+	last   sched.Progress
+}
+
+// Server is the campaign service: a durable job store, a bounded FIFO
+// queue drained by a runner pool, an SSE hub and a metrics registry
+// behind an HTTP API.
+type Server struct {
+	cfg   Config
+	study *core.Study
+	fs    diskio.FS
+
+	store   *store
+	hub     *hub
+	metrics *metrics
+	mux     *http.ServeMux
+
+	qmu   sync.Mutex
+	qcond *sync.Cond
+	queue []string
+
+	mu      sync.Mutex
+	running map[string]*runningJob
+
+	draining atomic.Bool
+	drainCh  chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New builds a server over the state directory, loading persisted
+// jobs and re-queueing any that were queued or running when the
+// previous process stopped — those resume from their checkpoints.
+func New(cfg Config) (*Server, error) {
+	if cfg.StateDir == "" {
+		return nil, fmt.Errorf("serve: Config.StateDir is required")
+	}
+	if cfg.Runners <= 0 {
+		cfg.Runners = 2
+	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.PerClient <= 0 {
+		cfg.PerClient = 4
+	}
+	if cfg.ProgressEvery <= 0 {
+		cfg.ProgressEvery = sched.DefaultProgressEvery
+	}
+	if cfg.FS == nil {
+		cfg.FS = diskio.OS{}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	study, err := core.NewStudy()
+	if err != nil {
+		return nil, err
+	}
+	st, err := openStore(cfg.FS, cfg.StateDir, cfg.Logf)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		study:   study,
+		fs:      cfg.FS,
+		store:   st,
+		hub:     newHub(),
+		metrics: newMetrics(),
+		running: map[string]*runningJob{},
+		drainCh: make(chan struct{}),
+	}
+	s.qcond = sync.NewCond(&s.qmu)
+	s.routes()
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover re-queues jobs interrupted by the previous process: running
+// jobs crashed mid-campaign, queued jobs never started. Both resume
+// (or start) from whatever their checkpoints hold, oldest first.
+func (s *Server) recover() error {
+	for _, j := range s.store.list() {
+		switch j.State {
+		case StateRunning:
+			if _, err := s.store.update(j.ID, func(j *Job) {
+				j.State = StateQueued
+				j.Resumes++
+				j.StartedAt = nil
+			}); err != nil {
+				return err
+			}
+			s.cfg.Logf("serve: recovered running job %s: re-queued for resume", j.ID)
+			s.enqueue(j.ID)
+		case StateQueued:
+			s.cfg.Logf("serve: recovered queued job %s", j.ID)
+			s.enqueue(j.ID)
+		}
+	}
+	return nil
+}
+
+// fleet is the default device list: every Table 3 profile.
+func fleet() []string {
+	profs := gpu.Profiles()
+	out := make([]string, 0, len(profs))
+	for _, p := range profs {
+		out = append(out, p.ShortName)
+	}
+	return out
+}
+
+// --- queue ---
+
+// enqueue appends without a depth check — boot recovery and requeues
+// bypass admission (they re-enter jobs the server already accepted).
+func (s *Server) enqueue(id string) {
+	s.qmu.Lock()
+	s.queue = append(s.queue, id)
+	s.qmu.Unlock()
+	s.qcond.Signal()
+}
+
+// tryEnqueue appends subject to the depth bound.
+func (s *Server) tryEnqueue(id string) bool {
+	s.qmu.Lock()
+	defer func() {
+		s.qmu.Unlock()
+		s.qcond.Signal()
+	}()
+	if len(s.queue) >= s.cfg.QueueDepth {
+		return false
+	}
+	s.queue = append(s.queue, id)
+	return true
+}
+
+// queueDepth reports the current backlog.
+func (s *Server) queueDepth() int {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return len(s.queue)
+}
+
+// dequeue removes a specific job (cancellation of a queued job);
+// false means a runner already claimed it.
+func (s *Server) dequeue(id string) bool {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	for i, q := range s.queue {
+		if q == id {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// next blocks until a job is available or ctx ends.
+func (s *Server) next(ctx context.Context) (string, bool) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	for len(s.queue) == 0 {
+		if ctx.Err() != nil {
+			return "", false
+		}
+		s.qcond.Wait()
+	}
+	if ctx.Err() != nil {
+		return "", false
+	}
+	id := s.queue[0]
+	s.queue = s.queue[1:]
+	return id, true
+}
+
+// --- runner pool ---
+
+// worker drains the queue until ctx ends.
+func (s *Server) worker(ctx context.Context) {
+	defer s.wg.Done()
+	for {
+		id, ok := s.next(ctx)
+		if !ok {
+			return
+		}
+		s.runJob(ctx, id)
+	}
+}
+
+// runJob executes one job end to end: state transitions, progress
+// fan-out, artifact publication and terminal classification.
+func (s *Server) runJob(ctx context.Context, id string) {
+	jctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	rj := &runningJob{cancel: cancel}
+	s.mu.Lock()
+	s.running[id] = rj
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.running, id)
+		s.mu.Unlock()
+		s.metrics.forget(id)
+	}()
+
+	job, err := s.store.update(id, func(j *Job) {
+		j.State = StateRunning
+		now := time.Now().UTC()
+		j.StartedAt = &now
+	})
+	if err != nil {
+		s.cfg.Logf("serve: job %s: %v", id, err)
+		return
+	}
+	s.cfg.Logf("serve: job %s running (%s, %d cells)", id, job.Spec.Kind, job.Cells)
+	s.publishJobEvent(id, "job", job)
+
+	onProgress := func(p sched.Progress) {
+		s.mu.Lock()
+		rj.last = p
+		s.mu.Unlock()
+		s.metrics.observe(id, p)
+		if data, err := json.Marshal(p); err == nil {
+			s.hub.publish(id, event{name: "progress", data: data})
+		}
+	}
+	res, execErr := s.execute(jctx, job, onProgress)
+
+	s.mu.Lock()
+	last := rj.last
+	s.mu.Unlock()
+	summary := summaryOf(last)
+	now := time.Now().UTC()
+
+	switch {
+	case execErr != nil:
+		s.finishJob(id, func(j *Job) {
+			j.State = StateFailed
+			j.Error = execErr.Error()
+			j.FinishedAt = &now
+			j.Summary = summary
+		})
+	case res.interrupted && errors.Is(context.Cause(jctx), errJobCancelled):
+		s.finishJob(id, func(j *Job) {
+			j.State = StateCancelled
+			j.FinishedAt = &now
+			j.Summary = summary
+		})
+	case res.interrupted:
+		// Server shutdown: drain back to queued so the next boot
+		// resumes from the checkpoint. No terminal event — the job is
+		// not over.
+		if _, err := s.store.update(id, func(j *Job) {
+			j.State = StateQueued
+			j.Resumes++
+			j.StartedAt = nil
+			j.Summary = summary
+		}); err != nil {
+			s.cfg.Logf("serve: job %s: persist drain: %v", id, err)
+		}
+		s.cfg.Logf("serve: job %s drained to queued (%d/%d cells done)", id, last.Done, last.Total)
+	default:
+		if err := diskio.WriteFileAtomic(s.fs, s.store.reportPath(id), res.artifact); err != nil {
+			s.finishJob(id, func(j *Job) {
+				j.State = StateFailed
+				j.Error = fmt.Sprintf("publish report: %v", err)
+				j.FinishedAt = &now
+				j.Summary = summary
+			})
+			return
+		}
+		state := StateDone
+		if res.degraded {
+			state = StateDegraded
+		}
+		summary.StorageErr = res.storageErr
+		s.finishJob(id, func(j *Job) {
+			j.State = state
+			j.FinishedAt = &now
+			j.Summary = summary
+		})
+	}
+}
+
+// finishJob applies a terminal transition, bumps the completion
+// counter and emits the terminal SSE event.
+func (s *Server) finishJob(id string, fn func(*Job)) {
+	j, err := s.store.update(id, fn)
+	if err != nil {
+		s.cfg.Logf("serve: job %s: persist terminal state: %v", id, err)
+		return
+	}
+	s.metrics.jobFinished(j.State)
+	s.cfg.Logf("serve: job %s %s", id, j.State)
+	if data, err := json.Marshal(j); err == nil {
+		s.hub.finish(id, event{name: "done", data: data})
+	}
+}
+
+// publishJobEvent emits a job-record event on the SSE stream.
+func (s *Server) publishJobEvent(id, name string, j *Job) {
+	if data, err := json.Marshal(j); err == nil {
+		s.hub.publish(id, event{name: name, data: data})
+	}
+}
+
+// Run serves the API on ln until ctx is cancelled, then drains:
+// admission closes, SSE streams end, running jobs stop at the next
+// cell boundary with their checkpoints fsynced, and interrupted jobs
+// return to the queue for the next boot. Run returns nil after a
+// clean drain; the caller maps ctx cancellation to its own exit
+// convention.
+func (s *Server) Run(ctx context.Context, ln net.Listener) error {
+	poolCtx, stopPool := context.WithCancel(context.Background())
+	defer stopPool()
+	// A cancelled pool context must also wake workers parked in next.
+	defer context.AfterFunc(poolCtx, func() { s.qcond.Broadcast() })()
+	s.wg.Add(s.cfg.Runners)
+	for i := 0; i < s.cfg.Runners; i++ {
+		go s.worker(poolCtx)
+	}
+	hsrv := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hsrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		stopPool()
+		s.qcond.Broadcast()
+		s.wg.Wait()
+		return err
+	case <-ctx.Done():
+	}
+	s.cfg.Logf("serve: draining (running jobs stop at the next cell, queue is preserved)")
+	s.draining.Store(true)
+	close(s.drainCh) // ends SSE streams so Shutdown below can finish
+	stopPool()
+	s.qcond.Broadcast()
+	s.wg.Wait() // runners drain their jobs and persist queued state
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hsrv.Shutdown(shCtx); err != nil {
+		hsrv.Close()
+	}
+	<-errc // http.ErrServerClosed
+	s.cfg.Logf("serve: drain complete")
+	return nil
+}
+
+// --- HTTP API ---
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// Handler exposes the API mux (tests drive it via httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// writeJSON renders a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeErr renders a JSON error body.
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// clientID identifies the caller for admission control: the X-API-Key
+// header when present, else the remote address's host.
+func clientID(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// SubmitResponse is the POST /api/v1/jobs body: the job record plus
+// whether it already existed (idempotent resubmission).
+type SubmitResponse struct {
+	Job      *Job `json:"job"`
+	Existing bool `json:"existing,omitempty"`
+	Requeued bool `json:"requeued,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var js JobSpec
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&js); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	js.normalize(fleet())
+	plan, err := s.plan(&js)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	id := jobID(plan.manifest, js)
+	client := clientID(r)
+
+	if existing, ok := s.store.get(id); ok {
+		switch existing.State {
+		case StateFailed, StateCancelled:
+			// Terminal-but-incomplete: resubmission re-queues, resuming
+			// from whatever the checkpoint holds.
+			if !s.admit(w, client) {
+				return
+			}
+			s.hub.reset(id)
+			s.metrics.forget(id)
+			job, err := s.store.update(id, func(j *Job) {
+				j.State = StateQueued
+				j.Error = ""
+				j.Resumes++
+				j.StartedAt = nil
+				j.FinishedAt = nil
+			})
+			if err != nil {
+				writeErr(w, http.StatusInternalServerError, "requeue: %v", err)
+				return
+			}
+			s.enqueue(id)
+			writeJSON(w, http.StatusAccepted, SubmitResponse{Job: job, Existing: true, Requeued: true})
+		default:
+			writeJSON(w, http.StatusOK, SubmitResponse{Job: existing, Existing: true})
+		}
+		return
+	}
+
+	if !s.admit(w, client) {
+		return
+	}
+	if s.queueDepth() >= s.cfg.QueueDepth {
+		w.Header().Set("Retry-After", "5")
+		writeErr(w, http.StatusTooManyRequests, "queue full (%d jobs)", s.cfg.QueueDepth)
+		return
+	}
+	job := &Job{
+		ID:          id,
+		Spec:        js,
+		Client:      client,
+		State:       StateQueued,
+		Cells:       plan.cells,
+		Manifest:    plan.manifest,
+		SubmittedAt: time.Now().UTC(),
+	}
+	if err := s.store.put(job); err != nil {
+		writeErr(w, http.StatusInternalServerError, "persist job: %v", err)
+		return
+	}
+	if !s.tryEnqueue(id) {
+		s.store.drop(id)
+		w.Header().Set("Retry-After", "5")
+		writeErr(w, http.StatusTooManyRequests, "queue full (%d jobs)", s.cfg.QueueDepth)
+		return
+	}
+	s.cfg.Logf("serve: job %s queued by %s (%s, %d cells)", id, client, js.Kind, plan.cells)
+	writeJSON(w, http.StatusAccepted, SubmitResponse{Job: job})
+}
+
+// admit applies the shared admission checks for anything that would
+// put new work on the queue; it writes the rejection itself.
+func (s *Server) admit(w http.ResponseWriter, client string) bool {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return false
+	}
+	if n := s.store.inFlight(client); n >= s.cfg.PerClient {
+		w.Header().Set("Retry-After", "5")
+		writeErr(w, http.StatusTooManyRequests,
+			"client %s has %d jobs in flight (limit %d)", client, n, s.cfg.PerClient)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.store.list()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.store.get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	switch j.State {
+	case StateDone, StateDegraded:
+	default:
+		writeErr(w, http.StatusConflict, "job is %s; no report", j.State)
+		return
+	}
+	f, err := s.fs.OpenFile(s.store.reportPath(id), os.O_RDONLY, 0)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "open report: %v", err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/json")
+	io.Copy(w, f)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.store.get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	if j.State.Terminal() {
+		writeErr(w, http.StatusConflict, "job already %s", j.State)
+		return
+	}
+	// Queued: pull it off the queue before a runner claims it. If that
+	// races with a claim, fall through to the running path.
+	if s.dequeue(id) {
+		now := time.Now().UTC()
+		s.finishJob(id, func(j *Job) {
+			j.State = StateCancelled
+			j.FinishedAt = &now
+		})
+		j, _ := s.store.get(id)
+		writeJSON(w, http.StatusOK, j)
+		return
+	}
+	s.mu.Lock()
+	rj := s.running[id]
+	s.mu.Unlock()
+	if rj != nil {
+		rj.cancel(errJobCancelled)
+	}
+	j, _ = s.store.get(id)
+	writeJSON(w, http.StatusAccepted, j)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.store.get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	writeSSE := func(ev event) {
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+		flusher.Flush()
+	}
+	// Open with the current record so a subscriber always has a state
+	// baseline even before the first snapshot.
+	if data, err := json.Marshal(j); err == nil {
+		writeSSE(event{name: "job", data: data})
+	}
+	ch, cancel := s.hub.subscribe(id)
+	defer cancel()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.drainCh:
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			writeSSE(ev)
+			if ev.name == "done" {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	running := len(s.running)
+	s.mu.Unlock()
+	body := map[string]any{
+		"status":  "ok",
+		"queued":  s.queueDepth(),
+		"running": running,
+	}
+	code := http.StatusOK
+	if s.draining.Load() {
+		body["status"] = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	runningJobs := len(s.running)
+	cellsPerSec := 0.0
+	for _, rj := range s.running {
+		cellsPerSec += rj.last.CellsPerSec
+	}
+	s.mu.Unlock()
+	g := gaugeSet{
+		jobsByState:     s.store.countByState(),
+		queueDepth:      s.queueDepth(),
+		runningJobs:     runningJobs,
+		cellsPerSec:     cellsPerSec,
+		storageDegraded: s.store.storageDegradedCount(),
+		draining:        s.draining.Load(),
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.render(w, g)
+}

@@ -277,6 +277,14 @@ type RunOptions struct {
 	FS diskio.FS
 	// Progress, when non-nil, receives one line as each cell starts.
 	Progress func(string)
+	// OnProgress, when non-nil, receives cumulative structured campaign
+	// snapshots — one every ProgressEvery plus a final settled one
+	// before the run returns (see sched.Progress). The serve
+	// subsystem's SSE hub and metrics feed from this hook.
+	OnProgress func(sched.Progress)
+	// ProgressEvery is the OnProgress cadence; zero means
+	// sched.DefaultProgressEvery.
+	ProgressEvery time.Duration
 	// Report, when non-nil, receives throughput lines (cells/sec,
 	// instances/sec, per-device utilization) at most every
 	// ReportEvery (default 2s).
@@ -471,6 +479,18 @@ func (s *workerScratch) runner(w tuningCell) (*harness.Runner, error) {
 	return r, nil
 }
 
+// CampaignSpec returns the scheduler spec RunCampaign executes for the
+// config and tests, without running anything. Its Manifest() identifies
+// the campaign's cell grid — the serve subsystem derives idempotent job
+// IDs from it, and it is the manifest the run's checkpoint will carry.
+func CampaignSpec(cfg Config, tests []*litmus.Test) (sched.Spec, error) {
+	if len(tests) == 0 {
+		return sched.Spec{}, fmt.Errorf("tuning: no tests")
+	}
+	spec, _, err := buildCampaign(&cfg, tests)
+	return spec, err
+}
+
 // Run executes a tuning run over the given tests (typically the 32
 // mutants) across all families and devices, serially. progress, when
 // non-nil, receives one line per campaign cell. Use RunCampaign for
@@ -504,12 +524,14 @@ func RunCampaignCtx(ctx context.Context, cfg Config, tests []*litmus.Test, opts 
 		return nil, err
 	}
 	schedOpts := sched.Options[Record]{
-		Workers:     opts.Workers,
-		MaxRetries:  opts.Retries,
-		Backoff:     opts.Backoff,
-		CellTimeout: opts.CellTimeout,
-		Breaker:     opts.Breaker,
-		Instances:   func(r Record) int { return r.Instances },
+		Workers:       opts.Workers,
+		MaxRetries:    opts.Retries,
+		Backoff:       opts.Backoff,
+		CellTimeout:   opts.CellTimeout,
+		Breaker:       opts.Breaker,
+		OnProgress:    opts.OnProgress,
+		ProgressEvery: opts.ProgressEvery,
+		Instances:     func(r Record) int { return r.Instances },
 		// Each worker gets private warm scratch — devices, runners and a
 		// Result reused across that worker's cells — so the steady-state
 		// campaign loop stops allocating. Cell randomness derives purely
