@@ -161,6 +161,15 @@ func (a *progressAggregator) hook() func(sched.Progress) {
 		q.Retried += a.base.Retried
 		q.Instances += a.base.Instances
 		q.ElapsedSeconds += a.base.ElapsedSeconds
+		// Rates must describe the aggregated scope, not the current
+		// campaign's: recompute them from the job totals the same way
+		// the tracker does (cumulative count over elapsed time).
+		elapsed := q.ElapsedSeconds
+		if elapsed <= 0 {
+			elapsed = 1e-9
+		}
+		q.CellsPerSec = float64(q.Executed) / elapsed
+		q.InstancesPerSec = float64(q.Instances) / elapsed
 		if len(a.base.DeviceBusy) > 0 {
 			merged := make(map[string]float64, len(a.base.DeviceBusy)+len(p.DeviceBusy))
 			for d, v := range a.base.DeviceBusy {

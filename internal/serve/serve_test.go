@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -326,6 +328,92 @@ func TestPerClientCap(t *testing.T) {
 	bob := &Client{BaseURL: c.BaseURL, APIKey: "bob"}
 	if _, err := bob.Submit(ctx, js); err != nil {
 		t.Fatalf("bob blocked by alice's cap: %v", err)
+	}
+}
+
+// TestConcurrentDuplicateSubmit: identical submissions racing through
+// handleSubmit must register and enqueue the job exactly once — the
+// idempotency contract would otherwise let two runners execute the
+// same job against the same checkpoint path.
+func TestConcurrentDuplicateSubmit(t *testing.T) {
+	s, c, _ := queuedServer(t, Config{QueueDepth: 64, PerClient: 64})
+	ctx := context.Background()
+	const n = 16
+	results := make([]*SubmitResponse, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.Submit(ctx, smallConformance())
+		}(i)
+	}
+	wg.Wait()
+	fresh := 0
+	var id string
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("submit %d: %v", i, errs[i])
+		}
+		if !results[i].Existing {
+			fresh++
+		}
+		id = results[i].Job.ID
+	}
+	if fresh != 1 {
+		t.Fatalf("%d submissions created the job, want exactly 1", fresh)
+	}
+	// The queue must hold the job exactly once: one dequeue succeeds,
+	// a second finds nothing.
+	if !s.dequeue(id) {
+		t.Fatal("job not on the queue")
+	}
+	if s.dequeue(id) {
+		t.Fatal("job enqueued more than once")
+	}
+}
+
+// TestPerClientCapConcurrent: distinct submissions from one client
+// racing each other must never exceed the in-flight cap.
+func TestPerClientCapConcurrent(t *testing.T) {
+	s, c, _ := queuedServer(t, Config{QueueDepth: 64, PerClient: 3})
+	ctx := context.Background()
+	alice := &Client{BaseURL: c.BaseURL, APIKey: "alice"}
+	const n = 12
+	var wg sync.WaitGroup
+	var accepted, rejected atomic.Int32
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			js := smallConformance()
+			js.Seed = uint64(i + 1)
+			_, err := alice.Submit(ctx, js)
+			switch {
+			case err == nil:
+				accepted.Add(1)
+			default:
+				var apiErr *APIError
+				if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusTooManyRequests {
+					rejected.Add(1)
+				} else {
+					t.Errorf("submit %d: %v", i, err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// No runner drains the queue, so exactly PerClient submissions can
+	// land; everything else must bounce with 429.
+	if got := accepted.Load(); got != 3 {
+		t.Fatalf("accepted %d submissions, want exactly 3 (the cap)", got)
+	}
+	if got := rejected.Load(); got != n-3 {
+		t.Fatalf("rejected %d submissions, want %d", got, n-3)
+	}
+	if got := s.store.inFlight("alice"); got != 3 {
+		t.Fatalf("in-flight count = %d, want 3", got)
 	}
 }
 

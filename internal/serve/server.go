@@ -84,6 +84,12 @@ type Server struct {
 	mu      sync.Mutex
 	running map[string]*runningJob
 
+	// submitMu serializes submission: the existence check, the
+	// per-client admission count and the register+enqueue must be one
+	// critical section, or two identical concurrent submissions both
+	// miss the check and the same job ID runs twice.
+	submitMu sync.Mutex
+
 	draining atomic.Bool
 	drainCh  chan struct{}
 	wg       sync.WaitGroup
@@ -202,6 +208,18 @@ func (s *Server) tryEnqueue(id string) bool {
 	return true
 }
 
+// wakeWorkers broadcasts under qmu. The condition workers re-check in
+// next includes ctx.Err(), which is not guarded by qmu — a bare
+// Broadcast could fire between a worker's check and its Wait, losing
+// the wakeup forever. Holding qmu forces the broadcast to land either
+// before the worker's check (it sees the cancelled ctx) or after it
+// parks (it is woken).
+func (s *Server) wakeWorkers() {
+	s.qmu.Lock()
+	s.qcond.Broadcast()
+	s.qmu.Unlock()
+}
+
 // queueDepth reports the current backlog.
 func (s *Server) queueDepth() int {
 	s.qmu.Lock()
@@ -277,7 +295,16 @@ func (s *Server) runJob(ctx context.Context, id string) {
 		j.StartedAt = &now
 	})
 	if err != nil {
-		s.cfg.Logf("serve: job %s: %v", id, err)
+		// The transition rolled back (update is atomic), but the job is
+		// already off the queue — fail it so it doesn't sit "queued"
+		// with no runner ever coming; resubmission can re-queue it.
+		s.cfg.Logf("serve: job %s: start: %v", id, err)
+		now := time.Now().UTC()
+		s.finishJob(id, func(j *Job) {
+			j.State = StateFailed
+			j.Error = fmt.Sprintf("persist start transition: %v", err)
+			j.FinishedAt = &now
+		})
 		return
 	}
 	s.cfg.Logf("serve: job %s running (%s, %d cells)", id, job.Spec.Kind, job.Cells)
@@ -351,12 +378,18 @@ func (s *Server) runJob(ctx context.Context, id string) {
 }
 
 // finishJob applies a terminal transition, bumps the completion
-// counter and emits the terminal SSE event.
+// counter and emits the terminal SSE event. Terminal states are
+// installed in memory even when the disk refuses the record (a
+// crashed filesystem must not leave a runnerless job looking alive);
+// the stale on-disk record is re-queued by the next boot's recovery.
 func (s *Server) finishJob(id string, fn func(*Job)) {
-	j, err := s.store.update(id, fn)
+	j, err := s.store.updateForce(id, fn)
 	if err != nil {
+		if j == nil {
+			s.cfg.Logf("serve: job %s: terminal state: %v", id, err)
+			return
+		}
 		s.cfg.Logf("serve: job %s: persist terminal state: %v", id, err)
-		return
 	}
 	s.metrics.jobFinished(j.State)
 	s.cfg.Logf("serve: job %s %s", id, j.State)
@@ -382,7 +415,7 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	poolCtx, stopPool := context.WithCancel(context.Background())
 	defer stopPool()
 	// A cancelled pool context must also wake workers parked in next.
-	defer context.AfterFunc(poolCtx, func() { s.qcond.Broadcast() })()
+	defer context.AfterFunc(poolCtx, s.wakeWorkers)()
 	s.wg.Add(s.cfg.Runners)
 	for i := 0; i < s.cfg.Runners; i++ {
 		go s.worker(poolCtx)
@@ -393,7 +426,7 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	select {
 	case err := <-errc:
 		stopPool()
-		s.qcond.Broadcast()
+		s.wakeWorkers()
 		s.wg.Wait()
 		return err
 	case <-ctx.Done():
@@ -402,7 +435,7 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	s.draining.Store(true)
 	close(s.drainCh) // ends SSE streams so Shutdown below can finish
 	stopPool()
-	s.qcond.Broadcast()
+	s.wakeWorkers()
 	s.wg.Wait() // runners drain their jobs and persist queued state
 	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -483,6 +516,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	id := jobID(plan.manifest, js)
 	client := clientID(r)
 
+	// One submission at a time past this point: check-then-register
+	// must not interleave with an identical concurrent submission (or
+	// the same job runs on two runners), and admit's per-client count
+	// must not interleave with another submission's insert (or the cap
+	// is exceeded). The section is short — no campaign work, just an
+	// index lookup and one small atomic file write.
+	s.submitMu.Lock()
+	defer s.submitMu.Unlock()
+
 	if existing, ok := s.store.get(id); ok {
 		switch existing.State {
 		case StateFailed, StateCancelled:
@@ -544,7 +586,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // admit applies the shared admission checks for anything that would
-// put new work on the queue; it writes the rejection itself.
+// put new work on the queue; it writes the rejection itself. Callers
+// hold s.submitMu so the in-flight count cannot race a concurrent
+// submission's insert.
 func (s *Server) admit(w http.ResponseWriter, client string) bool {
 	if s.draining.Load() {
 		writeErr(w, http.StatusServiceUnavailable, "server is draining")

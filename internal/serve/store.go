@@ -142,8 +142,12 @@ func (st *store) get(id string) (*Job, bool) {
 	return j.clone(), true
 }
 
-// update applies fn to the job under the store lock and persists the
-// result, returning a copy of the updated record.
+// update applies fn to a copy of the job under the store lock,
+// persists the copy, and installs it into the index only once the
+// write succeeded — a persist failure leaves both memory and disk on
+// the previous record instead of letting them diverge (an in-memory
+// "running" job with no runner would otherwise be stuck until
+// restart).
 func (st *store) update(id string, fn func(*Job)) (*Job, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -151,11 +155,36 @@ func (st *store) update(id string, fn func(*Job)) (*Job, error) {
 	if !ok {
 		return nil, fmt.Errorf("serve: unknown job %s", id)
 	}
-	fn(j)
-	if err := st.persistLocked(j); err != nil {
+	next := j.clone()
+	fn(next)
+	if err := st.persistLocked(next); err != nil {
 		return nil, err
 	}
-	return j.clone(), nil
+	st.jobs[id] = next
+	return next.clone(), nil
+}
+
+// updateForce is update for terminal transitions: the new record is
+// installed in memory whether or not the persist succeeds, and the
+// persist error is returned alongside it. Memory deliberately runs
+// ahead of disk here — the runner is done with the job, so clients
+// must see the terminal state even on a dead disk, and a stale
+// non-terminal record on disk is safe: boot recovery re-queues it and
+// the job resumes (or re-completes) from its checkpoint.
+func (st *store) updateForce(id string, fn func(*Job)) (*Job, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown job %s", id)
+	}
+	next := j.clone()
+	fn(next)
+	st.jobs[id] = next
+	if err := st.persistLocked(next); err != nil {
+		return next.clone(), err
+	}
+	return next.clone(), nil
 }
 
 // list returns copies of every job, oldest submission first (ties
