@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// freeAddr reserves an ephemeral port and releases it for the campaign
+// coordinator to bind; the tiny reuse race is acceptable in tests.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestCampaignDistributedByteIdentical runs the same conformance
+// campaign twice — locally, and coordinated over HTTP with two worker
+// processes — and requires the published artifacts to be byte-identical.
+func TestCampaignDistributedByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	localOut := filepath.Join(dir, "local.json")
+	distOut := filepath.Join(dir, "dist.json")
+	base := []string{
+		"campaign", "-kind", "conformance", "-devices", "AMD,Intel",
+		"-envs", "pte", "-iters", "2", "-seed", "7", "-quiet",
+	}
+	if err := run(append(base, "-out", localOut, "-parallel", "3")); err != nil {
+		t.Fatalf("local campaign: %v", err)
+	}
+
+	addr := freeAddr(t)
+	coordDone := make(chan error, 1)
+	go func() {
+		coordDone <- run(append(base, "-out", distOut,
+			"-workers-addr", addr, "-lease-ttl", "30s", "-range-cells", "3"))
+	}()
+	var wg sync.WaitGroup
+	workErrs := make([]error, 2)
+	for i := range workErrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			workErrs[i] = dispatch(context.Background(), []string{
+				"work", "-coordinator", "http://" + addr,
+				"-id", fmt.Sprintf("w%d", i), "-parallel", "2",
+				"-poll", "25ms", "-once", "-quiet",
+			})
+		}(i)
+	}
+	select {
+	case err := <-coordDone:
+		if err != nil {
+			t.Fatalf("distributed campaign: %v", err)
+		}
+	case <-time.After(3 * time.Minute):
+		t.Fatal("distributed campaign timed out")
+	}
+	wg.Wait()
+	for i, err := range workErrs {
+		if err != nil {
+			t.Errorf("worker %d: %v", i, err)
+		}
+	}
+
+	want, err := os.ReadFile(localOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(distOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("artifacts differ:\nlocal:\n%s\ndistributed:\n%s", want, got)
+	}
+}
+
+// TestWorkFlagErrors rejects unusable worker and coordinator flags up
+// front, before any polling or campaign work.
+func TestWorkFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"work"}, // missing -coordinator
+		{"work", "-coordinator", "http://x", "-parallel", "0"},
+		{"work", "-coordinator", "http://x", "-poll", "0s"},
+		{"campaign", "-kind", "conformance", "-workers-addr", "127.0.0.1:0", "-lease-ttl", "0s"},
+		{"campaign", "-kind", "conformance", "-workers-addr", "127.0.0.1:0", "-range-cells", "0"},
+		{"campaign", "-kind", "conformance", "-workers-addr", "127.0.0.1:0", "-stall-timeout", "-1s"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}

@@ -10,11 +10,12 @@
 //	mcmutants devices
 //	mcmutants run -test NAME [-device NAME] [-env pte|site|pte-baseline|site-baseline] [-iters N] [-seed N] [-buggy]
 //	mcmutants conformance [-device NAME] [-iters N] [-seed N] [-fence-bug] [-coherence-bug] [-stale-cache-bug]
-//	mcmutants campaign -kind conformance|evaluate [-out FILE] [-devices A,B] [-envs pte,site] [-iters N] [-seed N] [-parallel N] [-checkpoint FILE] [-resume] [-fsync-every N] [-deadline D] [-cell-timeout D] [-faults] [-fault-rate P] [-watchdog N] [-loss-after N]
+//	mcmutants campaign -kind conformance|evaluate [-out FILE] [-devices A,B] [-envs pte,site] [-iters N] [-seed N] [-parallel N] [-checkpoint FILE] [-resume] [-fsync-every N] [-deadline D] [-cell-timeout D] [-faults] [-fault-rate P] [-watchdog N] [-loss-after N] [-workers-addr HOST:PORT] [-lease-ttl D] [-range-cells N] [-stall-timeout D]
+//	mcmutants work -coordinator URL [-parallel N] [-id NAME] [-poll D] [-once]
 //	mcmutants tune [-out FILE] [-envs N] [-site-iters N] [-pte-iters N] [-paper-scale] [-devices A,B] [-seed N] [-parallel N] [-checkpoint FILE] [-resume] [-fsync-every N] [-deadline D] [-cell-timeout D] [-faults] [-fault-rate P] [-watchdog N] [-loss-after N]
 //	mcmutants analyze -action mutation-score|merge|correlation [-stats FILE] [-family NAME] [-rep PCT] [-budget SECONDS] [-envs N] [-iters N]
 //	mcmutants cts -stats FILE [-family NAME] [-rep PCT] [-budget SECONDS]
-//	mcmutants serve [-addr HOST:PORT] [-state DIR] [-runners N] [-parallel N] [-queue N] [-per-client N] [-fsync-every N] [-quiet]
+//	mcmutants serve [-addr HOST:PORT] [-state DIR] [-runners N] [-parallel N] [-queue N] [-per-client N] [-fsync-every N] [-dist] [-dist-lease-ttl D] [-quiet]
 //
 // Exit status: 0 on success, 1 on usage or fatal errors, 2 when a
 // campaign or tuning run completed but degraded — some cells produced
@@ -48,6 +49,7 @@ import (
 	"repro/internal/confidence"
 	"repro/internal/core"
 	"repro/internal/diskio"
+	"repro/internal/dist"
 	"repro/internal/gpu"
 	"repro/internal/harness"
 	"repro/internal/litmus"
@@ -129,6 +131,8 @@ func dispatch(ctx context.Context, args []string) error {
 		return cmdConformance(args[1:])
 	case "campaign":
 		return cmdCampaign(ctx, args[1:])
+	case "work":
+		return cmdWork(ctx, args[1:])
 	case "tune":
 		return cmdTune(ctx, args[1:])
 	case "analyze":
@@ -159,6 +163,7 @@ subcommands:
   run          run one test in one environment on one device
   conformance  run the conformance suite against a platform
   campaign     run a scheduled fleet campaign (conformance or evaluate)
+  work         execute leased cell ranges for a remote campaign coordinator
   tune         run a tuning study and save the dataset (JSON)
   analyze      mutation-score / merge / correlation analyses
   cts          curate a conformance-test-suite plan from a dataset
@@ -618,6 +623,7 @@ func cmdCampaign(ctx context.Context, args []string) error {
 	cf := addCancelFlags(fs)
 	pf := addProfileFlags(fs)
 	sf := addStorageFlags(fs)
+	df := addDistFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -635,14 +641,20 @@ func cmdCampaign(ctx context.Context, args []string) error {
 		return err
 	}
 	var envs []harness.Params
+	var envList []string
 	for _, name := range strings.Split(*envNames, ",") {
-		env, err := envByName(strings.TrimSpace(name), 16, 32)
+		name = strings.TrimSpace(name)
+		env, err := envByName(name, 16, 32)
 		if err != nil {
 			return err
 		}
 		envs = append(envs, env)
+		envList = append(envList, name)
 	}
 	if err := ff.validate(); err != nil {
+		return err
+	}
+	if err := df.validate(); err != nil {
 		return err
 	}
 	if err := probeOutputPaths(*out, *pf.cpu, *pf.mem); err != nil {
@@ -674,6 +686,25 @@ func cmdCampaign(ctx context.Context, args []string) error {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 		opts.Report = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
+	// With -workers-addr the campaign coordinates `mcmutants work`
+	// processes over HTTP instead of executing cells itself; the merged
+	// report is byte-identical to a local run at any worker count.
+	var hub *dist.Hub
+	var distLogf func(string, ...any)
+	if *df.addr != "" {
+		var stopHub func()
+		hub, stopHub, err = df.serveHub()
+		if err != nil {
+			return err
+		}
+		defer stopHub()
+		if !*quiet {
+			distLogf = func(format string, a ...any) {
+				fmt.Fprintf(os.Stderr, "mcmutants: dist: "+format+"\n", a...)
+			}
+		}
+	}
+	ws := campaignWorkSpec(*kind, names, envList, *iters, *seed, *fenceBug, faultModel, *retries, *cf.cellTimeout)
 	switch *kind {
 	case "conformance":
 		var platforms []core.Platform
@@ -683,6 +714,13 @@ func cmdCampaign(ctx context.Context, args []string) error {
 				p.Driver = wgsl.DriverFenceDropping
 			}
 			platforms = append(platforms, p)
+		}
+		if hub != nil {
+			desc, err := ws.Descriptor()
+			if err != nil {
+				return err
+			}
+			opts.Dist = df.options(hub, "conformance", desc, distLogf)
 		}
 		reports, err := study.CheckFleetConformanceCtx(ctx, platforms, envs[0], *iters, *seed, opts)
 		interrupted := errors.Is(err, sched.ErrInterrupted)
@@ -776,6 +814,18 @@ func cmdCampaign(ctx context.Context, args []string) error {
 			if devOpts.CheckpointPath != "" {
 				// One campaign per device; keep their checkpoints apart.
 				devOpts.CheckpointPath = fmt.Sprintf("%s.%s", opts.CheckpointPath, p.Device)
+			}
+			if hub != nil {
+				// One coordinator per device, each advertising a
+				// single-device descriptor so a worker's locally-planned
+				// unit manifest matches the advertised campaign exactly.
+				wsDev := ws
+				wsDev.Devices = []string{p.Device}
+				desc, err := wsDev.Descriptor()
+				if err != nil {
+					return err
+				}
+				devOpts.Dist = df.options(hub, "evaluate."+p.Device, desc, distLogf)
 			}
 			score, err := study.EvaluateEnvironmentsCtx(ctx, p, envs, *iters, *seed, devOpts)
 			interrupted := errors.Is(err, sched.ErrInterrupted)
@@ -973,17 +1023,24 @@ func cmdServe(ctx context.Context, args []string) error {
 	queueDepth := fs.Int("queue", 64, "bound on queued jobs; submissions beyond it get 429")
 	perClient := fs.Int("per-client", 4, "per-client in-flight job cap (X-API-Key or remote address)")
 	quiet := fs.Bool("quiet", false, "suppress server log lines")
+	enableDist := fs.Bool("dist", false, "accept distributed jobs and serve the /dist/v1/ coordination API to mcmutants work processes")
+	distLeaseTTL := fs.Duration("dist-lease-ttl", 10*time.Second, "worker lease deadline for distributed jobs (with -dist)")
 	sf := addStorageFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *distLeaseTTL <= 0 {
+		return fmt.Errorf("-dist-lease-ttl must be positive")
+	}
 	cfg := serve.Config{
-		StateDir:   *state,
-		Runners:    *runners,
-		JobWorkers: *parallel,
-		QueueDepth: *queueDepth,
-		PerClient:  *perClient,
-		FsyncEvery: *sf.fsyncEvery,
+		StateDir:     *state,
+		Runners:      *runners,
+		JobWorkers:   *parallel,
+		QueueDepth:   *queueDepth,
+		PerClient:    *perClient,
+		FsyncEvery:   *sf.fsyncEvery,
+		EnableDist:   *enableDist,
+		DistLeaseTTL: *distLeaseTTL,
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {

@@ -67,6 +67,17 @@ type CampaignOptions struct {
 	// (default 2s).
 	Report      func(string)
 	ReportEvery time.Duration
+	// Dist, when non-nil, runs the campaign distributed: no cell
+	// executes in this process. A coordinator is registered on the hub,
+	// worker processes lease cell ranges and deliver result segments,
+	// and the merged report is byte-identical to a local run — split-
+	// seed cell RNG makes results a pure function of (seed, cell key,
+	// attempt), independent of which process executed the cell.
+	// Distributed campaigns always run collect-style (there is no
+	// fail-fast abort across workers); Workers, Retries, Backoff and
+	// CellTimeout apply on the worker side via the descriptor, not
+	// here.
+	Dist *DistOptions
 }
 
 // applyCampaignOptions populates the scheduler options from o. The
@@ -185,6 +196,20 @@ func (st *Study) EvaluateSpec(p Platform, numEnvs int, seed uint64) (sched.Spec,
 	return spec, err
 }
 
+// evaluateExec returns the cell executor of an evaluation campaign —
+// shared verbatim between local runs and distributed workers, so a
+// leased cell computes exactly what a local scheduler would.
+func (st *Study) evaluateExec(p Platform, work map[string]evalCell, iterations int) sched.Exec[*harness.Result] {
+	return func(ctx context.Context, c sched.Cell, rng *xrand.Rand) (*harness.Result, error) {
+		w := work[c.Key]
+		r, err := p.runner(w.env)
+		if err != nil {
+			return nil, err
+		}
+		return r.RunCtx(ctx, w.mutant, iterations, rng)
+	}
+}
+
 // EvaluateEnvironments runs every mutant in every environment on the
 // platform as one campaign and scores the ensemble: per-mutant results
 // are merged across environments (a mutant counts as killed when any
@@ -208,19 +233,7 @@ func (st *Study) EvaluateEnvironmentsCtx(ctx context.Context, p Platform, envs [
 	schedOpts := sched.Options[*harness.Result]{
 		Instances: func(r *harness.Result) int { return r.Instances },
 	}
-	closer, err := applyCampaignOptions(opts, spec, &schedOpts)
-	if err != nil {
-		return nil, err
-	}
-	defer closer()
-	rep, err := sched.RunContext(ctx, spec, func(ctx context.Context, c sched.Cell, rng *xrand.Rand) (*harness.Result, error) {
-		w := work[c.Key]
-		r, err := p.runner(w.env)
-		if err != nil {
-			return nil, err
-		}
-		return r.RunCtx(ctx, w.mutant, iterations, rng)
-	}, schedOpts)
+	rep, err := runCampaign(ctx, spec, st.evaluateExec(p, work, iterations), opts, schedOpts)
 	interrupted := errors.Is(err, sched.ErrInterrupted)
 	if err != nil && !interrupted {
 		return nil, err
@@ -304,6 +317,36 @@ func (st *Study) FleetConformanceSpec(platforms []Platform, seed uint64) (sched.
 	return spec, err
 }
 
+// conformanceExec returns the cell executor of a fleet conformance
+// campaign — shared verbatim between local runs and distributed
+// workers, so a leased cell computes exactly what a local scheduler
+// would.
+func (st *Study) conformanceExec(env harness.Params, work map[string]confCell, iterations int) sched.Exec[Finding] {
+	return func(ctx context.Context, c sched.Cell, rng *xrand.Rand) (Finding, error) {
+		w := work[c.Key]
+		r, err := w.platform.runner(env)
+		if err != nil {
+			return Finding{}, err
+		}
+		res, err := r.RunCtx(ctx, w.test, iterations, rng)
+		if err != nil {
+			return Finding{}, err
+		}
+		f := Finding{
+			Test:          w.test.Name,
+			Mutator:       w.test.Mutator,
+			Instances:     res.Instances,
+			Violations:    res.Violations,
+			ViolationRate: res.ViolationRate(),
+		}
+		if res.FirstViolation != nil {
+			f.Outcome = res.FirstViolation.Key()
+			f.Explanation = explainViolation(w.test, *res.FirstViolation)
+		}
+		return f, nil
+	}
+}
+
 // CheckFleetConformance runs the conformance suite on every platform
 // as one campaign and returns one report per platform, in input order.
 // This is the fleet-wide version of CheckConformance: all
@@ -326,34 +369,7 @@ func (st *Study) CheckFleetConformanceCtx(ctx context.Context, platforms []Platf
 	schedOpts := sched.Options[Finding]{
 		Instances: func(f Finding) int { return f.Instances },
 	}
-	closer, err := applyCampaignOptions(opts, spec, &schedOpts)
-	if err != nil {
-		return nil, err
-	}
-	defer closer()
-	rep, err := sched.RunContext(ctx, spec, func(ctx context.Context, c sched.Cell, rng *xrand.Rand) (Finding, error) {
-		w := work[c.Key]
-		r, err := w.platform.runner(env)
-		if err != nil {
-			return Finding{}, err
-		}
-		res, err := r.RunCtx(ctx, w.test, iterations, rng)
-		if err != nil {
-			return Finding{}, err
-		}
-		f := Finding{
-			Test:          w.test.Name,
-			Mutator:       w.test.Mutator,
-			Instances:     res.Instances,
-			Violations:    res.Violations,
-			ViolationRate: res.ViolationRate(),
-		}
-		if res.FirstViolation != nil {
-			f.Outcome = res.FirstViolation.Key()
-			f.Explanation = explainViolation(w.test, *res.FirstViolation)
-		}
-		return f, nil
-	}, schedOpts)
+	rep, err := runCampaign(ctx, spec, st.conformanceExec(env, work, iterations), opts, schedOpts)
 	interrupted := errors.Is(err, sched.ErrInterrupted)
 	if err != nil && !interrupted {
 		return nil, err

@@ -1,0 +1,154 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// netError is a transient transport failure injected by
+// FaultTransport — what a dropped request or a lost reply looks like
+// to the worker.
+type netError struct {
+	op string
+	n  int
+}
+
+func (e *netError) Error() string {
+	return fmt.Sprintf("dist: simulated network fault: %s at rpc %d", e.op, e.n)
+}
+
+// FaultPlan schedules deterministic transport faults by 1-based RPC
+// ordinal, mirroring diskio.FaultFS's crash-at-Nth-op model so chaos
+// tests can enumerate every RPC boundary.
+type FaultPlan struct {
+	// DropAt: the request never reaches the coordinator; the worker
+	// sees a network error.
+	DropAt map[int]bool
+	// LoseReplyAt: the coordinator processes the request but the
+	// response is lost (the "torn" case — observable side effects with
+	// an error at the caller).
+	LoseReplyAt map[int]bool
+	// DuplicateAt: the request is applied twice (a retransmit the
+	// coordinator must absorb idempotently); the worker sees the
+	// second response.
+	DuplicateAt map[int]bool
+	// DelayAt: the request is applied but the worker stalls in Delay
+	// before seeing the response — long enough, typically, for its
+	// lease to expire server-side.
+	DelayAt map[int]bool
+	// Delay implements DelayAt's stall (tests advance a fake clock).
+	Delay func()
+	// CrashAt, when positive, kills the worker at that RPC: it and
+	// every later call return ErrWorkerCrashed without reaching the
+	// coordinator.
+	CrashAt int
+	// PartitionFrom, when positive, persistently partitions the
+	// worker from that RPC on: every call from then on is dropped.
+	PartitionFrom int
+}
+
+// FaultTransport wraps a Transport and injects the plan's faults.
+type FaultTransport struct {
+	inner Transport
+	plan  FaultPlan
+
+	mu  sync.Mutex
+	ops int
+}
+
+// NewFaultTransport wraps inner with the fault plan.
+func NewFaultTransport(inner Transport, plan FaultPlan) *FaultTransport {
+	return &FaultTransport{inner: inner, plan: plan}
+}
+
+// Ops returns how many RPCs the worker has attempted so far — chaos
+// tests run once fault-free to learn the boundary count, then
+// enumerate it.
+func (t *FaultTransport) Ops() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ops
+}
+
+// verdicts for one RPC attempt.
+type faultVerdict int
+
+const (
+	faultPass faultVerdict = iota
+	faultDrop
+	faultLose
+	faultDupe
+	faultDelay
+	faultCrash
+)
+
+func (t *FaultTransport) gate() (faultVerdict, int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ops++
+	n := t.ops
+	p := t.plan
+	switch {
+	case p.CrashAt > 0 && n >= p.CrashAt:
+		return faultCrash, n
+	case p.PartitionFrom > 0 && n >= p.PartitionFrom:
+		return faultDrop, n
+	case p.DropAt[n]:
+		return faultDrop, n
+	case p.LoseReplyAt[n]:
+		return faultLose, n
+	case p.DuplicateAt[n]:
+		return faultDupe, n
+	case p.DelayAt[n]:
+		return faultDelay, n
+	}
+	return faultPass, n
+}
+
+// faulted runs one RPC through the plan. apply invokes the inner
+// transport; it is skipped for drops, invoked-then-discarded for
+// lost replies, and invoked twice for duplicates.
+func faulted[T any](t *FaultTransport, apply func() (T, error)) (T, error) {
+	var zero T
+	switch v, n := t.gate(); v {
+	case faultCrash:
+		return zero, ErrWorkerCrashed
+	case faultDrop:
+		return zero, &netError{op: "request dropped", n: n}
+	case faultLose:
+		if _, err := apply(); err != nil {
+			return zero, err
+		}
+		return zero, &netError{op: "reply lost", n: n}
+	case faultDupe:
+		if _, err := apply(); err != nil {
+			return zero, err
+		}
+		return apply()
+	case faultDelay:
+		out, err := apply()
+		if t.plan.Delay != nil {
+			t.plan.Delay()
+		}
+		return out, err
+	default:
+		return apply()
+	}
+}
+
+func (t *FaultTransport) Info(ctx context.Context) (*WorkInfo, error) {
+	return faulted(t, func() (*WorkInfo, error) { return t.inner.Info(ctx) })
+}
+
+func (t *FaultTransport) Acquire(ctx context.Context, req AcquireRequest) (*AcquireResponse, error) {
+	return faulted(t, func() (*AcquireResponse, error) { return t.inner.Acquire(ctx, req) })
+}
+
+func (t *FaultTransport) Renew(ctx context.Context, req RenewRequest) (*RenewResponse, error) {
+	return faulted(t, func() (*RenewResponse, error) { return t.inner.Renew(ctx, req) })
+}
+
+func (t *FaultTransport) Deliver(ctx context.Context, req DeliverRequest) (*DeliverResponse, error) {
+	return faulted(t, func() (*DeliverResponse, error) { return t.inner.Deliver(ctx, req) })
+}

@@ -110,6 +110,51 @@ func (w *breakerWalk) outcome(ok bool) {
 	}
 }
 
+// Breaker is the breaker state machine as a standalone, concurrency-
+// safe component, for callers that quarantine something other than a
+// device cell stream — the distributed coordinator applies one per
+// worker, so a worker whose leases repeatedly expire or fail is
+// starved of new ranges the same way a failing device is starved of
+// cells. Allow consumes one cooldown slot when the breaker is open
+// (mirroring how a quarantined device skips cells), so after Cooldown
+// refusals the next Allow is probation: its Observe verdict closes or
+// re-opens the breaker.
+type Breaker struct {
+	mu   sync.Mutex
+	walk breakerWalk
+}
+
+// NewBreaker returns a closed breaker with the options' thresholds.
+func NewBreaker(opts BreakerOptions) *Breaker {
+	return &Breaker{walk: breakerWalk{opts: opts}}
+}
+
+// Allow reports whether the next unit of work may proceed; a refusal
+// consumes one cooldown slot.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.walk.quarantine() {
+		b.walk.skip()
+		return false
+	}
+	return true
+}
+
+// Observe records the outcome of a unit of work that was allowed.
+func (b *Breaker) Observe(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.walk.outcome(ok)
+}
+
+// Open reports whether the breaker is currently refusing work.
+func (b *Breaker) Open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.walk.quarantine()
+}
+
 // fleetBreaker tracks live per-device resolutions so workers can skip
 // quarantined cells without executing them when the verdict is already
 // decidable (all earlier cells on the device resolved). When it is not,

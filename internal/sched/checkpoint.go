@@ -321,6 +321,15 @@ func (c *Checkpoint) record(key string, value any) error {
 	if err != nil {
 		return fmt.Errorf("sched: checkpoint %s: %w", key, err)
 	}
+	return c.RecordRaw(key, raw)
+}
+
+// RecordRaw is record for values that are already encoded: the raw
+// JSON is written verbatim, so a record that round-tripped through
+// another process (a distributed worker's segment) checkpoints
+// byte-identically to one produced locally. The distributed
+// coordinator uses it to persist incoming segments.
+func (c *Checkpoint) RecordRaw(key string, raw json.RawMessage) error {
 	line, err := json.Marshal(checkpointRecord{Key: key, Value: raw, CRC: crcHex(raw)})
 	if err != nil {
 		return fmt.Errorf("sched: checkpoint %s: %w", key, err)

@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Segment is one settled cell in wire form: the unit a distributed
+// worker delivers to its coordinator, and the unit the coordinator
+// merges into a report. It is deliberately shaped like a checkpoint
+// record — an encoded value keyed by cell identity — so the two
+// durability paths (local JSONL checkpoint, remote segment delivery)
+// carry the same information and compose: the coordinator persists
+// accepted segments with Checkpoint.RecordRaw and seeds replayed
+// checkpoint records back in as segments.
+//
+// A segment exists only for cells that resolved: succeeded (Value
+// set) or permanently failed (Err set). Interrupted and aborted cells
+// produce no segment — they are pending, and a missing segment is how
+// AssembleReport knows a cell is still owed.
+type Segment struct {
+	// Key is the cell key within the campaign spec.
+	Key string `json:"key"`
+	// Value is the cell's encoded result; empty when Err is set.
+	Value json.RawMessage `json:"value,omitempty"`
+	// Err is the permanent failure rendered as text; empty on success.
+	Err string `json:"err,omitempty"`
+	// Attempts counts executions, so retry accounting survives the trip.
+	Attempts int `json:"attempts,omitempty"`
+	// Replayed marks segments restored from a checkpoint rather than
+	// executed this run. Workers never set it; the coordinator does,
+	// when seeding a resumed campaign.
+	Replayed bool `json:"replayed,omitempty"`
+}
+
+// SubSpec returns the spec restricted to the cells at the given spec
+// indexes, preserving Name and Seed — and therefore every cell's
+// split-seed RNG stream. A worker running a sub-spec produces
+// per-cell results identical to the full campaign's, which is the
+// invariant that makes distributed merge byte-identical.
+func SubSpec(spec Spec, indexes []int) (Spec, error) {
+	sub := Spec{Name: spec.Name, Seed: spec.Seed, Cells: make([]Cell, 0, len(indexes))}
+	for _, i := range indexes {
+		if i < 0 || i >= len(spec.Cells) {
+			return Spec{}, fmt.Errorf("sched: sub-spec index %d outside campaign %q (%d cells)", i, spec.Name, len(spec.Cells))
+		}
+		sub.Cells = append(sub.Cells, spec.Cells[i])
+	}
+	return sub, sub.Validate()
+}
+
+// ExportSegments flattens a report's resolved cells into segments.
+// Interrupted and aborted cells are skipped — they carry no result to
+// deliver — so exporting a drained partial report is safe: the
+// coordinator re-issues whatever is missing.
+func ExportSegments[R any](rep *Report[R]) ([]Segment, error) {
+	segs := make([]Segment, 0, len(rep.Results))
+	for _, r := range rep.Results {
+		if r.Interrupted || (r.Err != nil && errors.Is(r.Err, ErrAborted)) {
+			continue
+		}
+		seg := Segment{Key: r.Cell.Key, Attempts: r.Attempts, Replayed: r.Replayed}
+		if r.Err != nil {
+			seg.Err = r.Err.Error()
+		} else {
+			raw, err := json.Marshal(r.Value)
+			if err != nil {
+				return nil, fmt.Errorf("sched: encode segment %s: %w", r.Cell.Key, err)
+			}
+			seg.Value = raw
+		}
+		segs = append(segs, seg)
+	}
+	return segs, nil
+}
+
+// AssembleReport reconstructs a campaign report from delivered
+// segments. Cells without a segment are marked Interrupted — pending,
+// exactly like cells abandoned by a local drain. When breaker is
+// non-nil the same deterministic post-pass a local breaker run ends
+// with settles quarantine verdicts, so per-cell records, Failed,
+// Quarantined, Retried and Health are identical to a single-process
+// run of the same spec. (Executed and Replayed describe the work this
+// assembly actually saw — a distributed run may execute cells a local
+// breaker would have skipped live — and are not part of the
+// byte-identity contract; no artifact encodes them.)
+func AssembleReport[R any](spec Spec, segs map[string]Segment, breaker *BreakerOptions) (*Report[R], error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report[R]{Spec: spec, Results: make([]CellResult[R], len(spec.Cells))}
+	for i, cell := range spec.Cells {
+		r := &rep.Results[i]
+		r.Cell = cell
+		seg, ok := segs[cell.Key]
+		if !ok {
+			// Mirror the local drain exactly: a missing segment is a
+			// pending cell, carrying the bare sentinel.
+			r.Err = ErrInterrupted
+			r.Interrupted = true
+			rep.Interrupted++
+			continue
+		}
+		if seg.Replayed {
+			if err := json.Unmarshal(seg.Value, &r.Value); err != nil {
+				return nil, fmt.Errorf("sched: decode replayed segment %s: %w", cell.Key, err)
+			}
+			r.Replayed = true
+			rep.Replayed++
+			continue
+		}
+		r.Attempts = seg.Attempts
+		rep.Executed++
+		if seg.Err != "" {
+			r.Err = errors.New(seg.Err)
+			rep.Failed++
+		} else if err := json.Unmarshal(seg.Value, &r.Value); err != nil {
+			return nil, fmt.Errorf("sched: decode segment %s: %w", cell.Key, err)
+		}
+		if seg.Attempts > 1 {
+			rep.Retried += seg.Attempts - 1
+		}
+	}
+	if breaker != nil {
+		applyBreaker(rep, *breaker)
+	}
+	return rep, nil
+}

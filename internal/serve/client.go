@@ -7,7 +7,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -15,6 +17,14 @@ import (
 // Client is a minimal Go client for the campaign server API — what
 // the loadgen example and the integration tests drive the server
 // with.
+//
+// Requests are retried transparently. Every API call is idempotent —
+// submission is content-addressed (the same spec maps to the same job),
+// reads are reads, and cancellation converges — so a 429 (admission
+// pushback), a 503 (draining peer behind a balancer) or a transient
+// transport error is retried with capped jittered exponential backoff,
+// honoring the server's Retry-After header when present. Callers see
+// only the final outcome.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
@@ -23,6 +33,21 @@ type Client struct {
 	APIKey string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+
+	// MaxRetries bounds retry attempts after the first try; 0 means 4,
+	// negative disables retrying.
+	MaxRetries int
+	// RetryBase and RetryCap shape the backoff: full jitter over an
+	// exponentially growing delay, never below RetryBase/2 nor above
+	// RetryCap. Defaults 100ms and 2s. A Retry-After header overrides
+	// the computed delay, still capped at RetryCap.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// Sleep overrides backoff waiting (tests capture delays); nil means
+	// a context-aware real sleep.
+	Sleep func(time.Duration)
+	// Rand is the jitter source in [0, 1); nil means math/rand.
+	Rand func() float64
 }
 
 // APIError is a non-2xx response decoded from the server's JSON error
@@ -43,20 +68,130 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
+// maxRetries resolves the retry budget (attempts after the first).
+func (c *Client) maxRetries() int {
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	if c.MaxRetries == 0 {
+		return 4
+	}
+	return c.MaxRetries
+}
+
+// backoff computes the delay before retry number attempt (0-based):
+// Retry-After when the server named one, else full-jittered exponential
+// growth; both capped at RetryCap.
+func (c *Client) backoff(attempt int, retryAfter string) time.Duration {
+	base, cap := c.RetryBase, c.RetryCap
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 2 * time.Second
+	}
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+			d := time.Duration(secs) * time.Second
+			if d > cap {
+				d = cap
+			}
+			return d
+		}
+	}
+	d := base << uint(attempt)
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	rnd := c.Rand
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	// Full jitter over [d/2, d]: desynchronizes a fleet of clients
+	// hammering a recovering server without collapsing the wait to 0.
+	return d/2 + time.Duration(rnd()*float64(d/2))
+}
+
+// sleep waits out a backoff delay, returning early on ctx cancellation.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retryStatus reports response codes worth retrying: admission
+// pushback (429) and unavailability (503), both of which mean the
+// request was refused before any work happened.
+func retryStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// roundTrip issues one request with retries, rebuilding the body each
+// attempt. The caller owns the returned response body. Transport-level
+// errors are treated as transient (safe because the API is idempotent);
+// a live non-retryable response — success or a real error — is final.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	max := c.maxRetries()
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if c.APIKey != "" {
+			req.Header.Set("X-API-Key", c.APIKey)
+		}
+		resp, err := c.http().Do(req)
+		retryAfter := ""
+		switch {
+		case err != nil:
+			if ctx.Err() != nil || attempt >= max {
+				return nil, err
+			}
+		case retryStatus(resp.StatusCode) && attempt < max:
+			retryAfter = resp.Header.Get("Retry-After")
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+		default:
+			return resp, nil
+		}
+		if err := c.sleep(ctx, c.backoff(attempt, retryAfter)); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// apiError translates a non-2xx body into *APIError.
+func apiError(code int, data []byte) error {
+	var eb struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(data))
+	if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+		msg = eb.Error
+	}
+	return &APIError{StatusCode: code, Message: msg}
+}
+
 // do issues a request and decodes a JSON response into out (when
 // non-nil), translating error bodies into *APIError.
-func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	if c.APIKey != "" {
-		req.Header.Set("X-API-Key", c.APIKey)
-	}
-	resp, err := c.http().Do(req)
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	resp, err := c.roundTrip(ctx, method, path, body)
 	if err != nil {
 		return err
 	}
@@ -66,14 +201,7 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 		return err
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var eb struct {
-			Error string `json:"error"`
-		}
-		msg := strings.TrimSpace(string(data))
-		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			msg = eb.Error
-		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		return apiError(resp.StatusCode, data)
 	}
 	if out == nil {
 		return nil
@@ -89,7 +217,7 @@ func (c *Client) Submit(ctx context.Context, spec JobSpec) (*SubmitResponse, err
 		return nil, err
 	}
 	var out SubmitResponse
-	if err := c.do(ctx, http.MethodPost, "/api/v1/jobs", bytes.NewReader(body), &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/api/v1/jobs", body, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -118,14 +246,7 @@ func (c *Client) Jobs(ctx context.Context) ([]*Job, error) {
 // Report fetches a completed job's artifact bytes — byte-identical to
 // the CLI's -out file for the same spec.
 func (c *Client) Report(ctx context.Context, id string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/api/v1/jobs/"+id+"/report", nil)
-	if err != nil {
-		return nil, err
-	}
-	if c.APIKey != "" {
-		req.Header.Set("X-API-Key", c.APIKey)
-	}
-	resp, err := c.http().Do(req)
+	resp, err := c.roundTrip(ctx, http.MethodGet, "/api/v1/jobs/"+id+"/report", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -135,14 +256,7 @@ func (c *Client) Report(ctx context.Context, id string) ([]byte, error) {
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		var eb struct {
-			Error string `json:"error"`
-		}
-		msg := strings.TrimSpace(string(data))
-		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			msg = eb.Error
-		}
-		return nil, &APIError{StatusCode: resp.StatusCode, Message: msg}
+		return nil, apiError(resp.StatusCode, data)
 	}
 	return data, nil
 }
@@ -184,28 +298,17 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*Job,
 // returns a non-nil error, or ctx is cancelled. A nil return means
 // the stream ended normally.
 func (c *Client) Events(ctx context.Context, id string, fn func(name string, data json.RawMessage) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/api/v1/jobs/"+id+"/events", nil)
-	if err != nil {
-		return err
-	}
-	if c.APIKey != "" {
-		req.Header.Set("X-API-Key", c.APIKey)
-	}
-	resp, err := c.http().Do(req)
+	// Connection establishment retries like any other call; a stream
+	// that dies mid-flight is not resumed (events are cumulative — the
+	// caller reconnects and the replay catches it up).
+	resp, err := c.roundTrip(ctx, http.MethodGet, "/api/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		var eb struct {
-			Error string `json:"error"`
-		}
-		msg := strings.TrimSpace(string(data))
-		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			msg = eb.Error
-		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		return apiError(resp.StatusCode, data)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)

@@ -36,6 +36,14 @@ func (s *Server) plan(js *JobSpec) (*jobPlan, error) {
 			return nil, fmt.Errorf("unknown device %q", d)
 		}
 	}
+	if js.Distributed {
+		if s.dist == nil {
+			return nil, fmt.Errorf("distributed execution is not enabled on this server")
+		}
+		if js.Kind == "tune" {
+			return nil, fmt.Errorf("tune jobs cannot run distributed")
+		}
+	}
 	switch js.Kind {
 	case "conformance":
 		if err := checkEnvs(js.Envs); err != nil {
@@ -102,6 +110,31 @@ func platformsOf(js *JobSpec) []core.Platform {
 		platforms = append(platforms, p)
 	}
 	return platforms
+}
+
+// distOptions builds a distributed job's per-campaign coordinator
+// options: the hub registration name and the wire descriptor workers
+// rebuild the campaign from.
+func (s *Server) distOptions(js *JobSpec, name string, devices []string) (*core.DistOptions, error) {
+	ws := core.WorkSpec{
+		Kind:     js.Kind,
+		Devices:  devices,
+		Envs:     append([]string(nil), js.Envs...),
+		Iters:    js.Iters,
+		Seed:     js.Seed,
+		FenceBug: js.FenceBug,
+	}
+	desc, err := ws.Descriptor()
+	if err != nil {
+		return nil, err
+	}
+	return &core.DistOptions{
+		Hub:        s.dist,
+		Name:       name,
+		Descriptor: desc,
+		LeaseTTL:   s.cfg.DistLeaseTTL,
+		Logf:       s.cfg.Logf,
+	}, nil
 }
 
 // tuneConfigOf builds the tuning config the CLI's tune verb would:
@@ -221,6 +254,13 @@ func (s *Server) execute(ctx context.Context, job *Job, onProgress func(sched.Pr
 	switch js.Kind {
 	case "conformance":
 		opts.OnProgress = agg.hook()
+		if js.Distributed {
+			d, err := s.distOptions(&js, job.ID, js.Devices)
+			if err != nil {
+				return nil, err
+			}
+			opts.Dist = d
+		}
 		env, err := core.EnvByName(js.Envs[0], 16, 32)
 		if err != nil {
 			return nil, err
@@ -271,6 +311,16 @@ func (s *Server) execute(ctx context.Context, job *Job, onProgress func(sched.Pr
 			// One campaign per device; keep their checkpoints apart
 			// (the same suffix scheme the CLI uses).
 			devOpts.CheckpointPath = fmt.Sprintf("%s.%s", opts.CheckpointPath, p.Device)
+			if js.Distributed {
+				// One coordinator per device with a single-device
+				// descriptor, so a worker's locally-planned unit
+				// manifest matches the advertised campaign.
+				d, err := s.distOptions(&js, job.ID+"."+p.Device, []string{p.Device})
+				if err != nil {
+					return nil, err
+				}
+				devOpts.Dist = d
+			}
 			score, err := s.study.EvaluateEnvironmentsCtx(ctx, p, envList, js.Iters, js.Seed, devOpts)
 			interrupted := errors.Is(err, sched.ErrInterrupted)
 			if err != nil && !interrupted {

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// probe GETs a health endpoint and returns the status code and body.
+func probe(t *testing.T, base, path string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("%s body: %v", path, err)
+	}
+	return resp.StatusCode, body
+}
+
+// Liveness and readiness split: a draining server is still alive (the
+// orchestrator must not restart it) but no longer ready (the balancer
+// must stop routing new work to it).
+func TestHealthzLivenessVsReadyz(t *testing.T) {
+	s, c, _ := queuedServer(t, Config{})
+
+	code, body := probe(t, c.BaseURL, "/healthz")
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz = %d %v, want 200 ok", code, body)
+	}
+	code, body = probe(t, c.BaseURL, "/readyz")
+	if code != http.StatusOK || body["ready"] != true {
+		t.Fatalf("readyz = %d %v, want 200 ready", code, body)
+	}
+
+	s.draining.Store(true)
+
+	code, body = probe(t, c.BaseURL, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz while draining = %d, want 200 (liveness)", code)
+	}
+	if body["status"] != "draining" || body["draining"] != true {
+		t.Fatalf("healthz body while draining: %v", body)
+	}
+	code, body = probe(t, c.BaseURL, "/readyz")
+	if code != http.StatusServiceUnavailable || body["ready"] != false {
+		t.Fatalf("readyz while draining = %d %v, want 503 not-ready", code, body)
+	}
+}
+
+// A running job whose checkpoint degraded to in-memory makes the
+// server not-ready: new jobs routed here would lose durability. Jobs
+// that finished degraded long ago must NOT wedge readiness.
+func TestReadyzStorageDegraded(t *testing.T) {
+	s, c, _ := queuedServer(t, Config{})
+
+	s.mu.Lock()
+	s.running["live"] = &runningJob{last: sched.Progress{StorageDegraded: true}}
+	s.mu.Unlock()
+
+	code, body := probe(t, c.BaseURL, "/readyz")
+	if code != http.StatusServiceUnavailable || body["status"] != "storage-degraded" {
+		t.Fatalf("readyz = %d %v, want 503 storage-degraded", code, body)
+	}
+	if body["storage_degraded"] != float64(1) {
+		t.Fatalf("storage_degraded = %v, want 1", body["storage_degraded"])
+	}
+	// Liveness is unaffected.
+	if code, _ := probe(t, c.BaseURL, "/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", code)
+	}
+
+	// The degraded job completes: readiness recovers even though its
+	// terminal record still says storage degraded.
+	s.mu.Lock()
+	delete(s.running, "live")
+	s.mu.Unlock()
+	j := &Job{ID: "old", State: StateDegraded, Summary: &Summary{StorageDegraded: true}}
+	if err := s.store.put(j); err != nil {
+		t.Fatal(err)
+	}
+	code, body = probe(t, c.BaseURL, "/readyz")
+	if code != http.StatusOK || body["ready"] != true {
+		t.Fatalf("readyz after recovery = %d %v, want 200 ready", code, body)
+	}
+}

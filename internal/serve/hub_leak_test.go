@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A subscriber that never reads must not block publish or fan-out to
+// healthy subscribers: publish drops into a full buffer instead of
+// waiting, and finish still closes the stuck channel.
+func TestHubStuckSubscriberDoesNotBlockFanout(t *testing.T) {
+	h := newHub()
+	stuck, cancelStuck := h.subscribe("job")
+	defer cancelStuck()
+	healthy, cancelHealthy := h.subscribe("job")
+	defer cancelHealthy()
+
+	// Far more events than the 16-slot buffer. A blocking publish
+	// would deadlock the test; the watchdog turns that into a failure.
+	published := make(chan struct{})
+	go func() {
+		for i := 0; i < 200; i++ {
+			h.publish("job", event{name: "progress", data: []byte(fmt.Sprintf(`{"i":%d}`, i))})
+			// Keep the healthy subscriber drained so it sees news.
+			select {
+			case <-healthy:
+			default:
+			}
+		}
+		h.finish("job", event{name: "done", data: []byte(`{}`)})
+		close(published)
+	}()
+	select {
+	case <-published:
+	case <-time.After(10 * time.Second):
+		t.Fatal("publish blocked on a stuck subscriber")
+	}
+
+	// Both channels must be closed after finish — the stuck one after
+	// its buffered backlog drains.
+	deadline := time.After(5 * time.Second)
+	drainUntilClosed := func(ch <-chan event) {
+		for {
+			select {
+			case _, ok := <-ch:
+				if !ok {
+					return
+				}
+			case <-deadline:
+				t.Fatal("subscriber channel never closed after finish")
+			}
+		}
+	}
+	drainUntilClosed(stuck)
+	drainUntilClosed(healthy)
+	if h.subs["job"] != nil {
+		t.Fatal("finish left subscribers registered")
+	}
+}
+
+// Cancelling after finish (or twice) must be a no-op, not a double
+// close.
+func TestHubCancelAfterFinishIsIdempotent(t *testing.T) {
+	h := newHub()
+	_, cancel := h.subscribe("job")
+	h.finish("job", event{name: "done", data: []byte(`{}`)})
+	cancel()
+	cancel()
+
+	// A late subscriber replays the terminal event and closes.
+	ch, cancel2 := h.subscribe("job")
+	defer cancel2()
+	if ev, ok := <-ch; !ok || ev.name != "done" {
+		t.Fatalf("late subscriber got %v %v, want done replay", ev, ok)
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("late subscriber channel not closed after done replay")
+	}
+}
+
+// settledGoroutines polls until the goroutine count stops exceeding
+// want, failing after a deadline. SSE handler goroutines unwind
+// asynchronously after a client disconnect.
+func settledGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines settled at %d, want <= %d\n%s", n, want, buf[:runtime.Stack(buf, true)])
+		}
+		runtime.Gosched()
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// An SSE client that connects and walks away — mid-replay or without
+// ever reading — must not leak its handler goroutine.
+func TestSSEDisconnectLeaksNoGoroutines(t *testing.T) {
+	s, c, _ := queuedServer(t, Config{})
+	ctx := context.Background()
+	sub, err := c.Submit(ctx, smallConformance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := sub.Job.ID
+	// Give subscribers a replay event so disconnecting mid-replay is a
+	// real code path, not an idle wait.
+	s.hub.publish(id, event{name: "progress", data: []byte(`{"done":1}`)})
+
+	baseline := runtime.NumGoroutine()
+	const clients = 8
+	for i := 0; i < clients; i++ {
+		cctx, cancel := context.WithCancel(ctx)
+		req, err := http.NewRequestWithContext(cctx, http.MethodGet, c.BaseURL+"/api/v1/jobs/"+id+"/events", nil)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			// Half the clients read through the replay before leaving;
+			// the rest never read a byte.
+			br := bufio.NewReader(resp.Body)
+			line, err := br.ReadString('\n')
+			if err != nil || !strings.HasPrefix(line, "event: ") {
+				t.Fatalf("first SSE line: %q %v", line, err)
+			}
+		}
+		cancel()
+		resp.Body.Close()
+	}
+
+	// Handlers unwind asynchronously after the client side closes:
+	// poll until every dead subscriber is unregistered.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.hub.mu.Lock()
+		live := len(s.hub.subs[id])
+		s.hub.mu.Unlock()
+		if live == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hub retains %d subscribers after disconnect storm", live)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	settledGoroutines(t, baseline)
+
+	// Fan-out still works: a fresh subscriber sees the replayed
+	// snapshot.
+	ch, cancel := s.hub.subscribe(id)
+	defer cancel()
+	select {
+	case ev := <-ch:
+		if ev.name != "progress" {
+			t.Fatalf("replay event = %q, want progress", ev.name)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fresh subscriber saw no replay after disconnect storm")
+	}
+}

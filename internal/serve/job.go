@@ -92,6 +92,13 @@ type JobSpec struct {
 	TuneEnvs  int `json:"tune_envs,omitempty"`
 	SiteIters int `json:"site_iters,omitempty"`
 	PTEIters  int `json:"pte_iters,omitempty"`
+
+	// Distributed runs the job as a campaign coordinator: cells are
+	// leased to `mcmutants work` processes over the server's /dist/v1/
+	// API instead of executing on the runner. Requires the server's
+	// distributed mode (Config.EnableDist); not supported for tune.
+	// The artifact is byte-identical to a local run of the same spec.
+	Distributed bool `json:"distributed,omitempty"`
 }
 
 // normalize fills CLI-equivalent defaults in place. It runs before
@@ -194,9 +201,9 @@ func summaryOf(p sched.Progress) *Summary {
 // Job is one tracked submission: the API's job resource and the
 // record persisted under <state>/jobs/<id>.json.
 type Job struct {
-	ID     string  `json:"id"`
-	Spec   JobSpec `json:"spec"`
-	Client string  `json:"client,omitempty"`
+	ID     string   `json:"id"`
+	Spec   JobSpec  `json:"spec"`
+	Client string   `json:"client,omitempty"`
 	State  JobState `json:"state"`
 	// Error carries the fatal cause when State is failed.
 	Error string `json:"error,omitempty"`

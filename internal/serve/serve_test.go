@@ -421,8 +421,8 @@ func TestValidationRejects(t *testing.T) {
 	_, c, _ := queuedServer(t, Config{})
 	ctx := context.Background()
 	cases := []JobSpec{
-		{},                              // no kind
-		{Kind: "bogus"},                 // unknown kind
+		{},              // no kind
+		{Kind: "bogus"}, // unknown kind
 		{Kind: "conformance", Devices: []string{"NoSuchGPU"}},
 		{Kind: "evaluate", Envs: []string{"warp-drive"}},
 		{Kind: "tune", TuneEnvs: -1},

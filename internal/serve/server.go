@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/diskio"
+	"repro/internal/dist"
 	"repro/internal/gpu"
 	"repro/internal/sched"
 )
@@ -45,6 +46,15 @@ type Config struct {
 	// ProgressEvery is the cadence of progress snapshots feeding the
 	// SSE hub and metrics. Default sched.DefaultProgressEvery.
 	ProgressEvery time.Duration
+	// EnableDist mounts the distributed-coordination API (/dist/v1/)
+	// and accepts jobs with "distributed": true — such jobs register a
+	// campaign coordinator instead of executing cells locally, and
+	// `mcmutants work` processes pointed at this server execute the
+	// leased ranges. The artifact stays byte-identical either way.
+	EnableDist bool
+	// DistLeaseTTL is the worker lease deadline for distributed jobs.
+	// Default 10s.
+	DistLeaseTTL time.Duration
 	// FS is the filesystem seam for all durable writes; nil means the
 	// real filesystem. Tests inject a fault model.
 	FS diskio.FS
@@ -75,6 +85,7 @@ type Server struct {
 	store   *store
 	hub     *hub
 	metrics *metrics
+	dist    *dist.Hub // nil unless Config.EnableDist
 	mux     *http.ServeMux
 
 	qmu   sync.Mutex
@@ -117,6 +128,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ProgressEvery <= 0 {
 		cfg.ProgressEvery = sched.DefaultProgressEvery
 	}
+	if cfg.DistLeaseTTL <= 0 {
+		cfg.DistLeaseTTL = 10 * time.Second
+	}
 	if cfg.FS == nil {
 		cfg.FS = diskio.OS{}
 	}
@@ -140,6 +154,9 @@ func New(cfg Config) (*Server, error) {
 		metrics: newMetrics(),
 		running: map[string]*runningJob{},
 		drainCh: make(chan struct{}),
+	}
+	if cfg.EnableDist {
+		s.dist = dist.NewHub()
 	}
 	s.qcond = sync.NewCond(&s.qmu)
 	s.routes()
@@ -458,7 +475,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.dist != nil {
+		s.mux.Handle("/dist/v1/", s.dist)
+	}
 }
 
 // Handler exposes the API mux (tests drive it via httptest).
@@ -717,21 +738,61 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealthz is liveness: the process is up and serving HTTP, so it
+// always answers 200 — a draining server is still alive and must not be
+// restarted by a liveness probe mid-drain. The body carries the same
+// readiness detail /readyz gates on, for humans and scrapers.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	running := len(s.running)
-	s.mu.Unlock()
-	body := map[string]any{
-		"status":  "ok",
-		"queued":  s.queueDepth(),
-		"running": running,
-	}
+	status, _, body := s.health()
+	body["status"] = status
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleReadyz is readiness: 503 while draining (admission is closed)
+// or while any job's checkpoint storage is degraded, so a load balancer
+// stops routing new submissions to a server that would refuse or
+// mishandle them; 200 otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	status, ready, body := s.health()
+	body["status"] = status
+	body["ready"] = ready
 	code := http.StatusOK
-	if s.draining.Load() {
-		body["status"] = "draining"
+	if !ready {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, body)
+}
+
+// health gathers the shared liveness/readiness detail: a status word,
+// the readiness verdict, and the body fields both endpoints report.
+// The storage gate counts currently-running jobs whose checkpoints have
+// degraded to in-memory — a live signal the state disk is failing — not
+// historical degraded jobs, so readiness recovers once they finish.
+func (s *Server) health() (status string, ready bool, body map[string]any) {
+	s.mu.Lock()
+	running := len(s.running)
+	degraded := 0
+	for _, rj := range s.running {
+		if rj.last.StorageDegraded {
+			degraded++
+		}
+	}
+	s.mu.Unlock()
+	draining := s.draining.Load()
+	body = map[string]any{
+		"queued":           s.queueDepth(),
+		"running":          running,
+		"draining":         draining,
+		"storage_degraded": degraded,
+	}
+	switch {
+	case draining:
+		return "draining", false, body
+	case degraded > 0:
+		return "storage-degraded", false, body
+	default:
+		return "ok", true, body
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
