@@ -87,6 +87,51 @@ func TestCampaignDistributedByteIdentical(t *testing.T) {
 	}
 }
 
+// TestWorkProfilesWritten: a worker carrying -cpuprofile/-memprofile
+// publishes both profiles when it exits — here via the -once drain
+// path, the common way a distributed worker terminates.
+func TestWorkProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "dist.json")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+
+	addr := freeAddr(t)
+	coordDone := make(chan error, 1)
+	go func() {
+		coordDone <- run([]string{
+			"campaign", "-kind", "conformance", "-devices", "AMD",
+			"-envs", "pte", "-iters", "1", "-seed", "3", "-quiet",
+			"-out", out, "-workers-addr", addr, "-lease-ttl", "30s"})
+	}()
+	workErr := dispatch(context.Background(), []string{
+		"work", "-coordinator", "http://" + addr, "-id", "wprof",
+		"-poll", "25ms", "-once", "-quiet",
+		"-cpuprofile", cpu, "-memprofile", mem})
+	select {
+	case err := <-coordDone:
+		if err != nil {
+			t.Fatalf("distributed campaign: %v", err)
+		}
+	case <-time.After(3 * time.Minute):
+		t.Fatal("distributed campaign timed out")
+	}
+	if workErr != nil {
+		t.Fatalf("worker: %v", workErr)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile not written: %v", err)
+		} else if fi.Size() == 0 {
+			t.Errorf("%s: empty profile", p)
+		}
+	}
+	if _, err := os.Stat(cpu + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("cpu profile temp file left behind")
+	}
+}
+
 // TestWorkFlagErrors rejects unusable worker and coordinator flags up
 // front, before any polling or campaign work.
 func TestWorkFlagErrors(t *testing.T) {
@@ -94,6 +139,7 @@ func TestWorkFlagErrors(t *testing.T) {
 		{"work"}, // missing -coordinator
 		{"work", "-coordinator", "http://x", "-parallel", "0"},
 		{"work", "-coordinator", "http://x", "-poll", "0s"},
+		{"work", "-coordinator", "http://x", "-cpuprofile", filepath.Join("no", "such", "dir", "cpu.pprof")},
 		{"campaign", "-kind", "conformance", "-workers-addr", "127.0.0.1:0", "-lease-ttl", "0s"},
 		{"campaign", "-kind", "conformance", "-workers-addr", "127.0.0.1:0", "-range-cells", "0"},
 		{"campaign", "-kind", "conformance", "-workers-addr", "127.0.0.1:0", "-stall-timeout", "-1s"},

@@ -121,6 +121,7 @@ func cmdWork(ctx context.Context, args []string) error {
 	poll := fs.Duration("poll", 2*time.Second, "campaign directory poll interval")
 	once := fs.Bool("once", false, "exit once work is drained and the coordinator has no more campaigns (or goes away)")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
+	pf := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -133,6 +134,17 @@ func cmdWork(ctx context.Context, args []string) error {
 	if *poll <= 0 {
 		return fmt.Errorf("-poll must be positive")
 	}
+	if err := probeOutputPaths(*pf.cpu, *pf.mem); err != nil {
+		return err
+	}
+	// Workers are the hot processes of a distributed campaign, so they
+	// get the same profiling story as campaign|tune. stop runs on every
+	// exit path — drain, coordinator loss, and interrupt included.
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	if *id == "" {
 		host, err := os.Hostname()
 		if err != nil || host == "" {

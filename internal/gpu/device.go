@@ -2,7 +2,6 @@ package gpu
 
 import (
 	"context"
-	"fmt"
 
 	"repro/internal/xrand"
 )
@@ -138,746 +137,4 @@ func (d *Device) RunCtx(ctx context.Context, spec LaunchSpec, rng *xrand.Rand) (
 		corruptResult(res, frng)
 	}
 	return res, nil
-}
-
-// ---- executor ----
-
-// completionEvent is one memory operation finishing.
-type completionEvent struct {
-	time int64
-	seq  int64 // tie-break: issue order
-	tid  int32
-	idx  int32
-}
-
-// locAssign remembers the latest assigned completion time per address a
-// thread has touched, for program-order-per-location enforcement.
-type locAssign struct {
-	addr   uint32
-	isLoad bool
-	time   int64
-}
-
-type threadState struct {
-	id          int
-	wg          int
-	prog        Program
-	pc          int
-	regs        []uint32
-	outstanding int
-	locs        []locAssign
-	atBarrier   bool
-	done        bool
-}
-
-func (t *threadState) loc(addr uint32) *locAssign {
-	for i := range t.locs {
-		if t.locs[i].addr == addr {
-			return &t.locs[i]
-		}
-	}
-	return nil
-}
-
-type warpState struct {
-	threads []*threadState
-}
-
-// anyRunnable reports whether some thread could plausibly issue.
-func (w *warpState) anyRunnable() bool {
-	for _, t := range w.threads {
-		if !t.done && !t.atBarrier && t.pc < len(t.prog) {
-			return true
-		}
-	}
-	return false
-}
-
-type wgState struct {
-	id      int
-	cu      int
-	active  int // threads not yet retired
-	arrived int // threads waiting at the current barrier
-	threads []*threadState
-}
-
-type cuState struct {
-	id        int
-	warps     []*warpState
-	freeSlots int
-	cache     map[uint32][]uint32
-	cacheFIFO []uint32
-}
-
-type exec struct {
-	d    *Device
-	rng  *xrand.Rand
-	spec LaunchSpec
-
-	// ctx, when non-nil, is the launch's cancellation context; run()
-	// polls it on a coarse step budget. It is set around run() by RunCtx
-	// and cleared afterward so the scratch never retains a caller's ctx.
-	ctx context.Context
-
-	mem     []uint32
-	threads []*threadState
-	wgs     []*wgState
-	cus     []*cuState
-
-	// regArena is the flat backing store for every thread's register
-	// file; reset carves per-thread windows out of it instead of a
-	// per-thread make.
-	regArena []uint32
-
-	pendingWGs []int // workgroups awaiting a CU slot
-
-	heap []completionEvent
-	seq  int64
-	now  int64
-
-	inFlight     int
-	lineInFlight map[uint32]int
-
-	retired int
-	stats   RunStats
-
-	candBuf []*warpState // scratch for scheduler candidates
-
-	// warpPool holds every warp object this executor has ever handed
-	// out; warpUsed is the prefix in use by the current run. Reset just
-	// rewinds warpUsed, so steady-state admission allocates nothing.
-	warpPool []*warpState
-	warpUsed int
-
-	// lineBufs is a free list of cache-line staging buffers, refilled
-	// on eviction and reset so fillLine stops allocating per line.
-	lineBufs [][]uint32
-
-	// regsOut and res are the result scratch returned to the caller;
-	// both are overwritten by the next run.
-	regsOut [][]uint32
-	res     RunResult
-
-	// tracing gates event recording. Call sites guard emit with it so
-	// the tracing-off hot path pays one branch and never constructs
-	// (or heap-allocates for) the event value.
-	tracing bool
-	trace   []TraceEvent
-}
-
-// emit records a trace event. Callers must check e.tracing first; emit
-// itself appends unconditionally.
-func (e *exec) emit(ev TraceEvent) {
-	e.trace = append(e.trace, ev)
-}
-
-// getExec returns the device's reusable executor, reset for this
-// launch. The executor — including the RunResult it produces — is
-// scratch owned by the device and is clobbered by the next run.
-func (d *Device) getExec(spec LaunchSpec, rng *xrand.Rand) *exec {
-	e := d.scratch
-	if e == nil {
-		e = &exec{d: d, lineInFlight: map[uint32]int{}}
-		// CU count and defect set are fixed per device, so the CU
-		// objects (and their buggy caches) are allocated exactly once.
-		e.cus = make([]*cuState, d.prof.CUs)
-		for i := range e.cus {
-			e.cus[i] = &cuState{id: i}
-			if d.bugs.StaleCache {
-				e.cus[i].cache = map[uint32][]uint32{}
-			}
-		}
-		d.scratch = e
-	}
-	e.reset(spec, rng)
-	return e
-}
-
-// growPtr re-slices s to length n, allocating element objects only for
-// slots that have never been used before; previously allocated elements
-// (including those beyond the old length, up to capacity) are retained
-// for reuse.
-func growPtr[T any](s []*T, n int) []*T {
-	if cap(s) < n {
-		grown := make([]*T, n)
-		copy(grown, s[:cap(s)])
-		s = grown
-	}
-	s = s[:n]
-	for i, p := range s {
-		if p == nil {
-			s[i] = new(T)
-		}
-	}
-	return s
-}
-
-// reset prepares the executor for one launch, reusing every allocation
-// left over from prior runs: thread and workgroup objects are recycled
-// in place, register files are carved from one flat arena, and the
-// event heap, scheduler candidate buffer, pending queue, and cache
-// staging buffers all keep their capacity. Resetting consumes no
-// randomness and zeroes everything a fresh executor would zero, so a
-// warm executor is draw-for-draw and bit-for-bit identical to a cold
-// one.
-func (e *exec) reset(spec LaunchSpec, rng *xrand.Rand) {
-	e.rng = rng
-	e.spec = spec
-
-	if cap(e.mem) < spec.MemWords {
-		e.mem = make([]uint32, spec.MemWords)
-	} else {
-		e.mem = e.mem[:spec.MemWords]
-		clear(e.mem)
-	}
-
-	nThreads := spec.Threads()
-	e.threads = growPtr(e.threads, nThreads)
-	e.wgs = growPtr(e.wgs, spec.Workgroups)
-
-	total := 0
-	for _, p := range spec.Programs {
-		total += p.NumRegs()
-	}
-	if cap(e.regArena) < total {
-		e.regArena = make([]uint32, total)
-	} else {
-		e.regArena = e.regArena[:total]
-		clear(e.regArena)
-	}
-
-	e.retired = 0
-	regOff := 0
-	wgSize := spec.WorkgroupSize
-	for wg := 0; wg < spec.Workgroups; wg++ {
-		ws := e.wgs[wg]
-		// Thread IDs are contiguous per workgroup, so the workgroup's
-		// thread list is a window into the executor's thread slice.
-		*ws = wgState{id: wg, cu: -1, threads: e.threads[wg*wgSize : (wg+1)*wgSize]}
-		for l := 0; l < wgSize; l++ {
-			tid := wg*wgSize + l
-			t := e.threads[tid]
-			locs := t.locs[:0]
-			*t = threadState{id: tid, wg: wg, prog: spec.Programs[tid], locs: locs}
-			if n := t.prog.NumRegs(); n > 0 {
-				t.regs = e.regArena[regOff : regOff+n : regOff+n]
-				regOff += n
-			}
-			if len(t.prog) == 0 {
-				t.done = true
-				e.retired++
-			} else {
-				ws.active++
-			}
-		}
-	}
-
-	for _, c := range e.cus {
-		c.warps = c.warps[:0]
-		c.freeSlots = e.d.prof.MaxWGPerCU
-		if c.cache != nil {
-			for _, vals := range c.cache {
-				e.lineBufs = append(e.lineBufs, vals)
-			}
-			clear(c.cache)
-			c.cacheFIFO = c.cacheFIFO[:0]
-		}
-	}
-	e.warpUsed = 0
-	e.pendingWGs = e.pendingWGs[:0]
-	e.heap = e.heap[:0]
-	e.seq = 0
-	e.now = 0
-	e.inFlight = 0
-	clear(e.lineInFlight)
-	e.stats = RunStats{}
-
-	// Admit workgroups round-robin until CUs are full; queue the rest.
-	cu := 0
-	for wg := 0; wg < spec.Workgroups; wg++ {
-		placed := false
-		for probe := 0; probe < len(e.cus); probe++ {
-			c := e.cus[(cu+probe)%len(e.cus)]
-			if c.freeSlots > 0 {
-				e.admit(e.wgs[wg], c)
-				cu = (cu + probe + 1) % len(e.cus)
-				placed = true
-				break
-			}
-		}
-		if !placed {
-			e.pendingWGs = append(e.pendingWGs, wg)
-		}
-	}
-}
-
-// result assembles the run's outcome into the executor-owned scratch.
-func (e *exec) result() *RunResult {
-	if cap(e.regsOut) < len(e.threads) {
-		e.regsOut = make([][]uint32, len(e.threads))
-	}
-	e.regsOut = e.regsOut[:len(e.threads)]
-	for i, t := range e.threads {
-		e.regsOut[i] = t.regs
-	}
-	e.stats.Ticks = e.now
-	e.res = RunResult{
-		Registers:  e.regsOut,
-		Memory:     e.mem,
-		SimSeconds: float64(e.now+e.d.prof.LaunchOverheadTicks) / e.d.prof.ClockHz,
-		Stats:      e.stats,
-	}
-	return &e.res
-}
-
-// allocWarp hands out a recycled warp object, growing the pool only the
-// first time a new high-water warp count is reached.
-func (e *exec) allocWarp() *warpState {
-	if e.warpUsed == len(e.warpPool) {
-		e.warpPool = append(e.warpPool, &warpState{})
-	}
-	w := e.warpPool[e.warpUsed]
-	e.warpUsed++
-	return w
-}
-
-// admit places a workgroup's threads on a CU as warps.
-func (e *exec) admit(wg *wgState, c *cuState) {
-	wg.cu = c.id
-	c.freeSlots--
-	size := e.d.prof.WarpSize
-	for i := 0; i < len(wg.threads); i += size {
-		end := i + size
-		if end > len(wg.threads) {
-			end = len(wg.threads)
-		}
-		w := e.allocWarp()
-		w.threads = wg.threads[i:end]
-		c.warps = append(c.warps, w)
-	}
-}
-
-// cancelCheckSteps is the executor's cancellation poll granularity:
-// one non-blocking ctx check per this many scheduler steps. Coarse on
-// purpose — a per-step check would put a channel select on the hottest
-// loop in the simulator — yet a hung-but-below-watchdog kernel still
-// stops within thousands of steps (microseconds of host time) of a
-// cancel, far below the watchdog's tick deadline.
-const cancelCheckSteps = 4096
-
-func (e *exec) run() error {
-	total := len(e.threads)
-	deadline := e.d.watchdogDeadline()
-	var cancelled <-chan struct{}
-	if e.ctx != nil {
-		cancelled = e.ctx.Done() // nil for context.Background(); the select then never fires
-	}
-	check := 1 // check on the first step so a pre-cancelled ctx fails fast
-	for e.retired < total {
-		if check--; check <= 0 {
-			check = cancelCheckSteps
-			select {
-			case <-cancelled:
-				return fmt.Errorf("gpu: kernel cancelled at tick %d on %s: %w",
-					e.now, e.d.prof.ShortName, e.ctx.Err())
-			default:
-			}
-		}
-		if e.now > deadline {
-			// The watchdog converts a hung kernel into a typed, retryable
-			// failure instead of spinning toward the simulation bound.
-			return &DeviceError{Kind: FaultHang, Device: e.d.prof.ShortName, Tick: e.now}
-		}
-		for len(e.heap) > 0 && e.heap[0].time <= e.now {
-			ev := e.popEvent()
-			e.complete(ev)
-		}
-		issued := false
-		for _, c := range e.cus {
-			e.candBuf = e.candBuf[:0]
-			for _, w := range c.warps {
-				if w.anyRunnable() {
-					e.candBuf = append(e.candBuf, w)
-				}
-			}
-			if len(e.candBuf) == 0 {
-				continue
-			}
-			w := e.candBuf[e.rng.Intn(len(e.candBuf))]
-			for _, t := range w.threads {
-				if e.tryIssue(t, c) {
-					issued = true
-				}
-			}
-		}
-		if issued {
-			e.now++
-			continue
-		}
-		if len(e.heap) > 0 {
-			e.now = e.heap[0].time
-			continue
-		}
-		if e.retired < total {
-			return fmt.Errorf("gpu: deadlock at tick %d: %d/%d threads retired",
-				e.now, e.retired, total)
-		}
-	}
-	// Drain any straggler events (threads retire only when their ops
-	// complete, so the heap is empty here by construction).
-	return nil
-}
-
-// tryIssue attempts to issue thread t's next instruction; it returns
-// whether an instruction (or fence/barrier step) was processed.
-func (e *exec) tryIssue(t *threadState, c *cuState) bool {
-	if t.done || t.atBarrier || t.pc >= len(t.prog) {
-		return false
-	}
-	in := t.prog[t.pc]
-	prof := &e.d.prof
-	switch in.Op {
-	case OpFence:
-		if e.d.bugs.DropFences {
-			// The buggy compiler erased the fence's memory semantics;
-			// it costs an issue slot but orders nothing.
-			t.pc++
-			e.stats.DroppedFences++
-			e.stats.Instructions++
-			e.maybeRetire(t)
-			return true
-		}
-		if t.outstanding > 0 {
-			return false // fence waits for all prior ops to complete
-		}
-		if e.tracing {
-			e.emit(TraceEvent{Tick: e.now, Thread: int32(t.id), Index: int32(t.pc), Kind: TraceIssue, Op: OpFence})
-		}
-		t.pc++
-		e.stats.Instructions++
-		e.maybeRetire(t)
-		return true
-	case OpBarrier:
-		if t.outstanding > 0 {
-			return false // barrier implies fence ordering
-		}
-		if e.tracing {
-			e.emit(TraceEvent{Tick: e.now, Thread: int32(t.id), Index: int32(t.pc), Kind: TraceIssue, Op: OpBarrier})
-		}
-		t.pc++
-		e.stats.Instructions++
-		wg := e.wgs[t.wg]
-		t.atBarrier = true
-		wg.arrived++
-		e.releaseBarrierIfReady(wg)
-		return true
-	}
-	// Memory operation.
-	if t.outstanding >= prof.MaxOutstanding {
-		return false
-	}
-	line := in.Addr / uint32(prof.LineWords)
-	lat, pstall := e.latency(in.Op, line)
-	e.stats.PressureStalls += pstall
-	ct := e.now + int64(lat)
-	if ct <= e.now {
-		ct = e.now + 1
-	}
-	isLoad := in.Op == OpLoad || in.Op == OpStressLoad
-	if prev := t.loc(in.Addr); prev != nil {
-		if ct <= prev.time {
-			if isLoad && prev.isLoad && e.coherenceRRFires(line) {
-				// Injected defect: the second load completes before the
-				// first, violating program order per location.
-				e.stats.RelaxedRR++
-			} else {
-				ct = prev.time + 1
-			}
-		}
-		if ct > prev.time {
-			prev.time = ct
-		}
-		prev.isLoad = isLoad
-	} else {
-		t.locs = append(t.locs, locAssign{addr: in.Addr, isLoad: isLoad, time: ct})
-	}
-	e.seq++
-	e.pushEvent(completionEvent{time: ct, seq: e.seq, tid: int32(t.id), idx: int32(t.pc)})
-	if e.tracing {
-		e.emit(TraceEvent{Tick: e.now, Thread: int32(t.id), Index: int32(t.pc), Kind: TraceIssue, Op: in.Op, Addr: in.Addr})
-	}
-	t.pc++
-	t.outstanding++
-	e.inFlight++
-	if e.inFlight > e.stats.MaxGlobalInFlight {
-		e.stats.MaxGlobalInFlight = e.inFlight
-	}
-	e.lineInFlight[line]++
-	e.stats.Instructions++
-	return true
-}
-
-// coherenceRRFires decides whether the load-load reordering defect
-// triggers for an access to the given line.
-func (e *exec) coherenceRRFires(line uint32) bool {
-	b := &e.d.bugs
-	if !b.CoherenceRR {
-		return false
-	}
-	if e.lineInFlight[line] < b.CoherenceRRPressure {
-		return false
-	}
-	return e.rng.Bool(b.CoherenceRRProb)
-}
-
-// latency samples an operation's completion latency, including
-// contention-dependent inflation.
-func (e *exec) latency(op Op, line uint32) (int, int64) {
-	prof := &e.d.prof
-	var base int
-	switch op {
-	case OpLoad, OpStressLoad:
-		base = prof.LatLoad
-	case OpStore, OpStressStore:
-		base = prof.LatStore
-	case OpExchange:
-		base = prof.LatRMW
-	default:
-		base = 1
-	}
-	lat := base
-	if prof.JitterBase > 0 {
-		lat += e.rng.Intn(prof.JitterBase + 1)
-	}
-	pressure := 0.0
-	if g := e.inFlight - prof.GlobalPressureThresh; g > 0 {
-		pressure += prof.GlobalPressureWeight * float64(g)
-	}
-	if l := e.lineInFlight[line] - prof.LinePressureThresh; l > 0 {
-		pressure += prof.LinePressureWeight * float64(l)
-	}
-	if pressure <= 0 {
-		return lat, 0
-	}
-	extra := int(e.rng.Float64() * pressure)
-	if extra > prof.MaxPressureLat {
-		extra = prof.MaxPressureLat
-	}
-	return lat + extra, int64(extra)
-}
-
-// complete applies one finished memory operation.
-func (e *exec) complete(ev completionEvent) {
-	t := e.threads[ev.tid]
-	in := t.prog[ev.idx]
-	c := e.cus[e.wgs[t.wg].cu]
-	prof := &e.d.prof
-	var traced uint32
-	switch in.Op {
-	case OpLoad, OpStressLoad:
-		v := e.loadValue(c, in.Addr)
-		if in.Op == OpLoad {
-			t.regs[in.Reg] = v
-		}
-		traced = v
-	case OpStore, OpStressStore:
-		e.mem[in.Addr] = in.Imm
-		e.storeToCache(c, in.Addr, in.Imm)
-		traced = in.Imm
-	case OpExchange:
-		// Atomics bypass the per-CU cache and act on memory directly,
-		// as on real parts where RMWs resolve at a shared cache level.
-		old := e.mem[in.Addr]
-		e.mem[in.Addr] = in.Imm
-		t.regs[in.Reg] = old
-		e.storeToCache(c, in.Addr, in.Imm)
-		traced = old
-	}
-	if e.tracing {
-		e.emit(TraceEvent{Tick: e.now, Thread: ev.tid, Index: ev.idx, Kind: TraceComplete, Op: in.Op, Addr: in.Addr, Value: traced})
-	}
-	t.outstanding--
-	e.inFlight--
-	line := in.Addr / uint32(prof.LineWords)
-	if n := e.lineInFlight[line]; n <= 1 {
-		delete(e.lineInFlight, line)
-	} else {
-		e.lineInFlight[line] = n - 1
-	}
-	e.stats.MemOps++
-	e.maybeRetire(t)
-}
-
-// loadValue resolves a load's value, via the (buggy) per-CU cache when
-// the stale-cache defect is enabled.
-func (e *exec) loadValue(c *cuState, addr uint32) uint32 {
-	if c.cache == nil {
-		return e.mem[addr]
-	}
-	prof := &e.d.prof
-	line := addr / uint32(prof.LineWords)
-	off := addr % uint32(prof.LineWords)
-	if vals, ok := c.cache[line]; ok {
-		if e.rng.Bool(prof.StaleHitProb) {
-			v := vals[off]
-			if v != e.mem[addr] {
-				e.stats.StaleReads++
-			}
-			return v
-		}
-		// A bypassing read: the value comes from memory but the resident
-		// line is not refreshed — on the buggy device nothing ever
-		// re-validates it.
-		return e.mem[addr]
-	}
-	e.fillLine(c, line)
-	return e.mem[addr]
-}
-
-// fillLine snapshots a line into the CU cache, evicting FIFO. Staging
-// buffers cycle through the executor's free list: evicted lines donate
-// their buffer back, so steady-state fills allocate nothing. The FIFO
-// compacts in place rather than re-slicing forward, which would migrate
-// the slice base and force append to reallocate.
-func (e *exec) fillLine(c *cuState, line uint32) {
-	prof := &e.d.prof
-	if _, ok := c.cache[line]; !ok {
-		if len(c.cacheFIFO) >= prof.CacheLines && len(c.cacheFIFO) > 0 {
-			victim := c.cacheFIFO[0]
-			copy(c.cacheFIFO, c.cacheFIFO[1:])
-			c.cacheFIFO = c.cacheFIFO[:len(c.cacheFIFO)-1]
-			if vals, ok := c.cache[victim]; ok {
-				e.lineBufs = append(e.lineBufs, vals)
-			}
-			delete(c.cache, victim)
-		}
-		c.cacheFIFO = append(c.cacheFIFO, line)
-	}
-	base := line * uint32(prof.LineWords)
-	var vals []uint32
-	if n := len(e.lineBufs); n > 0 {
-		vals = e.lineBufs[n-1][:prof.LineWords]
-		e.lineBufs = e.lineBufs[:n-1]
-	} else {
-		vals = make([]uint32, prof.LineWords)
-	}
-	for i := range vals {
-		if int(base)+i < len(e.mem) {
-			vals[i] = e.mem[int(base)+i]
-		} else {
-			vals[i] = 0
-		}
-	}
-	c.cache[line] = vals
-}
-
-// storeToCache updates the storing CU's own copy of the line. A
-// conformant device would also invalidate every other CU's copy; the
-// stale-cache defect is precisely the absence of that invalidation, and
-// caches only exist when the defect is enabled.
-func (e *exec) storeToCache(c *cuState, addr, val uint32) {
-	if c.cache == nil {
-		return
-	}
-	prof := &e.d.prof
-	line := addr / uint32(prof.LineWords)
-	if vals, ok := c.cache[line]; ok {
-		vals[addr%uint32(prof.LineWords)] = val
-	}
-}
-
-// maybeRetire retires a thread whose program and outstanding ops are
-// exhausted, releasing barriers and CU slots as workgroups drain.
-func (e *exec) maybeRetire(t *threadState) {
-	if t.done || t.pc < len(t.prog) || t.outstanding > 0 {
-		return
-	}
-	t.done = true
-	e.retired++
-	wg := e.wgs[t.wg]
-	wg.active--
-	e.releaseBarrierIfReady(wg)
-	if wg.active == 0 {
-		e.finishWorkgroup(wg)
-	}
-}
-
-// releaseBarrierIfReady releases a workgroup barrier once every still
-// active thread has arrived.
-func (e *exec) releaseBarrierIfReady(wg *wgState) {
-	if wg.arrived == 0 || wg.arrived < wg.active {
-		return
-	}
-	wg.arrived = 0
-	for _, t := range wg.threads {
-		t.atBarrier = false
-	}
-}
-
-// finishWorkgroup frees the CU slot and admits a pending workgroup.
-func (e *exec) finishWorkgroup(wg *wgState) {
-	c := e.cus[wg.cu]
-	// Drop the workgroup's warps from the CU's resident list.
-	keep := c.warps[:0]
-	for _, w := range c.warps {
-		if len(w.threads) > 0 && w.threads[0].wg != wg.id {
-			keep = append(keep, w)
-		}
-	}
-	c.warps = keep
-	c.freeSlots++
-	if len(e.pendingWGs) > 0 {
-		next := e.pendingWGs[0]
-		// Compact in place (cf. fillLine's FIFO) so the queue's backing
-		// array survives reset and re-admission never reallocates.
-		copy(e.pendingWGs, e.pendingWGs[1:])
-		e.pendingWGs = e.pendingWGs[:len(e.pendingWGs)-1]
-		e.admit(e.wgs[next], c)
-	}
-}
-
-// ---- completion-event min-heap (time, then issue sequence) ----
-
-func (e *exec) pushEvent(ev completionEvent) {
-	e.heap = append(e.heap, ev)
-	i := len(e.heap) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !eventLess(e.heap[i], e.heap[parent]) {
-			break
-		}
-		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
-		i = parent
-	}
-}
-
-func (e *exec) popEvent() completionEvent {
-	top := e.heap[0]
-	last := len(e.heap) - 1
-	e.heap[0] = e.heap[last]
-	e.heap = e.heap[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < last && eventLess(e.heap[l], e.heap[smallest]) {
-			smallest = l
-		}
-		if r < last && eventLess(e.heap[r], e.heap[smallest]) {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		e.heap[i], e.heap[smallest] = e.heap[smallest], e.heap[i]
-		i = smallest
-	}
-	return top
-}
-
-func eventLess(a, b completionEvent) bool {
-	if a.time != b.time {
-		return a.time < b.time
-	}
-	return a.seq < b.seq
 }

@@ -100,8 +100,10 @@ func (p *Profile) Validate() error {
 	switch {
 	case p.CUs <= 0:
 		return fmt.Errorf("gpu: profile %s: CUs=%d", p.ShortName, p.CUs)
-	case p.WarpSize <= 0:
-		return fmt.Errorf("gpu: profile %s: WarpSize=%d", p.ShortName, p.WarpSize)
+	case p.WarpSize <= 0 || p.WarpSize > 64:
+		// The executor tracks runnable lanes in one 64-bit mask per
+		// warp; no real part exceeds a 64-wide wavefront.
+		return fmt.Errorf("gpu: profile %s: WarpSize=%d (must be 1..64)", p.ShortName, p.WarpSize)
 	case p.MaxWGPerCU <= 0:
 		return fmt.Errorf("gpu: profile %s: MaxWGPerCU=%d", p.ShortName, p.MaxWGPerCU)
 	case p.MaxOutstanding <= 0:
