@@ -1,0 +1,60 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/resultcache"
+)
+
+// cacheFlags is the shared result-cache flag set: campaign, tune and
+// work all take -cache-dir (caching off when empty) and -cache-max-mb.
+type cacheFlags struct {
+	dir   *string
+	maxMB *int64
+}
+
+func addCacheFlags(fs *flag.FlagSet) *cacheFlags {
+	return &cacheFlags{
+		dir:   fs.String("cache-dir", "", "persistent result-cache directory; cells already computed under identical parameters are served from it (empty: caching off)"),
+		maxMB: fs.Int64("cache-max-mb", 0, "result-cache size budget in MiB, enforced by LRU compaction at open; 0 means unbounded"),
+	}
+}
+
+// open validates the flags and opens the cache, fail-fast: an unusable
+// directory (permissions, a file where the directory should be) is a
+// configuration error — exit 1 before any campaign work begins, the
+// same policy probeOutputPaths applies to output paths. A genuine
+// storage fault (ENOSPC, EIO) instead yields a cache already degraded
+// to pass-through: a full disk costs cache savings, never the
+// campaign. A nil, nil return means caching is off.
+func (cf *cacheFlags) open() (*resultcache.Cache, error) {
+	if *cf.dir == "" {
+		return nil, nil
+	}
+	if *cf.maxMB < 0 {
+		return nil, fmt.Errorf("-cache-max-mb must be >= 0")
+	}
+	c, err := resultcache.Open(*cf.dir, resultcache.Options{MaxBytes: *cf.maxMB << 20})
+	if err != nil {
+		return nil, fmt.Errorf("cache dir not usable: %w", err)
+	}
+	return c, nil
+}
+
+// cacheSummary prints one line of cache traffic after a run, plus a
+// degradation notice when the cache fell back to pass-through. Cache
+// state never changes artifacts or exit codes — a degraded cache only
+// costs time — so this is stderr-only observability.
+func cacheSummary(w io.Writer, c *resultcache.Cache) {
+	if c == nil {
+		return
+	}
+	st := c.Stats()
+	fmt.Fprintf(w, "mcmutants: cache: %d hit(s), %d miss(es), %d corrupt (quarantined), %d stored\n",
+		st.Hits, st.Misses, st.Corrupt, st.Puts)
+	if st.Degraded {
+		fmt.Fprintf(w, "mcmutants: cache degraded to pass-through: %s\n", st.Err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -84,6 +85,83 @@ func TestCampaignDistributedByteIdentical(t *testing.T) {
 	}
 	if !bytes.Equal(want, got) {
 		t.Fatalf("artifacts differ:\nlocal:\n%s\ndistributed:\n%s", want, got)
+	}
+}
+
+// TestWorkCachedWorkerByteIdentical: a worker mounting a result cache
+// warmed by an earlier local run of the same campaign serves its leased
+// cells from disk — nonzero hits on its summary line — and the
+// coordinator's merged artifact is still byte-identical to the local
+// one: deliveries tag hits, artifacts never encode them.
+func TestWorkCachedWorkerByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	localOut := filepath.Join(dir, "local.json")
+	distOut := filepath.Join(dir, "dist.json")
+	base := []string{
+		"campaign", "-kind", "conformance", "-devices", "AMD,Intel",
+		"-envs", "pte", "-iters", "2", "-seed", "7", "-quiet",
+	}
+	if _, err := captureStderr(t, func() error {
+		return run(append(base, "-out", localOut, "-cache-dir", cacheDir))
+	}); err != nil {
+		t.Fatalf("local campaign: %v", err)
+	}
+
+	// Redirect stderr around the whole orchestration: the coordinator
+	// goroutine reads os.Stderr, so the swap must happen-before it
+	// starts and the restore must happen-after it finishes. The
+	// coordinator runs -quiet without a cache, so the captured stream
+	// carries only the worker's cache summary line.
+	addr := freeAddr(t)
+	oldStderr := os.Stderr
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = pw
+	coordDone := make(chan error, 1)
+	go func() {
+		coordDone <- run(append(base, "-out", distOut,
+			"-workers-addr", addr, "-lease-ttl", "30s", "-range-cells", "3"))
+	}()
+	workErr := dispatch(context.Background(), []string{
+		"work", "-coordinator", "http://" + addr, "-id", "wcache",
+		"-parallel", "2", "-poll", "25ms", "-once", "-quiet",
+		"-cache-dir", cacheDir})
+	var coordErr error
+	select {
+	case coordErr = <-coordDone:
+	case <-time.After(3 * time.Minute):
+		os.Stderr = oldStderr
+		t.Fatal("distributed campaign timed out")
+	}
+	pw.Close()
+	os.Stderr = oldStderr
+	workerStderr, err := readAll(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coordErr != nil {
+		t.Fatalf("distributed campaign: %v", coordErr)
+	}
+	if workErr != nil {
+		t.Fatalf("worker: %v", workErr)
+	}
+	if !strings.Contains(workerStderr, "cache:") || strings.Contains(workerStderr, "cache: 0 hit(s)") {
+		t.Fatalf("worker did not serve from the warmed cache:\n%s", workerStderr)
+	}
+
+	want, err := os.ReadFile(localOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(distOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("cached-worker distributed artifact differs from the local artifact")
 	}
 }
 

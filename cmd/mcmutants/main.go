@@ -624,6 +624,7 @@ func cmdCampaign(ctx context.Context, args []string) error {
 	pf := addProfileFlags(fs)
 	sf := addStorageFlags(fs)
 	df := addDistFlags(fs)
+	chf := addCacheFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -660,6 +661,11 @@ func cmdCampaign(ctx context.Context, args []string) error {
 	if err := probeOutputPaths(*out, *pf.cpu, *pf.mem); err != nil {
 		return err
 	}
+	cache, err := chf.open()
+	if err != nil {
+		return err
+	}
+	defer cacheSummary(os.Stderr, cache)
 	ctx, cancel := cf.apply(ctx)
 	defer cancel()
 	stopProf, err := pf.start()
@@ -721,6 +727,14 @@ func cmdCampaign(ctx context.Context, args []string) error {
 				return err
 			}
 			opts.Dist = df.options(hub, "conformance", desc, distLogf)
+		}
+		if cache != nil {
+			salt, err := ws.CacheSalt()
+			if err != nil {
+				return err
+			}
+			opts.Cache = cache
+			opts.CacheSalt = salt
 		}
 		reports, err := study.CheckFleetConformanceCtx(ctx, platforms, envs[0], *iters, *seed, opts)
 		interrupted := errors.Is(err, sched.ErrInterrupted)
@@ -815,17 +829,28 @@ func cmdCampaign(ctx context.Context, args []string) error {
 				// One campaign per device; keep their checkpoints apart.
 				devOpts.CheckpointPath = fmt.Sprintf("%s.%s", opts.CheckpointPath, p.Device)
 			}
+			// The per-device work spec: dist advertises it so a worker's
+			// locally-planned unit manifest matches the advertised
+			// campaign exactly, and the cache salts with it so local and
+			// worker-side keys for this device's cells agree.
+			wsDev := ws
+			wsDev.Devices = []string{p.Device}
 			if hub != nil {
-				// One coordinator per device, each advertising a
-				// single-device descriptor so a worker's locally-planned
-				// unit manifest matches the advertised campaign exactly.
-				wsDev := ws
-				wsDev.Devices = []string{p.Device}
+				// One coordinator per device, each advertising the
+				// single-device descriptor.
 				desc, err := wsDev.Descriptor()
 				if err != nil {
 					return err
 				}
 				devOpts.Dist = df.options(hub, "evaluate."+p.Device, desc, distLogf)
+			}
+			if cache != nil {
+				salt, err := wsDev.CacheSalt()
+				if err != nil {
+					return err
+				}
+				devOpts.Cache = cache
+				devOpts.CacheSalt = salt
 			}
 			score, err := study.EvaluateEnvironmentsCtx(ctx, p, envs, *iters, *seed, devOpts)
 			interrupted := errors.Is(err, sched.ErrInterrupted)
@@ -892,6 +917,7 @@ func cmdTune(ctx context.Context, args []string) error {
 	cf := addCancelFlags(fs)
 	pf := addProfileFlags(fs)
 	sf := addStorageFlags(fs)
+	chf := addCacheFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -914,6 +940,11 @@ func cmdTune(ctx context.Context, args []string) error {
 	if err := probeOutputPaths(*out, *pf.cpu, *pf.mem); err != nil {
 		return err
 	}
+	cache, err := chf.open()
+	if err != nil {
+		return err
+	}
+	defer cacheSummary(os.Stderr, cache)
 	ctx, cancel := cf.apply(ctx)
 	defer cancel()
 	stopProf, err := pf.start()
@@ -948,6 +979,9 @@ func cmdTune(ctx context.Context, args []string) error {
 		CellTimeout:    *cf.cellTimeout,
 		Breaker:        ff.breaker(),
 		FsyncEvery:     *sf.fsyncEvery,
+	}
+	if cache != nil {
+		opts.Cache = cache
 	}
 	if opts.Resume && opts.CheckpointPath == "" {
 		opts.CheckpointPath = *out + ".ckpt"
@@ -1026,21 +1060,27 @@ func cmdServe(ctx context.Context, args []string) error {
 	enableDist := fs.Bool("dist", false, "accept distributed jobs and serve the /dist/v1/ coordination API to mcmutants work processes")
 	distLeaseTTL := fs.Duration("dist-lease-ttl", 10*time.Second, "worker lease deadline for distributed jobs (with -dist)")
 	sf := addStorageFlags(fs)
+	chf := addCacheFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *distLeaseTTL <= 0 {
 		return fmt.Errorf("-dist-lease-ttl must be positive")
 	}
+	if *chf.maxMB < 0 {
+		return fmt.Errorf("-cache-max-mb must be >= 0")
+	}
 	cfg := serve.Config{
-		StateDir:     *state,
-		Runners:      *runners,
-		JobWorkers:   *parallel,
-		QueueDepth:   *queueDepth,
-		PerClient:    *perClient,
-		FsyncEvery:   *sf.fsyncEvery,
-		EnableDist:   *enableDist,
-		DistLeaseTTL: *distLeaseTTL,
+		StateDir:      *state,
+		Runners:       *runners,
+		JobWorkers:    *parallel,
+		QueueDepth:    *queueDepth,
+		PerClient:     *perClient,
+		FsyncEvery:    *sf.fsyncEvery,
+		EnableDist:    *enableDist,
+		DistLeaseTTL:  *distLeaseTTL,
+		CacheDir:      *chf.dir,
+		CacheMaxBytes: *chf.maxMB << 20,
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {

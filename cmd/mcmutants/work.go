@@ -122,6 +122,7 @@ func cmdWork(ctx context.Context, args []string) error {
 	once := fs.Bool("once", false, "exit once work is drained and the coordinator has no more campaigns (or goes away)")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
 	pf := addProfileFlags(fs)
+	chf := addCacheFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -137,6 +138,14 @@ func cmdWork(ctx context.Context, args []string) error {
 	if err := probeOutputPaths(*pf.cpu, *pf.mem); err != nil {
 		return err
 	}
+	// The worker's local result cache: leased cells already computed
+	// under identical parameters (any worker, any campaign run) are
+	// served from disk and delivered tagged as hits.
+	cache, err := chf.open()
+	if err != nil {
+		return err
+	}
+	defer cacheSummary(os.Stderr, cache)
 	// Workers are the hot processes of a distributed campaign, so they
 	// get the same profiling story as campaign|tune. stop runs on every
 	// exit path — drain, coordinator loss, and interrupt included.
@@ -181,7 +190,11 @@ func cmdWork(ctx context.Context, args []string) error {
 		if err := json.Unmarshal(info.Descriptor, &ws); err != nil {
 			return core.WorkUnit{}, fmt.Errorf("bad descriptor: %w", err)
 		}
-		planned, err := core.DistWork(ws, *parallel, nil)
+		wo := core.DistWorkOptions{Parallel: *parallel}
+		if cache != nil {
+			wo.Cache = cache
+		}
+		planned, err := core.DistWorkOpts(ws, wo)
 		if err != nil {
 			return core.WorkUnit{}, err
 		}

@@ -78,6 +78,18 @@ type CampaignOptions struct {
 	// CellTimeout apply on the worker side via the descriptor, not
 	// here.
 	Dist *DistOptions
+	// Cache, when non-nil, is the persistent result cache consulted
+	// before each cell executes and published to after a cell succeeds.
+	// CacheSalt must encode every workload parameter that lives outside
+	// the spec — iterations, environments, fault model, retry policy;
+	// in practice the canonical WorkSpec descriptor JSON (see
+	// WorkSpec.CacheSalt) — so a key can never serve a result computed
+	// under different parameters. Cache hits change nothing but time:
+	// scores, findings and artifacts stay byte-identical to a cold run.
+	// In distributed mode the cache is consulted on the worker side
+	// (dist.SchedRunnerOptions), not here.
+	Cache     sched.ResultCache
+	CacheSalt string
 }
 
 // applyCampaignOptions populates the scheduler options from o. The
@@ -92,6 +104,8 @@ func applyCampaignOptions[R any](o CampaignOptions, spec sched.Spec, opts *sched
 	opts.Breaker = o.Breaker
 	opts.OnProgress = o.OnProgress
 	opts.ProgressEvery = o.ProgressEvery
+	opts.Cache = o.Cache
+	opts.CacheSalt = o.CacheSalt
 	if o.Progress != nil {
 		progress := o.Progress
 		opts.OnCellStart = func(c sched.Cell) {

@@ -59,6 +59,22 @@ func (ws WorkSpec) Descriptor() (json.RawMessage, error) {
 	return raw, nil
 }
 
+// CacheSalt returns the result-cache salt for the campaign this work
+// spec describes: the canonical descriptor JSON. Every workload
+// parameter outside the scheduler spec — iterations, environments,
+// fault model, driver bug, retry policy — is in it, so two campaigns
+// share cache entries exactly when they would compute identical
+// results. The submitting CLI, serve jobs and every distributed
+// worker derive their salt from the same descriptor, which is what
+// makes cache keys agree fleet-wide.
+func (ws WorkSpec) CacheSalt() (string, error) {
+	raw, err := ws.Descriptor()
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
 // platforms expands the device list into Platforms with the spec's
 // driver and fault model applied — the same expansion cmdCampaign does
 // for local runs.
@@ -104,6 +120,23 @@ type WorkUnit struct {
 	Run      dist.RunRange
 }
 
+// DistWorkOptions tunes the worker side of DistWorkOpts beyond what
+// the descriptor dictates: pool size, fake clocks, and the worker's
+// local result cache. None of it affects results — any combination
+// yields segments byte-identical to a local run.
+type DistWorkOptions struct {
+	// Parallel bounds the worker-side scheduler pool; < 1 means serial.
+	Parallel int
+	// Sleep overrides retry waiting (tests inject fake clocks).
+	Sleep func(time.Duration)
+	// Cache, when non-nil, is this worker's local result cache. The
+	// salt is derived from the canonical descriptor (WorkSpec.CacheSalt),
+	// so every worker and the submitting side address the same entries;
+	// hits are tagged on delivered segments and aggregated fleet-wide by
+	// the coordinator.
+	Cache sched.ResultCache
+}
+
 // DistWork plans the work units a WorkSpec describes: one fleet unit
 // for conformance, one unit per device for evaluate. parallel bounds
 // the worker-side scheduler pool (any value yields identical results);
@@ -111,6 +144,11 @@ type WorkUnit struct {
 // real time). The mcmutants work verb matches each advertised campaign
 // to a unit by spec manifest.
 func DistWork(ws WorkSpec, parallel int, sleep func(time.Duration)) ([]WorkUnit, error) {
+	return DistWorkOpts(ws, DistWorkOptions{Parallel: parallel, Sleep: sleep})
+}
+
+// DistWorkOpts is DistWork with the full option set.
+func DistWorkOpts(ws WorkSpec, wo DistWorkOptions) ([]WorkUnit, error) {
 	st, err := NewStudy()
 	if err != nil {
 		return nil, err
@@ -122,13 +160,21 @@ func DistWork(ws WorkSpec, parallel int, sleep func(time.Duration)) ([]WorkUnit,
 	if ws.Iters <= 0 {
 		return nil, fmt.Errorf("core: work spec needs positive iters")
 	}
+	salt := ""
+	if wo.Cache != nil {
+		if salt, err = ws.CacheSalt(); err != nil {
+			return nil, err
+		}
+	}
 	platforms := ws.platforms()
 	ropts := dist.SchedRunnerOptions{
-		Parallel:    parallel,
+		Parallel:    wo.Parallel,
 		Retries:     ws.Retries,
 		Backoff:     time.Duration(ws.BackoffMS) * time.Millisecond,
 		CellTimeout: time.Duration(ws.CellTimeoutMS) * time.Millisecond,
-		Sleep:       sleep,
+		Sleep:       wo.Sleep,
+		Cache:       wo.Cache,
+		CacheSalt:   salt,
 	}
 	switch ws.Kind {
 	case "conformance":
@@ -274,8 +320,9 @@ func runDistCampaign[R any](ctx context.Context, spec sched.Spec, o CampaignOpti
 			Campaign:       spec.Name,
 			Total:          st.Total,
 			Done:           st.Done,
-			Executed:       st.Done - st.Replayed,
+			Executed:       st.Done - st.Replayed - st.CacheHits,
 			Replayed:       st.Replayed,
+			CacheHits:      st.CacheHits,
 			ElapsedSeconds: time.Since(start).Seconds(),
 		}
 		if p.ElapsedSeconds > 0 {
@@ -328,7 +375,7 @@ func runDistCampaign[R any](ctx context.Context, spec sched.Spec, o CampaignOpti
 		inst := 0
 		if instances != nil {
 			for _, r := range rep.Results {
-				if r.Err == nil && !r.Replayed {
+				if r.Err == nil && !r.Replayed && !r.CacheHit {
 					inst += instances(r.Value)
 				}
 			}
@@ -336,7 +383,7 @@ func runDistCampaign[R any](ctx context.Context, spec sched.Spec, o CampaignOpti
 		p := sched.Progress{
 			Campaign:        spec.Name,
 			Total:           len(spec.Cells),
-			Done:            rep.Executed + rep.Replayed + rep.Quarantined,
+			Done:            rep.Executed + rep.Replayed + rep.Quarantined + rep.CacheHits,
 			Executed:        rep.Executed,
 			Replayed:        rep.Replayed,
 			Failed:          rep.Failed,
@@ -344,6 +391,7 @@ func runDistCampaign[R any](ctx context.Context, spec sched.Spec, o CampaignOpti
 			Interrupted:     rep.Interrupted,
 			Retried:         rep.Retried,
 			Instances:       inst,
+			CacheHits:       rep.CacheHits,
 			ElapsedSeconds:  rep.WallSeconds,
 			Final:           true,
 			Health:          rep.Health,

@@ -27,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"syscall"
+	"time"
 )
 
 // File is the subset of *os.File the storage layer needs. Every method
@@ -57,6 +58,16 @@ type FS interface {
 	// SyncDir fsyncs a directory, making prior renames and creates in
 	// it durable. Required after the rename of an atomic publication.
 	SyncDir(dir string) error
+	// MkdirAll creates a directory and any missing parents
+	// (os.MkdirAll semantics).
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadDir lists a directory, sorted by filename.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// Stat describes a file.
+	Stat(name string) (os.FileInfo, error)
+	// Chtimes sets a file's access and modification times. The result
+	// cache uses it to mark recency for its LRU compaction pass.
+	Chtimes(name string, atime, mtime time.Time) error
 }
 
 // Create opens name for writing, truncating it if it exists.
@@ -82,6 +93,20 @@ func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newp
 
 // Remove removes through the os package.
 func (OS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll creates directories through the os package.
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// ReadDir lists through the os package.
+func (OS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+// Stat stats through the os package.
+func (OS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+// Chtimes sets timestamps through the os package.
+func (OS) Chtimes(name string, atime, mtime time.Time) error {
+	return os.Chtimes(name, atime, mtime)
+}
 
 // SyncDir fsyncs the directory so entries created or renamed into it
 // are durable.

@@ -6,6 +6,7 @@ import (
 	"io/fs"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/xrand"
 )
@@ -20,8 +21,8 @@ var ErrCrashed = errors.New("diskio: simulated crash: filesystem frozen")
 
 // FaultFS wraps an inner FS with a deterministic fault stream. Faults
 // are keyed by the ordinal of each mutating operation — opening for
-// write, Write, Sync, Truncate, Rename, Remove, SyncDir — counted from
-// 1 in execution order:
+// write, Write, Sync, Truncate, Rename, Remove, MkdirAll, Chtimes,
+// SyncDir — counted from 1 in execution order:
 //
 //   - CrashAfter(n) freezes the filesystem at operation n. The crashing
 //     operation is applied partially — a Write is torn at a byte offset
@@ -177,6 +178,41 @@ func (f *FaultFS) Remove(name string) error {
 		return pathErr("remove", name, v.err)
 	}
 	return f.inner.Remove(name)
+}
+
+// MkdirAll is gated; a crash or failure drops the whole creation
+// (directory creation is treated as atomic at this granularity).
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if v := f.gate(); v.err != nil {
+		return pathErr("mkdir", path, v.err)
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+// Chtimes is gated: it mutates metadata, so a full disk or a crash
+// point can land on it.
+func (f *FaultFS) Chtimes(name string, atime, mtime time.Time) error {
+	if v := f.gate(); v.err != nil {
+		return pathErr("chtimes", name, v.err)
+	}
+	return f.inner.Chtimes(name, atime, mtime)
+}
+
+// ReadDir passes through unless the filesystem has crashed; like Read,
+// it does not consume a fault ordinal.
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	if f.frozen() {
+		return nil, pathErr("readdir", name, ErrCrashed)
+	}
+	return f.inner.ReadDir(name)
+}
+
+// Stat passes through unless the filesystem has crashed.
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) {
+	if f.frozen() {
+		return nil, pathErr("stat", name, ErrCrashed)
+	}
+	return f.inner.Stat(name)
 }
 
 // SyncDir is gated; a dropped directory sync is the classic

@@ -422,6 +422,9 @@ func (c *Coordinator) statusLocked() Status {
 		if seg.Replayed {
 			st.Replayed++
 		}
+		if seg.CacheHit {
+			st.CacheHits++
+		}
 	}
 	for _, ws := range c.workers {
 		if ws.breaker.Open() {

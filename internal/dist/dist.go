@@ -156,6 +156,9 @@ type Status struct {
 	Done  int
 	// Replayed counts cells seeded from a resumed checkpoint.
 	Replayed int
+	// CacheHits counts accepted segments the workers served from their
+	// local result caches — the fleet-wide warm-cache savings.
+	CacheHits int
 	// Lost counts cells completed by synthetic failure after re-issue
 	// exhaustion or a stall.
 	Lost int

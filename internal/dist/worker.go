@@ -30,6 +30,12 @@ type SchedRunnerOptions struct {
 	CellTimeout time.Duration
 	// Sleep overrides retry waiting (tests inject fake clocks).
 	Sleep func(time.Duration)
+	// Cache, when non-nil, is the worker's local result cache; CacheSalt
+	// must be derived from the campaign descriptor so every worker (and
+	// the submitting side) addresses the same entries. Hits are tagged
+	// on the delivered segments for fleet-wide aggregation.
+	Cache     sched.ResultCache
+	CacheSalt string
 }
 
 // SchedRunner adapts a campaign's exec function into a RunRange: the
@@ -46,6 +52,8 @@ func SchedRunner[R any](spec sched.Spec, exec sched.Exec[R], opts SchedRunnerOpt
 			CellTimeout: opts.CellTimeout,
 			Collect:     true,
 			Sleep:       opts.Sleep,
+			Cache:       opts.Cache,
+			CacheSalt:   opts.CacheSalt,
 		}
 		if onCellStart != nil {
 			sopts.OnCellStart = func(sched.Cell) { onCellStart() }

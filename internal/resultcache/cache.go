@@ -1,0 +1,429 @@
+// Package resultcache is the persistent, content-addressed store for
+// campaign cell results. A cell's result is a pure function of its
+// inputs — test, mutation, environment, device profile, derived seed,
+// and the workload parameters the exec closure bakes in — so once a
+// cell has been executed anywhere, any later campaign asking the same
+// question can reuse the answer. Keys are the hex SHA-256 cell digests
+// produced by sched.Spec.CellDigest; the store never interprets them.
+//
+// The cache is built as a robustness subsystem first and an
+// optimization second. Its contract:
+//
+//   - Verify on read. Every entry embeds a format version and a
+//     SHA-256 digest of its payload, re-checked on every Get. A torn
+//     write, bit rot, version skew, or a hand-edited entry is detected,
+//     quarantined into a corrupt/ sidecar directory, and reported as a
+//     miss — never as an error and never as data.
+//   - Crash-safe publication. Entries are published with
+//     diskio.WriteFileAtomic (temp → fsync → rename → dir fsync), so a
+//     reader or a crash observes a complete entry or none. Concurrent
+//     writers of the same key race safely: the first published entry
+//     wins, later writers see it and stand down, and a cross-process
+//     tear that slips through the race is caught by verify-on-read.
+//   - Degrade to recompute. ENOSPC/EIO on any cache I/O flips a sticky
+//     pass-through degradation: every later Get is a miss and every Put
+//     a no-op, the campaign recomputes what it would have reused, and
+//     the degradation is reported — but never fails the run. The cache
+//     is an optimization, not a dependency.
+//   - Bounded size. A deterministic oldest-first (last-use mtime, path
+//     tiebreak) compaction pass runs at Open when a byte budget is
+//     configured; Get refreshes an entry's mtime so reuse counts as
+//     recency.
+package resultcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/diskio"
+)
+
+// FormatVersion is the entry format generation. An entry recorded
+// under any other version fails verification and is quarantined, so a
+// format change can never serve stale-layout payloads.
+const FormatVersion = 1
+
+// maxEntryBytes bounds how large an entry Get will read — symmetric
+// with the checkpoint's record limit, and a backstop against a
+// corrupted length landing the reader in gigabytes of garbage.
+const maxEntryBytes = 1 << 26
+
+// objectsDir and corruptDir are the two populations under the cache
+// root: verified-publishable entries and quarantined evidence.
+const (
+	objectsDir = "objects"
+	corruptDir = "corrupt"
+)
+
+// entry is the on-disk JSON envelope around one cached payload.
+type entry struct {
+	Format  int             `json:"format"`
+	Key     string          `json:"key"`
+	Payload json.RawMessage `json:"payload"`
+	// Sum is the hex SHA-256 of the exact Payload bytes. It is what
+	// turns the envelope into evidence: a payload that does not hash to
+	// Sum was not the payload this entry was published with.
+	Sum string `json:"payload_sha256"`
+}
+
+// Options configures a cache.
+type Options struct {
+	// FS is the filesystem seam; nil means the real filesystem.
+	FS diskio.FS
+	// MaxBytes, when positive, is the byte budget the compaction pass
+	// at Open enforces over objects/ (oldest entries evicted first).
+	MaxBytes int64
+	// Now is the recency clock for LRU mtimes; nil means time.Now.
+	// Deterministic tests inject a fake.
+	Now func() time.Time
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits    int64 // verified entries served
+	Misses  int64 // lookups with no entry (or a degraded cache)
+	Corrupt int64 // entries that failed verification and were quarantined
+	Puts    int64 // entries published
+	Evicted int64 // entries removed by the compaction pass at Open
+	// Degraded reports the sticky pass-through state; Err is the
+	// storage error that caused it.
+	Degraded bool
+	Err      string
+}
+
+// Cache is a content-addressed result store rooted at one directory.
+// All methods are safe for concurrent use and none of them ever
+// returns an error: every failure mode resolves to "recompute".
+type Cache struct {
+	fsys diskio.FS
+	dir  string
+	now  func() time.Time
+
+	// locks serializes in-process same-key publication (64 stripes by
+	// the key's first hex byte). Cross-process races are resolved by
+	// first-wins rename plus verify-on-read.
+	locks [64]sync.Mutex
+
+	mu       sync.Mutex
+	degraded error
+	hits     int64
+	misses   int64
+	corrupt  int64
+	puts     int64
+	evicted  int64
+}
+
+// Open roots a cache at dir, creating its layout and running the
+// size-budget compaction pass. A storage error (ENOSPC/EIO) during
+// setup yields a usable cache already in its degraded pass-through
+// state — a full disk must not fail the campaign — while any other
+// error (permissions, a file where the directory should be) is
+// returned, so misconfiguration fails fast instead of silently running
+// uncached.
+func Open(dir string, opts Options) (*Cache, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = diskio.OS{}
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	c := &Cache{fsys: fsys, dir: dir, now: now}
+	for _, sub := range []string{objectsDir, corruptDir} {
+		if err := fsys.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			if diskio.IsStorageErr(err) {
+				c.degrade(err)
+				return c, nil
+			}
+			return nil, fmt.Errorf("resultcache: open %s: %w", dir, err)
+		}
+	}
+	if err := c.compact(opts.MaxBytes); err != nil {
+		if diskio.IsStorageErr(err) {
+			c.degrade(err)
+			return c, nil
+		}
+		return nil, fmt.Errorf("resultcache: compact %s: %w", dir, err)
+	}
+	return c, nil
+}
+
+// objectPath is where key's entry lives.
+func (c *Cache) objectPath(key string) string {
+	return filepath.Join(c.dir, objectsDir, key)
+}
+
+// Get returns the verified payload cached under key. hit reports a
+// verified entry; corrupt reports that an entry existed but failed
+// verification and was quarantined (the caller should count it and
+// recompute). Get never returns an error: unreadable entries are
+// misses, and a storage error flips the sticky degradation.
+func (c *Cache) Get(key string) (payload []byte, hit bool, corrupt bool) {
+	if c.Degraded() != nil {
+		c.count(&c.misses)
+		return nil, false, false
+	}
+	path := c.objectPath(key)
+	f, err := diskio.Open(c.fsys, path)
+	if err != nil {
+		if diskio.IsStorageErr(err) {
+			c.degrade(err)
+		}
+		c.count(&c.misses)
+		return nil, false, false
+	}
+	data, err := io.ReadAll(io.LimitReader(f, maxEntryBytes+1))
+	f.Close()
+	if err != nil {
+		if diskio.IsStorageErr(err) {
+			c.degrade(err)
+			c.count(&c.misses)
+			return nil, false, false
+		}
+		// A short or failed read of an existing entry is treated as
+		// corruption: quarantine it so the next run is not haunted too.
+		c.quarantine(path)
+		c.count(&c.corrupt)
+		return nil, false, true
+	}
+	e, ok := verify(key, data)
+	if !ok {
+		c.quarantine(path)
+		c.count(&c.corrupt)
+		return nil, false, true
+	}
+	// Refresh recency so the compaction pass sees reuse, not just
+	// publication age. Best-effort: a failed touch costs eviction
+	// fidelity, never correctness.
+	t := c.now()
+	if err := c.fsys.Chtimes(path, t, t); err != nil && diskio.IsStorageErr(err) {
+		c.degrade(err)
+	}
+	c.count(&c.hits)
+	return e.Payload, true, false
+}
+
+// verify decodes data as an entry for key and checks every integrity
+// claim the publisher embedded: format version, key match, and the
+// payload digest.
+func verify(key string, data []byte) (*entry, bool) {
+	if len(data) > maxEntryBytes {
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	if e.Format != FormatVersion || e.Key != key {
+		return nil, false
+	}
+	sum := sha256.Sum256(e.Payload)
+	if hex.EncodeToString(sum[:]) != e.Sum {
+		return nil, false
+	}
+	return &e, true
+}
+
+// quarantine moves a failed entry into corrupt/ so it stops poisoning
+// lookups but stays available as evidence. Best-effort on a cache that
+// may itself be dying: a failed rename falls back to removal, and a
+// storage error degrades; an entry that survives both is simply
+// re-quarantined by the next reader.
+func (c *Cache) quarantine(path string) {
+	dst := filepath.Join(c.dir, corruptDir, filepath.Base(path))
+	if err := c.fsys.MkdirAll(filepath.Join(c.dir, corruptDir), 0o755); err == nil {
+		if err := c.fsys.Rename(path, dst); err == nil {
+			return
+		} else if diskio.IsStorageErr(err) {
+			c.degrade(err)
+			return
+		}
+	} else if diskio.IsStorageErr(err) {
+		c.degrade(err)
+		return
+	}
+	if err := c.fsys.Remove(path); err != nil && diskio.IsStorageErr(err) {
+		c.degrade(err)
+	}
+}
+
+// Put publishes payload (a JSON document) under key. It never returns
+// an error: a storage failure flips the sticky degradation, any other
+// failure drops this one entry, and in both cases the campaign's
+// correctness is untouched — the entry is simply recomputed next time.
+// The first writer of a key wins; later writers (same content by
+// construction, since the key is a content address of the inputs)
+// stand down.
+func (c *Cache) Put(key string, payload []byte) {
+	if c.Degraded() != nil {
+		return
+	}
+	// Compact to the canonical encoding so the digest is over the exact
+	// bytes stored, independent of upstream whitespace; this also
+	// refuses non-JSON payloads outright.
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, payload); err != nil {
+		return
+	}
+	if buf.Len() > maxEntryBytes/2 {
+		return
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	data, err := json.Marshal(entry{
+		Format:  FormatVersion,
+		Key:     key,
+		Payload: json.RawMessage(buf.Bytes()),
+		Sum:     hex.EncodeToString(sum[:]),
+	})
+	if err != nil {
+		return
+	}
+	lock := &c.locks[stripe(key)]
+	lock.Lock()
+	defer lock.Unlock()
+	path := c.objectPath(key)
+	if _, err := c.fsys.Stat(path); err == nil {
+		return // first writer already won
+	}
+	if err := diskio.WriteFileAtomic(c.fsys, path, data); err != nil {
+		if diskio.IsStorageErr(err) {
+			c.degrade(err)
+		}
+		return
+	}
+	t := c.now()
+	if err := c.fsys.Chtimes(path, t, t); err != nil && diskio.IsStorageErr(err) {
+		c.degrade(err)
+	}
+	c.count(&c.puts)
+}
+
+// stripe maps a key to its publication lock.
+func stripe(key string) int {
+	if key == "" {
+		return 0
+	}
+	return int(key[0]) % 64
+}
+
+// Degraded returns the sticky storage error that switched the cache to
+// pass-through, or nil while it is healthy.
+func (c *Cache) Degraded() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded
+}
+
+// Stats returns a counter snapshot.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Hits:    c.hits,
+		Misses:  c.misses,
+		Corrupt: c.corrupt,
+		Puts:    c.puts,
+		Evicted: c.evicted,
+	}
+	if c.degraded != nil {
+		s.Degraded = true
+		s.Err = c.degraded.Error()
+	}
+	return s
+}
+
+func (c *Cache) degrade(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.degraded == nil {
+		c.degraded = err
+	}
+}
+
+func (c *Cache) count(field *int64) {
+	c.mu.Lock()
+	*field++
+	c.mu.Unlock()
+}
+
+// compact removes crashed writers' leftover temp files and, when a
+// budget is set, evicts entries oldest-first (mtime, then path, so the
+// pass is deterministic for a given directory state) until objects/
+// fits. It runs only at Open: campaigns in flight never lose entries
+// under them.
+func (c *Cache) compact(maxBytes int64) error {
+	dir := filepath.Join(c.dir, objectsDir)
+	ents, err := c.fsys.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	type obj struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	var objs []obj
+	var total int64
+	for _, de := range ents {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		if filepath.Ext(name) == ".tmp" {
+			// A writer died mid-publication; its temp file is garbage.
+			if err := c.fsys.Remove(filepath.Join(dir, name)); err != nil && !errorsIsNotExist(err) {
+				return err
+			}
+			continue
+		}
+		info, err := c.fsys.Stat(filepath.Join(dir, name))
+		if err != nil {
+			if errorsIsNotExist(err) {
+				continue
+			}
+			return err
+		}
+		objs = append(objs, obj{name: name, size: info.Size(), mtime: info.ModTime()})
+		total += info.Size()
+	}
+	if maxBytes <= 0 || total <= maxBytes {
+		return nil
+	}
+	sort.Slice(objs, func(i, j int) bool {
+		if !objs[i].mtime.Equal(objs[j].mtime) {
+			return objs[i].mtime.Before(objs[j].mtime)
+		}
+		return objs[i].name < objs[j].name
+	})
+	for _, o := range objs {
+		if total <= maxBytes {
+			break
+		}
+		if err := c.fsys.Remove(filepath.Join(dir, o.name)); err != nil {
+			if errorsIsNotExist(err) {
+				continue
+			}
+			return err
+		}
+		total -= o.size
+		c.count(&c.evicted)
+	}
+	return nil
+}
+
+// errorsIsNotExist reports a does-not-exist error wherever it sits in
+// the chain.
+func errorsIsNotExist(err error) bool {
+	return errors.Is(err, fs.ErrNotExist)
+}

@@ -287,8 +287,10 @@ func applyBreaker[R any](rep *Report[R], opts BreakerOptions) {
 				r.Quarantined = true
 				// A speculative execution's attempt count would differ
 				// from a live skip's; zero it so quarantined records are
-				// identical either way.
+				// identical either way. A speculative cache hit is
+				// likewise discarded.
 				r.Attempts = 0
+				r.CacheHit = false
 				h.Quarantined++
 				w.skip()
 				continue
@@ -308,8 +310,11 @@ func applyBreaker[R any](rep *Report[R], opts BreakerOptions) {
 	}
 
 	// Recount the aggregates from the settled per-cell records.
-	rep.Failed, rep.Quarantined, rep.Retried = 0, 0, 0
+	rep.Failed, rep.Quarantined, rep.Retried, rep.CacheHits = 0, 0, 0, 0
 	for _, r := range rep.Results {
+		if r.CacheHit {
+			rep.CacheHits++
+		}
 		switch {
 		case r.Interrupted:
 			// Pending, not failed; counted in rep.Interrupted already.

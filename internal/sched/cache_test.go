@@ -1,0 +1,338 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"repro/internal/diskio"
+	"repro/internal/resultcache"
+	"repro/internal/xrand"
+)
+
+const testSalt = "exec-params/v1"
+
+func openCache(t *testing.T, dir string, opts resultcache.Options) *resultcache.Cache {
+	t.Helper()
+	c, err := resultcache.Open(dir, opts)
+	if err != nil {
+		t.Fatalf("resultcache.Open(%s): %v", dir, err)
+	}
+	return c
+}
+
+func assertValues(t *testing.T, label string, got, want []cellValue) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: cell %d: %+v != %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestCacheWarmRunByteIdentical is the cache's core contract at the
+// scheduler level: a cold run (all misses, results published), a warm
+// run (all hits, nothing executed) and a cache-off run produce
+// identical result values — the cache changes wall-clock, never data.
+func TestCacheWarmRunByteIdentical(t *testing.T) {
+	spec := testSpec(12)
+	clean, err := Run(spec, drawValue, Options[cellValue]{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := clean.Values()
+
+	dir := t.TempDir()
+	cold, err := Run(spec, drawValue, Options[cellValue]{
+		Workers: 4, Cache: openCache(t, dir, resultcache.Options{}), CacheSalt: testSalt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValues(t, "cold", cold.Values(), want)
+	if cold.CacheHits != 0 || cold.CacheMisses != len(spec.Cells) || cold.Executed != len(spec.Cells) {
+		t.Fatalf("cold counters: hits=%d misses=%d executed=%d", cold.CacheHits, cold.CacheMisses, cold.Executed)
+	}
+
+	warm, err := Run(spec, drawValue, Options[cellValue]{
+		Workers: 4, Cache: openCache(t, dir, resultcache.Options{}), CacheSalt: testSalt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValues(t, "warm", warm.Values(), want)
+	if warm.CacheHits != len(spec.Cells) || warm.Executed != 0 {
+		t.Fatalf("warm counters: hits=%d executed=%d", warm.CacheHits, warm.Executed)
+	}
+	for i, r := range warm.Results {
+		if !r.CacheHit || r.Attempts != 0 {
+			t.Fatalf("warm cell %d: CacheHit=%v Attempts=%d", i, r.CacheHit, r.Attempts)
+		}
+	}
+
+	// A different salt is a different workload: nothing may be shared.
+	salted, err := Run(spec, drawValue, Options[cellValue]{
+		Workers: 4, Cache: openCache(t, dir, resultcache.Options{}), CacheSalt: "exec-params/v2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValues(t, "other salt", salted.Values(), want)
+	if salted.CacheHits != 0 {
+		t.Fatalf("salt did not separate workloads: %d hits", salted.CacheHits)
+	}
+}
+
+// TestCacheHitsAreCheckpointed pins the resume contract: a cell served
+// from the cache is still recorded in the checkpoint, so a later resume
+// replays it even if the cache entry has since been evicted.
+func TestCacheHitsAreCheckpointed(t *testing.T) {
+	spec := testSpec(8)
+	cdir := t.TempDir()
+	cold, err := Run(spec, drawValue, Options[cellValue]{
+		Workers: 2, Cache: openCache(t, cdir, resultcache.Options{}), CacheSalt: testSalt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "c.ckpt")
+	ck, err := OpenCheckpoint(ckpt, spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Run(spec, drawValue, Options[cellValue]{
+		Workers: 2, Checkpoint: ck,
+		Cache: openCache(t, cdir, resultcache.Options{}), CacheSalt: testSalt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits != len(spec.Cells) {
+		t.Fatalf("warm hits = %d, want %d", warm.CacheHits, len(spec.Cells))
+	}
+
+	// The cache is gone; the checkpoint alone must carry the resume.
+	if err := os.RemoveAll(cdir); err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := OpenCheckpoint(ckpt, spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	resumed, err := Run(spec, drawValue, Options[cellValue]{Workers: 2, Checkpoint: ck2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Replayed != len(spec.Cells) {
+		t.Fatalf("resume replayed %d of %d cells", resumed.Replayed, len(spec.Cells))
+	}
+	assertValues(t, "resume", resumed.Values(), cold.Values())
+}
+
+// TestCacheCorruptEntrySweep flips one byte in one published entry and
+// re-runs: the damaged cell is detected, recomputed and counted; every
+// other cell still hits; the values never change.
+func TestCacheCorruptEntrySweep(t *testing.T) {
+	spec := testSpec(6)
+	dir := t.TempDir()
+	cold, err := Run(spec, drawValue, Options[cellValue]{
+		Workers: 1, Cache: openCache(t, dir, resultcache.Options{}), CacheSalt: testSalt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cold.Values()
+
+	objects, err := os.ReadDir(filepath.Join(dir, "objects"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objects) != len(spec.Cells) {
+		t.Fatalf("%d entries published, want %d", len(objects), len(spec.Cells))
+	}
+	for _, de := range objects {
+		path := filepath.Join(dir, "objects", de.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x40
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		warm, err := Run(spec, drawValue, Options[cellValue]{
+			Workers: 1, Cache: openCache(t, dir, resultcache.Options{}), CacheSalt: testSalt,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertValues(t, "after corrupting "+de.Name(), warm.Values(), want)
+		if warm.CacheCorrupt != 1 || warm.CacheHits != len(spec.Cells)-1 || warm.Executed != 1 {
+			t.Fatalf("corrupt %s: corrupt=%d hits=%d executed=%d",
+				de.Name(), warm.CacheCorrupt, warm.CacheHits, warm.Executed)
+		}
+		// The recomputed cell was republished, so the entry is whole again.
+	}
+}
+
+// TestCacheBreakerTrajectoryIdentical runs a campaign where one device
+// permanently fails under the circuit breaker, cold and then warm: the
+// warm run's hits feed the breaker the same success signal the cold
+// run's executions did, so the quarantine trajectory — which cells
+// fail, which are skipped, which survive — is identical.
+func TestCacheBreakerTrajectoryIdentical(t *testing.T) {
+	spec := testSpec(16)
+	exec := func(_ context.Context, c Cell, rng *xrand.Rand) (cellValue, error) {
+		if c.Device == "Intel" {
+			return cellValue{}, fmt.Errorf("device fault on %s", c.Key)
+		}
+		return cellValue{Key: c.Key, Draw: rng.Uint64()}, nil
+	}
+	run := func(cache ResultCache) *Report[cellValue] {
+		rep, err := Run(spec, exec, Options[cellValue]{
+			Workers: 1, Breaker: &BreakerOptions{Threshold: 2, Cooldown: 2},
+			Cache: cache, CacheSalt: testSalt,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	dir := t.TempDir()
+	cold := run(openCache(t, dir, resultcache.Options{}))
+	warm := run(openCache(t, dir, resultcache.Options{}))
+	if warm.CacheHits == 0 {
+		t.Fatal("warm breaker run reused nothing")
+	}
+	for i := range cold.Results {
+		cr, wr := cold.Results[i], warm.Results[i]
+		if cr.Value != wr.Value || cr.Quarantined != wr.Quarantined || (cr.Err == nil) != (wr.Err == nil) {
+			t.Fatalf("cell %d trajectory diverged: cold %+v / warm %+v", i, cr, wr)
+		}
+	}
+	// Only successful cells were published: failed and quarantined cells
+	// must never enter the cache.
+	objects, err := os.ReadDir(filepath.Join(dir, "objects"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok int
+	for _, r := range cold.Results {
+		if r.Err == nil {
+			ok++
+		}
+	}
+	if len(objects) != ok {
+		t.Fatalf("%d entries published, want %d (successful cells only)", len(objects), ok)
+	}
+}
+
+// countCacheOps runs a cold campaign through a fault-free FaultFS-backed
+// cache and returns how many mutating I/O operations the cache performs
+// end to end — the fault-boundary space for the chaos test below.
+// Workers is 1 so the operation sequence is deterministic.
+func countCacheOps(t *testing.T, spec Spec) int {
+	t.Helper()
+	ffs := diskio.NewFaultFS(diskio.OS{}, 7)
+	cache := openCache(t, t.TempDir(), resultcache.Options{FS: ffs})
+	if _, err := Run(spec, drawValue, Options[cellValue]{Workers: 1, Cache: cache, CacheSalt: testSalt}); err != nil {
+		t.Fatal(err)
+	}
+	return ffs.Ops()
+}
+
+// TestCampaignUnharmedByCacheFaultAtEveryBoundary is the tentpole
+// robustness property: a crash or a persistent ENOSPC landing on ANY
+// single cache I/O operation — directory creation, entry write, fsync,
+// rename, recency touch, the lot — never changes campaign results and
+// never fails the run. Afterwards, a fresh process over whatever the
+// fault left on disk still runs to identical results: torn entries are
+// quarantined by verify-on-read, stray temp files are swept at Open.
+func TestCampaignUnharmedByCacheFaultAtEveryBoundary(t *testing.T) {
+	spec := testSpec(6)
+	clean, err := Run(spec, drawValue, Options[cellValue]{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := clean.Values()
+	total := countCacheOps(t, spec)
+	if total < 10 {
+		t.Fatalf("only %d cache ops; the boundary space is implausibly small", total)
+	}
+
+	for n := 1; n <= total; n++ {
+		for _, mode := range []string{"crash", "enospc"} {
+			dir := t.TempDir()
+			ffs := diskio.NewFaultFS(diskio.OS{}, 7)
+			if mode == "crash" {
+				ffs.CrashAfter(n)
+			} else {
+				ffs.FailFrom(n, syscall.ENOSPC)
+			}
+			cache, err := resultcache.Open(dir, resultcache.Options{FS: ffs})
+			if err != nil {
+				// Only a simulated process death during Open may surface as
+				// an error; a full disk must yield a degraded cache instead.
+				if mode != "crash" || !errors.Is(err, diskio.ErrCrashed) {
+					t.Fatalf("n=%d %s: Open: %v", n, mode, err)
+				}
+				cache = nil
+			}
+			if cache != nil {
+				rep, err := Run(spec, drawValue, Options[cellValue]{Workers: 1, Cache: cache, CacheSalt: testSalt})
+				if err != nil {
+					t.Fatalf("n=%d %s: a cache fault failed the campaign: %v", n, mode, err)
+				}
+				assertValues(t, fmt.Sprintf("n=%d %s", n, mode), rep.Values(), want)
+				if rep.Executed+rep.CacheHits != len(spec.Cells) {
+					t.Fatalf("n=%d %s: executed %d + hits %d != %d", n, mode, rep.Executed, rep.CacheHits, len(spec.Cells))
+				}
+				switch mode {
+				case "crash":
+					// A frozen filesystem is a dead process, not a sick disk:
+					// the sticky degradation must not fire.
+					if rep.CacheDegraded {
+						t.Fatalf("n=%d crash: crash reported as degradation (%s)", n, rep.CacheErr)
+					}
+				case "enospc":
+					// The fault point is inside the profiled range, so the
+					// full-disk error must have been observed and reported.
+					if !rep.CacheDegraded {
+						t.Fatalf("n=%d enospc: persistent ENOSPC not reported", n)
+					}
+				}
+			}
+			if mode == "crash" && !ffs.Crashed() {
+				t.Fatalf("n=%d: crash point inside the profiled range never fired", n)
+			}
+
+			// Restart over the survivors with a healthy filesystem, as a new
+			// process would: whatever the fault left behind — a torn entry, a
+			// stray temp file, a half-created layout — the next run verifies,
+			// quarantines and recomputes its way to identical results.
+			after, err := Run(spec, drawValue, Options[cellValue]{
+				Workers: 1, Cache: openCache(t, dir, resultcache.Options{}), CacheSalt: testSalt,
+			})
+			if err != nil {
+				t.Fatalf("n=%d %s: restarted run: %v", n, mode, err)
+			}
+			assertValues(t, fmt.Sprintf("n=%d %s restart", n, mode), after.Values(), want)
+			if after.CacheDegraded {
+				t.Fatalf("n=%d %s: degradation leaked into the restarted process", n, mode)
+			}
+		}
+	}
+}

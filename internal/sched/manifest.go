@@ -27,6 +27,34 @@ func (s *Spec) Manifest() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// cellDigestTag versions the cell-digest preimage layout. Bump it when
+// the encoding below changes so stale cache entries keyed under the old
+// layout can never alias new ones.
+const cellDigestTag = "mcmutants-cell/v1"
+
+// CellDigest returns the content address of one cell's result: a hex
+// SHA-256 over the digest layout tag, a caller-supplied salt capturing
+// every workload parameter outside the spec (iteration counts, fault
+// model, retry policy — whatever the exec closure bakes in), and the
+// spec fields the cell's RNG stream derives from (name, seed, cell key,
+// device). Two cells share a digest exactly when executing them must
+// produce the same value, which is what makes the digest a safe key for
+// the cross-campaign result cache. The encoding is the same
+// length-prefixed scheme Manifest uses, so field boundaries cannot
+// alias.
+func (s *Spec) CellDigest(salt string, c Cell) string {
+	h := sha256.New()
+	writeField(h, cellDigestTag)
+	writeField(h, salt)
+	writeField(h, s.Name)
+	var seed [8]byte
+	binary.LittleEndian.PutUint64(seed[:], s.Seed)
+	h.Write(seed[:])
+	writeField(h, c.Key)
+	writeField(h, c.Device)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // writeField writes a length-prefixed string so field boundaries cannot
 // alias ("ab","c" vs "a","bc").
 func writeField(h interface{ Write([]byte) (int, error) }, s string) {

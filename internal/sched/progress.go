@@ -33,6 +33,10 @@ type Reporter struct {
 	nInterrupted int
 	retries      int
 	instances    int
+	cacheHits    int
+	cacheMisses  int
+	cacheCorrupt int
+	cacheDegrade bool
 	deviceBusy   map[string]time.Duration
 	start        time.Time
 	lastEmit     time.Time
@@ -55,6 +59,7 @@ func (p *Reporter) begin(ctx context.Context, name string, total int) {
 	p.total = total
 	p.done, p.nReplayed, p.failed, p.instances = 0, 0, 0, 0
 	p.nQuarantined, p.nInterrupted, p.retries = 0, 0, 0
+	p.cacheHits, p.cacheMisses, p.cacheCorrupt, p.cacheDegrade = 0, 0, 0, false
 	p.deviceBusy = map[string]time.Duration{}
 	p.start = p.now()
 	p.lastEmit = time.Time{}
@@ -112,6 +117,16 @@ func (p *Reporter) replayed(Cell) {
 	p.mu.Unlock()
 }
 
+// cacheHit records a cell served from the result cache: done without
+// executing. Misses and corruptions surface on the final line via the
+// settled report counters — a miss just means the cell executes.
+func (p *Reporter) cacheHit(Cell) {
+	p.mu.Lock()
+	p.cacheHits++
+	p.done++
+	p.mu.Unlock()
+}
+
 // quarantined records a cell skipped by an open circuit breaker.
 func (p *Reporter) quarantined(Cell) {
 	p.mu.Lock()
@@ -156,13 +171,15 @@ func (p *Reporter) cellDone(c Cell, wall time.Duration, instances int, ok bool, 
 // breaker, live counts can differ from the deterministic post-pass
 // verdicts (a cell may have executed speculatively and been quarantined
 // after the fact).
-func (p *Reporter) finish(failed, quarantined, retried, interrupted int) {
+func (p *Reporter) finish(rep reportCounters) {
 	p.stop()
 	p.mu.Lock()
-	p.failed, p.nQuarantined, p.retries = failed, quarantined, retried
-	p.nInterrupted = interrupted
+	p.failed, p.nQuarantined, p.retries = rep.failed, rep.quarantined, rep.retried
+	p.nInterrupted = rep.interrupted
+	p.cacheHits, p.cacheMisses, p.cacheCorrupt = rep.cacheHits, rep.cacheMisses, rep.cacheCorrupt
+	p.cacheDegrade = rep.cacheDegraded
 	line := p.line()
-	if interrupted > 0 {
+	if rep.interrupted > 0 {
 		line += " interrupted"
 	} else {
 		line += " done"
@@ -179,7 +196,7 @@ func (p *Reporter) line() string {
 	if elapsed <= 0 {
 		elapsed = 1e-9
 	}
-	executed := p.done - p.nReplayed
+	executed := p.done - p.nReplayed - p.cacheHits
 	cellsPerSec := float64(executed) / elapsed
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: %d/%d cells", p.name, p.done, p.total)
@@ -201,6 +218,15 @@ func (p *Reporter) line() string {
 	fmt.Fprintf(&b, " | %.1f cells/s", cellsPerSec)
 	if p.instances > 0 {
 		fmt.Fprintf(&b, ", %.0f instances/s", float64(p.instances)/elapsed)
+	}
+	if p.cacheHits > 0 || p.cacheMisses > 0 || p.cacheCorrupt > 0 {
+		fmt.Fprintf(&b, " | cache %d hit %d miss", p.cacheHits, p.cacheMisses)
+		if p.cacheCorrupt > 0 {
+			fmt.Fprintf(&b, " %d corrupt", p.cacheCorrupt)
+		}
+	}
+	if p.cacheDegrade {
+		b.WriteString(" | cache degraded")
 	}
 	if util := p.utilization(); util != "" {
 		fmt.Fprintf(&b, " | %s", util)

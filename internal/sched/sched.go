@@ -153,6 +153,18 @@ type Options[R any] struct {
 	// Checkpoint, when non-nil, records completed cells and replays
 	// cells already done in a previous run.
 	Checkpoint *Checkpoint
+	// Cache, when non-nil, is the cross-campaign result cache: each
+	// cell is consulted under its CellDigest before executing, and
+	// successfully-validated results are published back. The cache is
+	// an optimization, never a dependency — a missing, corrupt or
+	// failing cache only costs recomputation (see ResultCache).
+	Cache ResultCache
+	// CacheSalt folds the workload parameters the exec closure bakes in
+	// (iteration counts, fault model, retry policy) into the cell
+	// digests, so two campaigns share cache entries only when executing
+	// a cell must produce the same value. Required whenever Cache is
+	// set and the exec is not a pure function of (spec, cell, rng).
+	CacheSalt string
 	// Reporter, when non-nil, receives completion events and streams
 	// throughput lines.
 	Reporter *Reporter
@@ -197,6 +209,9 @@ type CellResult[R any] struct {
 	Attempts int
 	// Replayed marks cells restored from the checkpoint.
 	Replayed bool
+	// CacheHit marks cells served from the result cache instead of
+	// executing; Attempts is 0 and WallSeconds ~0 for them.
+	CacheHit bool
 	// Quarantined marks cells skipped (or discarded) because their
 	// device's circuit breaker was open; Err is ErrQuarantined.
 	Quarantined bool
@@ -234,6 +249,22 @@ type Report[R any] struct {
 	StorageDegraded bool
 	// StorageErr is the degradation cause rendered as text.
 	StorageErr string
+	// CacheHits, CacheMisses and CacheCorrupt count result-cache
+	// consultations: verified entries served, absent entries, and
+	// entries that failed verification (quarantined and recomputed).
+	// They are observability only — no campaign artifact encodes them,
+	// which is what keeps warm and cold runs byte-identical.
+	CacheHits   int
+	CacheMisses int
+	CacheCorrupt int
+	// CacheDegraded is true when the result cache hit a persistent
+	// storage failure and switched to pass-through: results are
+	// complete and correct, the run just stopped reusing or publishing
+	// entries. Unlike StorageDegraded it never degrades the exit
+	// status — the cache is an optimization, not a dependency.
+	CacheDegraded bool
+	// CacheErr is the cache degradation cause rendered as text.
+	CacheErr string
 	// Health summarizes per-device fleet health; populated when the
 	// breaker is enabled, sorted by device name.
 	Health []DeviceHealth
@@ -415,6 +446,66 @@ func RunContext[R any](ctx context.Context, spec Spec, exec Exec[R], opts Option
 					}
 					continue
 				}
+				// Consult the result cache before executing. A verified hit
+				// resolves the cell without touching the simulator; it still
+				// feeds the breaker (as the success it recorded) and the
+				// checkpoint (resume must not depend on the cache retaining
+				// the entry). A corrupt or undecodable entry — already
+				// quarantined by the cache — just recomputes.
+				var cacheDigest string
+				if opts.Cache != nil {
+					cacheDigest = spec.CellDigest(opts.CacheSalt, cell)
+					payload, hit, corrupt := opts.Cache.Get(cacheDigest)
+					if hit {
+						var v R
+						if uerr := json.Unmarshal(payload, &v); uerr != nil {
+							// The envelope verified but the value no longer
+							// decodes as R: the result type moved underneath
+							// the cache. Same remedy as corruption.
+							hit, corrupt = false, true
+						} else {
+							rep.Results[i].Value = v
+							rep.Results[i].CacheHit = true
+							mu.Lock()
+							rep.CacheHits++
+							var cerr error
+							if opts.Checkpoint != nil {
+								cerr = opts.Checkpoint.record(cell.Key, v)
+							}
+							if cerr != nil {
+								rep.Results[i].Err = cerr
+								rep.Results[i].CacheHit = false
+								rep.CacheHits--
+								rep.Failed++
+								if !collect && !abort {
+									abort = true
+									abortCause = cerr
+								}
+							}
+							mu.Unlock()
+							breaker.resolve(cell.Device, i, rep.Results[i].Err == nil)
+							if rep.Results[i].Err == nil {
+								if opts.Reporter != nil {
+									opts.Reporter.cacheHit(cell)
+								}
+								if prog != nil {
+									prog.cellCacheHit()
+								}
+							}
+							continue
+						}
+					}
+					mu.Lock()
+					if corrupt {
+						rep.CacheCorrupt++
+					} else {
+						rep.CacheMisses++
+					}
+					mu.Unlock()
+					if prog != nil {
+						prog.cellCacheMiss(corrupt)
+					}
+				}
 				if opts.OnCellStart != nil {
 					mu.Lock()
 					opts.OnCellStart(cell)
@@ -478,6 +569,15 @@ func RunContext[R any](ctx context.Context, spec Spec, exec Exec[R], opts Option
 					}
 				}
 				mu.Unlock()
+				// Publish after validation: only a cell that completed
+				// cleanly — executed without error and, when checkpointing,
+				// durably recorded — enters the cache. Failed, faulted,
+				// interrupted and aborted cells never do.
+				if opts.Cache != nil && rep.Results[i].Err == nil {
+					if data, merr := json.Marshal(value); merr == nil {
+						opts.Cache.Put(cacheDigest, data)
+					}
+				}
 				breaker.resolve(cell.Device, i, rep.Results[i].Err == nil)
 				if opts.Reporter != nil {
 					opts.Reporter.cellDone(cell, wall, instances, rep.Results[i].Err == nil, attempts-1)
@@ -515,17 +615,31 @@ func RunContext[R any](ctx context.Context, spec Spec, exec Exec[R], opts Option
 			rep.StorageErr = derr.Error()
 		}
 	}
+	if opts.Cache != nil {
+		if derr := opts.Cache.Degraded(); derr != nil {
+			// The cache disk filled or failed; the campaign recomputed
+			// whatever it could not reuse. Reported, never fatal — and
+			// never part of the exit status.
+			rep.CacheDegraded = true
+			rep.CacheErr = derr.Error()
+		}
+	}
+	counters := reportCounters{
+		executed: rep.Executed, replayed: rep.Replayed,
+		failed: rep.Failed, quarantined: rep.Quarantined,
+		interrupted: rep.Interrupted, retried: rep.Retried,
+		health:          rep.Health,
+		storageDegraded: rep.StorageDegraded,
+		cacheHits:       rep.CacheHits,
+		cacheMisses:     rep.CacheMisses,
+		cacheCorrupt:    rep.CacheCorrupt,
+		cacheDegraded:   rep.CacheDegraded,
+	}
 	if opts.Reporter != nil {
-		opts.Reporter.finish(rep.Failed, rep.Quarantined, rep.Retried, rep.Interrupted)
+		opts.Reporter.finish(counters)
 	}
 	if prog != nil {
-		prog.finish(reportCounters{
-			executed: rep.Executed, replayed: rep.Replayed,
-			failed: rep.Failed, quarantined: rep.Quarantined,
-			interrupted: rep.Interrupted, retried: rep.Retried,
-			health:          rep.Health,
-			storageDegraded: rep.StorageDegraded,
-		})
+		prog.finish(counters)
 	}
 	if !collect && abortCause != nil {
 		return rep, abortCause

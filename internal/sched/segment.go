@@ -32,6 +32,12 @@ type Segment struct {
 	// executed this run. Workers never set it; the coordinator does,
 	// when seeding a resumed campaign.
 	Replayed bool `json:"replayed,omitempty"`
+	// CacheHit marks segments a worker served from its local result
+	// cache instead of executing. Like Executed/Replayed it describes
+	// how the work happened, not what the result is — no artifact
+	// encodes it — so the coordinator can aggregate a fleet-wide hit
+	// rate without touching the byte-identity contract.
+	CacheHit bool `json:"cache_hit,omitempty"`
 }
 
 // SubSpec returns the spec restricted to the cells at the given spec
@@ -60,7 +66,7 @@ func ExportSegments[R any](rep *Report[R]) ([]Segment, error) {
 		if r.Interrupted || (r.Err != nil && errors.Is(r.Err, ErrAborted)) {
 			continue
 		}
-		seg := Segment{Key: r.Cell.Key, Attempts: r.Attempts, Replayed: r.Replayed}
+		seg := Segment{Key: r.Cell.Key, Attempts: r.Attempts, Replayed: r.Replayed, CacheHit: r.CacheHit}
 		if r.Err != nil {
 			seg.Err = r.Err.Error()
 		} else {
@@ -111,7 +117,12 @@ func AssembleReport[R any](spec Spec, segs map[string]Segment, breaker *BreakerO
 			continue
 		}
 		r.Attempts = seg.Attempts
-		rep.Executed++
+		if seg.CacheHit {
+			r.CacheHit = true
+			rep.CacheHits++
+		} else {
+			rep.Executed++
+		}
 		if seg.Err != "" {
 			r.Err = errors.New(seg.Err)
 			rep.Failed++

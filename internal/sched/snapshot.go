@@ -43,6 +43,17 @@ type Progress struct {
 	// DeviceBusy is each device's accumulated cell wall time in
 	// seconds — the raw feed behind the Reporter's utilization line.
 	DeviceBusy map[string]float64 `json:"device_busy,omitempty"`
+	// CacheHits, CacheMisses and CacheCorrupt mirror the Report's
+	// result-cache counters: cells served from the cache, consultations
+	// that found nothing, and entries that failed verification. They
+	// are observability only and never appear in campaign artifacts.
+	CacheHits    int `json:"cache_hits,omitempty"`
+	CacheMisses  int `json:"cache_misses,omitempty"`
+	CacheCorrupt int `json:"cache_corrupt,omitempty"`
+	// CacheDegraded is set on the final snapshot when the result cache
+	// hit a persistent storage failure and switched to pass-through.
+	// Unlike StorageDegraded it never affects exit status or readiness.
+	CacheDegraded bool `json:"cache_degraded,omitempty"`
 	// Final marks the last snapshot of the campaign, emitted after the
 	// verdicts settle and before RunContext returns.
 	Final bool `json:"final"`
@@ -79,6 +90,9 @@ type progressTracker struct {
 	interrupts int
 	retried    int
 	instances  int
+	cacheHits  int
+	cacheMiss  int
+	cacheBad   int
 	deviceBusy map[string]time.Duration
 
 	stopTick func()        // cancels the ticker goroutine; nil when none
@@ -126,16 +140,19 @@ func (t *progressTracker) snapshot() Progress {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	p := Progress{
-		Campaign:    t.campaign,
-		Total:       t.total,
-		Done:        t.executed + t.replayed + t.quarantine,
-		Executed:    t.executed,
-		Replayed:    t.replayed,
-		Failed:      t.failed,
-		Quarantined: t.quarantine,
-		Interrupted: t.interrupts,
-		Retried:     t.retried,
-		Instances:   t.instances,
+		Campaign:     t.campaign,
+		Total:        t.total,
+		Done:         t.executed + t.replayed + t.quarantine + t.cacheHits,
+		Executed:     t.executed,
+		Replayed:     t.replayed,
+		Failed:       t.failed,
+		Quarantined:  t.quarantine,
+		Interrupted:  t.interrupts,
+		Retried:      t.retried,
+		Instances:    t.instances,
+		CacheHits:    t.cacheHits,
+		CacheMisses:  t.cacheMiss,
+		CacheCorrupt: t.cacheBad,
 	}
 	p.ElapsedSeconds = t.now().Sub(t.start).Seconds()
 	elapsed := p.ElapsedSeconds
@@ -168,6 +185,27 @@ func (t *progressTracker) cellQuarantined() {
 func (t *progressTracker) cellInterrupted() {
 	t.mu.Lock()
 	t.interrupts++
+	t.mu.Unlock()
+}
+
+// cellCacheHit records a cell served from the result cache: it counts
+// toward Done without counting as executed.
+func (t *progressTracker) cellCacheHit() {
+	t.mu.Lock()
+	t.cacheHits++
+	t.mu.Unlock()
+}
+
+// cellCacheMiss records a consultation that found nothing servable;
+// corrupt marks the subset where an entry existed but failed
+// verification. The cell goes on to execute either way.
+func (t *progressTracker) cellCacheMiss(corrupt bool) {
+	t.mu.Lock()
+	if corrupt {
+		t.cacheBad++
+	} else {
+		t.cacheMiss++
+	}
 	t.mu.Unlock()
 }
 
@@ -204,18 +242,24 @@ func (t *progressTracker) finish(rep reportCounters) {
 	t.quarantine = rep.quarantined
 	t.interrupts = rep.interrupted
 	t.retried = rep.retried
+	t.cacheHits = rep.cacheHits
+	t.cacheMiss = rep.cacheMisses
+	t.cacheBad = rep.cacheCorrupt
 	t.mu.Unlock()
 	p := t.snapshot()
 	p.Final = true
 	p.Health = rep.health
 	p.StorageDegraded = rep.storageDegraded
+	p.CacheDegraded = rep.cacheDegraded
 	t.cb(p)
 }
 
 // reportCounters carries the settled aggregates finish overlays onto
-// the final snapshot.
+// the final snapshot and the Reporter's summary line.
 type reportCounters struct {
 	executed, replayed, failed, quarantined, interrupted, retried int
+	cacheHits, cacheMisses, cacheCorrupt                          int
 	health                                                        []DeviceHealth
 	storageDegraded                                               bool
+	cacheDegraded                                                 bool
 }

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/diskio"
+	"repro/internal/resultcache"
+)
+
+// TestServeCacheWarmResubmitByteIdentical: two servers sharing one
+// cache directory. The first runs a job cold and publishes every cell;
+// the second (fresh state dir, so the job is not simply replayed from
+// its own records) serves the same spec entirely from the cache — with
+// a byte-identical artifact, per-job cache counters in the summary, and
+// fleet traffic on /metrics.
+func TestServeCacheWarmResubmitByteIdentical(t *testing.T) {
+	cacheDir := t.TempDir()
+
+	_, c1 := startServer(t, Config{Runners: 1, JobWorkers: 4, CacheDir: cacheDir})
+	ctx := context.Background()
+	sub, err := c1.Submit(ctx, smallConformance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := c1.Wait(ctx, sub.Job.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.State != StateDone {
+		t.Fatalf("cold job state = %s (%s)", cold.State, cold.Error)
+	}
+	if cold.Summary.CacheHits != 0 || cold.Summary.CacheMisses != cold.Cells {
+		t.Fatalf("cold cache counters: %+v", cold.Summary)
+	}
+	want := localConformanceArtifact(t, cold.Spec)
+	got, err := c1.Report(ctx, cold.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("cold cached artifact differs from the local oracle")
+	}
+
+	_, c2 := startServer(t, Config{Runners: 1, JobWorkers: 4, CacheDir: cacheDir})
+	sub2, err := c2.Submit(ctx, smallConformance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := c2.Wait(ctx, sub2.Job.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.State != StateDone {
+		t.Fatalf("warm job state = %s (%s)", warm.State, warm.Error)
+	}
+	if warm.Summary.CacheHits != warm.Cells || warm.Summary.Executed != 0 {
+		t.Fatalf("warm job did not run from the cache: %+v", warm.Summary)
+	}
+	got2, err := c2.Report(ctx, warm.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, want) {
+		t.Fatal("warm cached artifact differs from the local oracle")
+	}
+
+	resp, err := http.Get(c2.BaseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+	for _, wantLine := range []string{
+		fmt.Sprintf("mcmutants_cache_hits_total %d", warm.Cells),
+		"mcmutants_cache_misses_total 0",
+		"mcmutants_cache_corrupt_total 0",
+		"mcmutants_cache_degraded 0",
+	} {
+		if !strings.Contains(body, wantLine) {
+			t.Errorf("metrics missing %q\n%s", wantLine, body)
+		}
+	}
+	code, hb := probe(t, c2.BaseURL, "/readyz")
+	if code != http.StatusOK || hb["cache_degraded"] != false {
+		t.Fatalf("readyz = %d %v, want 200 with cache_degraded=false", code, hb)
+	}
+}
+
+// TestReadyzCacheDegradedNonGating: a degraded result cache is reported
+// on the health endpoints and /metrics, but — unlike a degraded job
+// checkpoint — it never takes the server out of rotation: the cache is
+// an optimization, losing it only costs recomputation.
+func TestReadyzCacheDegradedNonGating(t *testing.T) {
+	s, c, _ := queuedServer(t, Config{})
+
+	ffs := diskio.NewFaultFS(diskio.OS{}, 1)
+	ffs.FailFrom(1, syscall.ENOSPC)
+	dc, err := resultcache.Open(t.TempDir(), resultcache.Options{FS: ffs})
+	if err != nil {
+		t.Fatalf("a full disk must yield a degraded cache, not an error: %v", err)
+	}
+	if dc.Degraded() == nil {
+		t.Fatal("cache not degraded")
+	}
+	s.cache = dc
+
+	code, body := probe(t, c.BaseURL, "/readyz")
+	if code != http.StatusOK || body["ready"] != true {
+		t.Fatalf("readyz with degraded cache = %d %v, want 200 ready (non-gating)", code, body)
+	}
+	if body["cache_degraded"] != true {
+		t.Fatalf("readyz does not report the degraded cache: %v", body)
+	}
+	if code, body := probe(t, c.BaseURL, "/healthz"); code != http.StatusOK || body["cache_degraded"] != true {
+		t.Fatalf("healthz = %d %v, want 200 with cache_degraded=true", code, body)
+	}
+
+	resp, err := http.Get(c.BaseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "mcmutants_cache_degraded 1") {
+		t.Fatalf("metrics missing degraded gauge:\n%s", buf.String())
+	}
+}

@@ -137,6 +137,22 @@ func (s *Server) distOptions(js *JobSpec, name string, devices []string) (*core.
 	}, nil
 }
 
+// cacheSaltFor derives a campaign job's result-cache salt from the
+// same WorkSpec shape the CLI and distributed descriptors use, so a
+// serve job, the equivalent `mcmutants campaign` invocation and any
+// distributed worker address identical cache entries.
+func cacheSaltFor(js *JobSpec, devices []string) (string, error) {
+	ws := core.WorkSpec{
+		Kind:     js.Kind,
+		Devices:  devices,
+		Envs:     append([]string(nil), js.Envs...),
+		Iters:    js.Iters,
+		Seed:     js.Seed,
+		FenceBug: js.FenceBug,
+	}
+	return ws.CacheSalt()
+}
+
 // tuneConfigOf builds the tuning config the CLI's tune verb would:
 // SmallConfig with the spec's sizes, seed and fleet subset.
 func tuneConfigOf(js *JobSpec) tuning.Config {
@@ -193,6 +209,10 @@ func (a *progressAggregator) hook() func(sched.Progress) {
 		q.Interrupted += a.base.Interrupted
 		q.Retried += a.base.Retried
 		q.Instances += a.base.Instances
+		q.CacheHits += a.base.CacheHits
+		q.CacheMisses += a.base.CacheMisses
+		q.CacheCorrupt += a.base.CacheCorrupt
+		q.CacheDegraded = p.CacheDegraded || a.base.CacheDegraded
 		q.ElapsedSeconds += a.base.ElapsedSeconds
 		// Rates must describe the aggregated scope, not the current
 		// campaign's: recompute them from the job totals the same way
@@ -261,6 +281,14 @@ func (s *Server) execute(ctx context.Context, job *Job, onProgress func(sched.Pr
 			}
 			opts.Dist = d
 		}
+		if s.cache != nil {
+			salt, err := cacheSaltFor(&js, js.Devices)
+			if err != nil {
+				return nil, err
+			}
+			opts.Cache = s.cache
+			opts.CacheSalt = salt
+		}
 		env, err := core.EnvByName(js.Envs[0], 16, 32)
 		if err != nil {
 			return nil, err
@@ -321,6 +349,16 @@ func (s *Server) execute(ctx context.Context, job *Job, onProgress func(sched.Pr
 				}
 				devOpts.Dist = d
 			}
+			if s.cache != nil {
+				// Per-device salt, matching the single-device descriptor a
+				// distributed worker would salt with.
+				salt, err := cacheSaltFor(&js, []string{p.Device})
+				if err != nil {
+					return nil, err
+				}
+				devOpts.Cache = s.cache
+				devOpts.CacheSalt = salt
+			}
 			score, err := s.study.EvaluateEnvironmentsCtx(ctx, p, envList, js.Iters, js.Seed, devOpts)
 			interrupted := errors.Is(err, sched.ErrInterrupted)
 			if err != nil && !interrupted {
@@ -355,6 +393,9 @@ func (s *Server) execute(ctx context.Context, job *Job, onProgress func(sched.Pr
 			FS:             s.fs,
 			OnProgress:     agg.hook(),
 			ProgressEvery:  s.cfg.ProgressEvery,
+		}
+		if s.cache != nil {
+			ropts.Cache = s.cache
 		}
 		ds, err := tuning.RunCampaignCtx(ctx, tuneConfigOf(&js), s.study.Suite.Mutants, ropts)
 		if err != nil {

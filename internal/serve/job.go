@@ -172,6 +172,15 @@ type Summary struct {
 	Interrupted int `json:"interrupted,omitempty"`
 	Retried     int `json:"retried,omitempty"`
 
+	// CacheHits, CacheMisses and CacheCorrupt are the job's result-cache
+	// traffic; CacheDegraded reports the cache fell back to pass-through.
+	// Cache state is observability only: it never changes the job's
+	// terminal state or its artifact.
+	CacheHits     int  `json:"cache_hits,omitempty"`
+	CacheMisses   int  `json:"cache_misses,omitempty"`
+	CacheCorrupt  int  `json:"cache_corrupt,omitempty"`
+	CacheDegraded bool `json:"cache_degraded,omitempty"`
+
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	CellsPerSec    float64 `json:"cells_per_sec"`
 
@@ -191,6 +200,10 @@ func summaryOf(p sched.Progress) *Summary {
 		Quarantined:     p.Quarantined,
 		Interrupted:     p.Interrupted,
 		Retried:         p.Retried,
+		CacheHits:       p.CacheHits,
+		CacheMisses:     p.CacheMisses,
+		CacheCorrupt:    p.CacheCorrupt,
+		CacheDegraded:   p.CacheDegraded,
 		ElapsedSeconds:  p.ElapsedSeconds,
 		CellsPerSec:     p.CellsPerSec,
 		Health:          p.Health,

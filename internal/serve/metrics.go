@@ -21,6 +21,9 @@ type metrics struct {
 	cellsReplayed int64
 	cellsRetried  int64
 	cellsQuar     int64
+	cacheHits     int64
+	cacheMisses   int64
+	cacheCorrupt  int64
 	// perJob remembers each live job's last cumulative snapshot so a
 	// new snapshot contributes only its delta to the counters.
 	perJob map[string]cellCounts
@@ -28,6 +31,7 @@ type metrics struct {
 
 type cellCounts struct {
 	executed, replayed, retried, quarantined int
+	cacheHits, cacheMisses, cacheCorrupt     int
 }
 
 func newMetrics() *metrics {
@@ -45,15 +49,21 @@ func (m *metrics) observe(id string, p sched.Progress) {
 	defer m.mu.Unlock()
 	prev := m.perJob[id]
 	cur := cellCounts{
-		executed:    p.Executed,
-		replayed:    p.Replayed,
-		retried:     p.Retried,
-		quarantined: p.Quarantined,
+		executed:     p.Executed,
+		replayed:     p.Replayed,
+		retried:      p.Retried,
+		quarantined:  p.Quarantined,
+		cacheHits:    p.CacheHits,
+		cacheMisses:  p.CacheMisses,
+		cacheCorrupt: p.CacheCorrupt,
 	}
 	m.cellsExec += max64(0, cur.executed-prev.executed)
 	m.cellsReplayed += max64(0, cur.replayed-prev.replayed)
 	m.cellsRetried += max64(0, cur.retried-prev.retried)
 	m.cellsQuar += max64(0, cur.quarantined-prev.quarantined)
+	m.cacheHits += max64(0, cur.cacheHits-prev.cacheHits)
+	m.cacheMisses += max64(0, cur.cacheMisses-prev.cacheMisses)
+	m.cacheCorrupt += max64(0, cur.cacheCorrupt-prev.cacheCorrupt)
 	m.perJob[id] = cur
 }
 
@@ -87,6 +97,7 @@ type gaugeSet struct {
 	runningJobs     int
 	cellsPerSec     float64
 	storageDegraded int
+	cacheDegraded   bool
 	draining        bool
 }
 
@@ -110,6 +121,7 @@ func (m *metrics) render(w io.Writer, g gaugeSet) {
 	}
 	cellsExec, cellsReplayed := m.cellsExec, m.cellsReplayed
 	cellsRetried, cellsQuar := m.cellsRetried, m.cellsQuar
+	cacheHits, cacheMisses, cacheCorrupt := m.cacheHits, m.cacheMisses, m.cacheCorrupt
 	m.mu.Unlock()
 
 	head := func(name, help, typ string) {
@@ -139,6 +151,18 @@ func (m *metrics) render(w io.Writer, g gaugeSet) {
 	fmt.Fprintf(w, "mcmutants_cells_quarantined_total %d\n", cellsQuar)
 	head("mcmutants_cells_per_second", "Aggregate execution throughput across running jobs.", "gauge")
 	fmt.Fprintf(w, "mcmutants_cells_per_second %s\n", num(g.cellsPerSec))
+	head("mcmutants_cache_hits_total", "Cells served from the result cache since the server started.", "counter")
+	fmt.Fprintf(w, "mcmutants_cache_hits_total %d\n", cacheHits)
+	head("mcmutants_cache_misses_total", "Result-cache consultations that found no entry since the server started.", "counter")
+	fmt.Fprintf(w, "mcmutants_cache_misses_total %d\n", cacheMisses)
+	head("mcmutants_cache_corrupt_total", "Result-cache entries that failed verification and were quarantined since the server started.", "counter")
+	fmt.Fprintf(w, "mcmutants_cache_corrupt_total %d\n", cacheCorrupt)
+	head("mcmutants_cache_degraded", "1 while the shared result cache is degraded to pass-through on a storage failure.", "gauge")
+	cd := 0
+	if g.cacheDegraded {
+		cd = 1
+	}
+	fmt.Fprintf(w, "mcmutants_cache_degraded %d\n", cd)
 	head("mcmutants_storage_degraded_jobs", "Jobs whose checkpoint degraded to in-memory on a storage failure.", "gauge")
 	fmt.Fprintf(w, "mcmutants_storage_degraded_jobs %d\n", g.storageDegraded)
 	head("mcmutants_draining", "1 while the server is draining for shutdown.", "gauge")

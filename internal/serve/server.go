@@ -17,6 +17,7 @@ import (
 	"repro/internal/diskio"
 	"repro/internal/dist"
 	"repro/internal/gpu"
+	"repro/internal/resultcache"
 	"repro/internal/sched"
 )
 
@@ -55,6 +56,16 @@ type Config struct {
 	// DistLeaseTTL is the worker lease deadline for distributed jobs.
 	// Default 10s.
 	DistLeaseTTL time.Duration
+	// CacheDir, when non-empty, roots a persistent result cache shared
+	// by every job: cells already computed under identical parameters —
+	// by an earlier job, another server over the same directory, or the
+	// CLI verbs — are served from disk. Caching never changes artifacts
+	// (they stay byte-identical to a cold run) and a cache storage
+	// failure degrades the cache to pass-through without failing jobs.
+	CacheDir string
+	// CacheMaxBytes is the cache size budget enforced by LRU compaction
+	// at open; 0 means unbounded.
+	CacheMaxBytes int64
 	// FS is the filesystem seam for all durable writes; nil means the
 	// real filesystem. Tests inject a fault model.
 	FS diskio.FS
@@ -85,7 +96,8 @@ type Server struct {
 	store   *store
 	hub     *hub
 	metrics *metrics
-	dist    *dist.Hub // nil unless Config.EnableDist
+	cache   *resultcache.Cache // nil unless Config.CacheDir
+	dist    *dist.Hub          // nil unless Config.EnableDist
 	mux     *http.ServeMux
 
 	qmu   sync.Mutex
@@ -157,6 +169,16 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.EnableDist {
 		s.dist = dist.NewHub()
+	}
+	if cfg.CacheDir != "" {
+		// Misconfiguration (permissions, a file in the way) fails server
+		// startup; a storage fault yields a cache already degraded to
+		// pass-through, because a full disk must not take the service down.
+		c, err := resultcache.Open(cfg.CacheDir, resultcache.Options{FS: cfg.FS, MaxBytes: cfg.CacheMaxBytes})
+		if err != nil {
+			return nil, err
+		}
+		s.cache = c
 	}
 	s.qcond = sync.NewCond(&s.qmu)
 	s.routes()
@@ -768,6 +790,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // The storage gate counts currently-running jobs whose checkpoints have
 // degraded to in-memory — a live signal the state disk is failing — not
 // historical degraded jobs, so readiness recovers once they finish.
+// cache_degraded reports the shared result cache's pass-through state;
+// it never gates readiness — a degraded cache costs time, not
+// correctness, so routing submissions away would be wrong.
 func (s *Server) health() (status string, ready bool, body map[string]any) {
 	s.mu.Lock()
 	running := len(s.running)
@@ -779,11 +804,13 @@ func (s *Server) health() (status string, ready bool, body map[string]any) {
 	}
 	s.mu.Unlock()
 	draining := s.draining.Load()
+	cacheDegraded := s.cache != nil && s.cache.Stats().Degraded
 	body = map[string]any{
 		"queued":           s.queueDepth(),
 		"running":          running,
 		"draining":         draining,
 		"storage_degraded": degraded,
+		"cache_degraded":   cacheDegraded,
 	}
 	switch {
 	case draining:
@@ -809,6 +836,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		runningJobs:     runningJobs,
 		cellsPerSec:     cellsPerSec,
 		storageDegraded: s.store.storageDegradedCount(),
+		cacheDegraded:   s.cache != nil && s.cache.Stats().Degraded,
 		draining:        s.draining.Load(),
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

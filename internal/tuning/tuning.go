@@ -304,6 +304,38 @@ type RunOptions struct {
 	// Failed and quarantined cells land in Dataset.Dropped instead of
 	// aborting the run.
 	Breaker *sched.BreakerOptions
+	// Cache, when non-nil, is the persistent result cache consulted
+	// before each cell executes and published to after a cell succeeds.
+	// The cache salt is derived from the full Config plus the retry
+	// policy, so two runs share entries exactly when they would compute
+	// identical records; a warm re-run of the same study skips the
+	// simulation entirely and still emits a byte-identical dataset.
+	Cache sched.ResultCache
+}
+
+// cacheSaltPayload is what a tuning run's cache salt serializes: every
+// workload parameter outside the scheduler spec that can change a
+// cell's record or its retry accounting.
+type cacheSaltPayload struct {
+	Config        Config `json:"config"`
+	Retries       int    `json:"retries,omitempty"`
+	BackoffMS     int64  `json:"backoff_ms,omitempty"`
+	CellTimeoutMS int64  `json:"cell_timeout_ms,omitempty"`
+}
+
+// cacheSalt derives the result-cache salt of a tuning run, the
+// counterpart of core.WorkSpec.CacheSalt for the tuning study.
+func cacheSalt(cfg Config, opts RunOptions) (string, error) {
+	raw, err := json.Marshal(cacheSaltPayload{
+		Config:        cfg,
+		Retries:       opts.Retries,
+		BackoffMS:     opts.Backoff.Milliseconds(),
+		CellTimeoutMS: opts.CellTimeout.Milliseconds(),
+	})
+	if err != nil {
+		return "", fmt.Errorf("tuning: encode cache salt: %w", err)
+	}
+	return string(raw), nil
 }
 
 // tuningCell is one campaign cell's work order.
@@ -545,6 +577,14 @@ func RunCampaignCtx(ctx context.Context, cfg Config, tests []*litmus.Test, opts 
 			}
 			return s.exec
 		},
+	}
+	if opts.Cache != nil {
+		salt, err := cacheSalt(cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		schedOpts.Cache = opts.Cache
+		schedOpts.CacheSalt = salt
 	}
 	if opts.Progress != nil {
 		progress := opts.Progress
