@@ -15,7 +15,8 @@
 //	mcmutants tune [-out FILE] [-envs N] [-site-iters N] [-pte-iters N] [-paper-scale] [-devices A,B] [-seed N] [-parallel N] [-checkpoint FILE] [-resume] [-fsync-every N] [-deadline D] [-cell-timeout D] [-faults] [-fault-rate P] [-watchdog N] [-loss-after N]
 //	mcmutants analyze -action mutation-score|merge|correlation [-stats FILE] [-family NAME] [-rep PCT] [-budget SECONDS] [-envs N] [-iters N]
 //	mcmutants cts -stats FILE [-family NAME] [-rep PCT] [-budget SECONDS]
-//	mcmutants serve [-addr HOST:PORT] [-state DIR] [-runners N] [-parallel N] [-queue N] [-per-client N] [-fsync-every N] [-dist] [-dist-lease-ttl D] [-quiet]
+//	mcmutants serve [-addr HOST:PORT] [-state DIR] [-runners N] [-parallel N] [-queue N] [-per-client N] [-fsync-every N] [-dist] [-dist-lease-ttl D] [-default-wall-deadline D] [-max-wall-deadline D] [-default-cell-timeout D] [-max-cell-timeout D] [-default-stall-timeout D] [-max-stall-timeout D] [-poison-boots N] [-mem-soft-mb N] [-mem-hard-mb N] [-quiet]
+//	mcmutants version
 //
 // Exit status: 0 on success, 1 on usage or fatal errors, 2 when a
 // campaign or tuning run completed but degraded — some cells produced
@@ -46,11 +47,13 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/confidence"
 	"repro/internal/core"
 	"repro/internal/diskio"
 	"repro/internal/dist"
 	"repro/internal/gpu"
+	"repro/internal/guard"
 	"repro/internal/harness"
 	"repro/internal/litmus"
 	"repro/internal/mutation"
@@ -145,6 +148,9 @@ func dispatch(ctx context.Context, args []string) error {
 		return cmdOptimize(args[1:])
 	case "trace":
 		return cmdTrace(args[1:])
+	case "version":
+		fmt.Println(buildinfo.Get())
+		return nil
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -169,7 +175,8 @@ subcommands:
   cts          curate a conformance-test-suite plan from a dataset
   serve        run the multi-tenant HTTP campaign service
   optimize     search for a per-test specialized environment
-  trace        run one instance with event tracing and verification`)
+  trace        run one instance with event tracing and verification
+  version      print the build identity (also in /healthz and /metrics)`)
 }
 
 func cmdSuite(args []string) error {
@@ -1059,6 +1066,15 @@ func cmdServe(ctx context.Context, args []string) error {
 	quiet := fs.Bool("quiet", false, "suppress server log lines")
 	enableDist := fs.Bool("dist", false, "accept distributed jobs and serve the /dist/v1/ coordination API to mcmutants work processes")
 	distLeaseTTL := fs.Duration("dist-lease-ttl", 10*time.Second, "worker lease deadline for distributed jobs (with -dist)")
+	defWall := fs.Duration("default-wall-deadline", 0, "wall-clock budget applied to jobs that request none (0 = unbounded)")
+	maxWall := fs.Duration("max-wall-deadline", 0, "cap on a job's requested wall_deadline (0 = uncapped)")
+	defCell := fs.Duration("default-cell-timeout", 0, "per-cell-attempt timeout applied to jobs that request none (0 = unbounded)")
+	maxCell := fs.Duration("max-cell-timeout", 0, "cap on a job's requested cell_timeout (0 = uncapped)")
+	defStall := fs.Duration("default-stall-timeout", 0, "progress-stall budget applied to jobs that request none (0 = no stall watchdog)")
+	maxStall := fs.Duration("max-stall-timeout", 0, "cap on a job's requested stall_timeout (0 = uncapped)")
+	poisonBoots := fs.Int("poison-boots", 3, "boots that may find a job running before it is quarantined as poisoned (-1 disables)")
+	memSoftMB := fs.Int64("mem-soft-mb", 0, "soft heap watermark in MiB: pause queue drain and shed submissions with 429 (0 disables)")
+	memHardMB := fs.Int64("mem-hard-mb", 0, "hard heap watermark in MiB: additionally shed the newest running jobs (0 disables)")
 	sf := addStorageFlags(fs)
 	chf := addCacheFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -1069,6 +1085,21 @@ func cmdServe(ctx context.Context, args []string) error {
 	}
 	if *chf.maxMB < 0 {
 		return fmt.Errorf("-cache-max-mb must be >= 0")
+	}
+	for name, d := range map[string]time.Duration{
+		"-default-wall-deadline": *defWall, "-max-wall-deadline": *maxWall,
+		"-default-cell-timeout": *defCell, "-max-cell-timeout": *maxCell,
+		"-default-stall-timeout": *defStall, "-max-stall-timeout": *maxStall,
+	} {
+		if d < 0 {
+			return fmt.Errorf("%s must be >= 0", name)
+		}
+	}
+	if *memSoftMB < 0 || *memHardMB < 0 {
+		return fmt.Errorf("-mem-soft-mb and -mem-hard-mb must be >= 0")
+	}
+	if *poisonBoots == 0 {
+		return fmt.Errorf("-poison-boots must be positive (or -1 to disable quarantine)")
 	}
 	cfg := serve.Config{
 		StateDir:      *state,
@@ -1081,6 +1112,17 @@ func cmdServe(ctx context.Context, args []string) error {
 		DistLeaseTTL:  *distLeaseTTL,
 		CacheDir:      *chf.dir,
 		CacheMaxBytes: *chf.maxMB << 20,
+		Budgets: guard.Limits{
+			DefaultWallDeadline: *defWall,
+			MaxWallDeadline:     *maxWall,
+			DefaultCellTimeout:  *defCell,
+			MaxCellTimeout:      *maxCell,
+			DefaultStallTimeout: *defStall,
+			MaxStallTimeout:     *maxStall,
+		},
+		PoisonBoots:  *poisonBoots,
+		MemSoftBytes: uint64(*memSoftMB) << 20,
+		MemHardBytes: uint64(*memHardMB) << 20,
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {

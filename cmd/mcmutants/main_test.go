@@ -527,3 +527,16 @@ func TestServeVerbErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestVersionVerb: the version verb prints the resolved build identity
+// — the same string /healthz and mcmutants_build_info expose — and
+// never fails, stamped or not.
+func TestVersionVerb(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"version"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "mcmutants ") || !strings.Contains(out, "go1.") {
+		t.Errorf("version output %q lacks name or toolchain", out)
+	}
+}

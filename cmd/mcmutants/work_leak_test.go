@@ -1,0 +1,114 @@
+package main
+
+import (
+	"context"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// settledWorkGoroutines polls until the live goroutine count drops to
+// want, failing after a deadline. Transient spikes (a poll dialing a
+// dead coordinator, an idle HTTP connection unwinding after its server
+// closed) only delay the check; a real leak never settles.
+func settledWorkGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines settled at %d, want <= %d\n%s", n, want, buf[:runtime.Stack(buf, true)])
+		}
+		runtime.Gosched()
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestWorkPollLoopLeaksNoGoroutines runs one long-lived worker (no
+// -once) across the full lifecycle a fleet worker actually sees: poll
+// an address nobody is serving, drain a campaign under a lease TTL
+// short enough that renewal is constantly live, outlive that
+// coordinator's death, drain a second coordinator generation on the
+// same address, and finally get interrupted. The goroutine count must
+// not grow across coordinator generations, and cancellation must
+// return the process to its pre-worker baseline — a worker that leaks
+// a goroutine per poll cycle, per campaign, or per coordinator restart
+// fails here under -race.
+func TestWorkPollLoopLeaksNoGoroutines(t *testing.T) {
+	dir := t.TempDir()
+	addr := freeAddr(t)
+	// The first campaign run installs the process-wide signal-notify
+	// goroutine, which never unwinds; install it before the baseline so
+	// the final settlement check measures only the worker's goroutines.
+	if err := run([]string{
+		"campaign", "-kind", "conformance", "-devices", "AMD", "-envs", "pte",
+		"-iters", "1", "-seed", "1", "-quiet", "-out", filepath.Join(dir, "warmup.json"),
+	}); err != nil {
+		t.Fatalf("warmup campaign: %v", err)
+	}
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	workDone := make(chan error, 1)
+	go func() {
+		workDone <- dispatch(ctx, []string{
+			"work", "-coordinator", "http://" + addr,
+			"-id", "wleak", "-parallel", "2", "-poll", "10ms", "-quiet",
+		})
+	}()
+
+	// Phase 1: nobody is listening. Let several poll cycles fail.
+	time.Sleep(60 * time.Millisecond)
+
+	runCoordinator := func(seed, out string) {
+		t.Helper()
+		coordDone := make(chan error, 1)
+		go func() {
+			coordDone <- run([]string{
+				"campaign", "-kind", "conformance", "-devices", "AMD",
+				"-envs", "pte", "-iters", "4", "-seed", seed, "-quiet",
+				"-out", filepath.Join(dir, out),
+				"-workers-addr", addr, "-lease-ttl", "150ms", "-range-cells", "2"})
+		}()
+		select {
+		case err := <-coordDone:
+			if err != nil {
+				t.Fatalf("coordinator (seed %s): %v", seed, err)
+			}
+		case <-time.After(2 * time.Minute):
+			t.Fatalf("coordinator (seed %s) never drained", seed)
+		}
+	}
+
+	// Phase 2: first coordinator generation. The worker drains it; the
+	// coordinator exits and closes its listener — from the worker's
+	// side, the coordinator crashed.
+	runCoordinator("3", "gen1.json")
+	settledWorkGoroutines(t, baseline+2) // worker loop + at most one poll in flight
+	afterGen1 := runtime.NumGoroutine()
+
+	// Phase 3: a new coordinator generation binds the same address with
+	// new work. The worker must reconnect and drain it without carrying
+	// anything over from generation one.
+	runCoordinator("5", "gen2.json")
+	settledWorkGoroutines(t, afterGen1) // no growth across the restart
+
+	// Phase 4: interrupt. Everything the worker ever spawned unwinds.
+	cancel()
+	select {
+	case err := <-workDone:
+		if err == nil || !strings.Contains(err.Error(), "interrupted") {
+			t.Fatalf("worker exit = %v, want interrupted", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker did not exit on cancellation")
+	}
+	settledWorkGoroutines(t, baseline)
+}

@@ -1,0 +1,78 @@
+// Package buildinfo resolves the binary's version identity once, for
+// every surface that reports it: the `mcmutants version` verb, the
+// campaign server's /healthz body, and the mcmutants_build_info
+// metric. The dist layer already refuses version-skewed workers; this
+// package makes the skew visible before it bites — a fleet operator
+// can scrape or curl every node and diff the answers.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Version is the release string, overridable at link time:
+//
+//	go build -ldflags "-X repro/internal/buildinfo.Version=v1.2.3"
+//
+// Without an override it falls back to the module version stamped by
+// `go install`, or "dev".
+var Version = ""
+
+// Info is the resolved build identity.
+type Info struct {
+	// Version is the release string ("dev" when unstamped).
+	Version string `json:"version"`
+	// Revision is the VCS commit the binary was built from, with a
+	// "+dirty" suffix when the tree had local modifications; empty when
+	// the build carried no VCS stamp.
+	Revision string `json:"revision,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+var resolve = sync.OnceValue(func() Info {
+	info := Info{Version: Version, GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if ok {
+		if info.Version == "" && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			info.Version = bi.Main.Version
+		}
+		var rev string
+		var dirty bool
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if rev != "" {
+			info.Revision = rev
+			if dirty {
+				info.Revision += "+dirty"
+			}
+		}
+	}
+	if info.Version == "" {
+		info.Version = "dev"
+	}
+	return info
+})
+
+// Get returns the build identity (resolved once, then cached).
+func Get() Info { return resolve() }
+
+// String renders the identity the way `mcmutants version` prints it.
+func (i Info) String() string {
+	if i.Revision != "" {
+		return fmt.Sprintf("mcmutants %s (%s) %s", i.Version, i.Revision, i.GoVersion)
+	}
+	return fmt.Sprintf("mcmutants %s %s", i.Version, i.GoVersion)
+}

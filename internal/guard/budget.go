@@ -1,0 +1,72 @@
+package guard
+
+import (
+	"fmt"
+	"time"
+)
+
+// Budget is one job's execution allowance. Zero fields mean "no
+// explicit request" — the server's configured defaults apply at
+// execution time, never at admission, so a budget-free spec keeps the
+// identity it had before budgets existed.
+type Budget struct {
+	// WallDeadline bounds the job end to end: queue exit to artifact.
+	WallDeadline time.Duration
+	// CellTimeout bounds each cell attempt (the serve analogue of the
+	// CLI -cell-timeout flag); expiry is an ordinary cell failure.
+	CellTimeout time.Duration
+	// StallTimeout bounds how long the job's cumulative progress
+	// counters may sit still before the watchdog fails it.
+	StallTimeout time.Duration
+}
+
+// Limits is the server's budget policy: per-field defaults applied
+// when a spec requests nothing, and caps a request may not exceed.
+// A zero default means "no budget unless requested"; a zero cap means
+// uncapped.
+type Limits struct {
+	DefaultWallDeadline time.Duration
+	MaxWallDeadline     time.Duration
+	DefaultCellTimeout  time.Duration
+	MaxCellTimeout      time.Duration
+	DefaultStallTimeout time.Duration
+	MaxStallTimeout     time.Duration
+}
+
+// Validate rejects a requested budget that is negative or exceeds the
+// caps. It runs at admission, so a bad budget is a 400, not a queued
+// job that can never finish.
+func (l Limits) Validate(b Budget) error {
+	check := func(name string, v, max time.Duration) error {
+		if v < 0 {
+			return fmt.Errorf("%s must not be negative (got %s)", name, v)
+		}
+		if max > 0 && v > max {
+			return fmt.Errorf("%s %s exceeds the server cap %s", name, v, max)
+		}
+		return nil
+	}
+	if err := check("wall_deadline", b.WallDeadline, l.MaxWallDeadline); err != nil {
+		return err
+	}
+	if err := check("cell_timeout", b.CellTimeout, l.MaxCellTimeout); err != nil {
+		return err
+	}
+	return check("stall_timeout", b.StallTimeout, l.MaxStallTimeout)
+}
+
+// Resolve fills the effective budget: a requested value wins, a zero
+// request takes the server default. Callers Validate first; Resolve
+// never clamps.
+func (l Limits) Resolve(b Budget) Budget {
+	if b.WallDeadline == 0 {
+		b.WallDeadline = l.DefaultWallDeadline
+	}
+	if b.CellTimeout == 0 {
+		b.CellTimeout = l.DefaultCellTimeout
+	}
+	if b.StallTimeout == 0 {
+		b.StallTimeout = l.DefaultStallTimeout
+	}
+	return b
+}

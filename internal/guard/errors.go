@@ -1,0 +1,21 @@
+package guard
+
+import "errors"
+
+// The sentinel cancellation causes a supervised job can end with.
+// serve maps each onto a typed terminal (or, for ErrShed, parked)
+// job state, so clients see why a job stopped, not just that it did.
+var (
+	// ErrDeadlineExceeded: the job's wall-clock budget ran out. The
+	// campaign drains gracefully at the next cell boundary with its
+	// checkpoint intact.
+	ErrDeadlineExceeded = errors.New("guard: job wall deadline exceeded")
+	// ErrStalled: the job's cumulative progress counters stopped
+	// advancing for its stall budget — a wedged device, a livelocked
+	// retry loop, or a distributed coordinator whose workers vanished.
+	ErrStalled = errors.New("guard: job progress stalled")
+	// ErrShed: the memory watcher's hard watermark cancelled the job to
+	// relieve pressure. Shed jobs are not failures; they re-queue when
+	// pressure clears or at the next boot.
+	ErrShed = errors.New("guard: job shed under memory pressure")
+)

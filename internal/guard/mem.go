@@ -1,0 +1,106 @@
+package guard
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Level is the memory watcher's verdict over the watermarks.
+type Level int
+
+const (
+	// LevelOK: heap below the soft watermark; normal operation.
+	LevelOK Level = iota
+	// LevelSoft: heap at or above the soft watermark; the server
+	// pauses queue drain and sheds new submissions (429 + Retry-After)
+	// but lets running jobs finish.
+	LevelSoft
+	// LevelHard: heap at or above the hard watermark; on top of the
+	// soft response the server cancels the newest running jobs (typed
+	// shed state) until pressure clears.
+	LevelHard
+)
+
+// String renders the level for health bodies and logs.
+func (l Level) String() string {
+	switch l {
+	case LevelSoft:
+		return "soft"
+	case LevelHard:
+		return "hard"
+	default:
+		return "ok"
+	}
+}
+
+// MemWatcher classifies heap usage against soft/hard watermarks. The
+// reader is injectable, so tests script exact pressure trajectories;
+// production reads runtime.ReadMemStats. Zero watermarks disable the
+// watcher (Sample always reports LevelOK).
+type MemWatcher struct {
+	soft, hard uint64
+	readMem    func() uint64
+	// onChange fires on level transitions, outside the watcher lock.
+	onChange func(from, to Level, heapBytes uint64)
+
+	mu    sync.Mutex
+	level Level
+	heap  uint64
+}
+
+// HeapInUse reads the live heap footprint. ReadMemStats stops the
+// world briefly; the sampling cadence (seconds) makes that free.
+func HeapInUse() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapInuse
+}
+
+// NewMemWatcher builds a watcher. soft == 0 takes hard's value, so a
+// hard-only configuration still browns out before cancelling. readMem
+// nil means HeapInUse.
+func NewMemWatcher(soft, hard uint64, readMem func() uint64, onChange func(from, to Level, heapBytes uint64)) *MemWatcher {
+	if soft == 0 {
+		soft = hard
+	}
+	if readMem == nil {
+		readMem = HeapInUse
+	}
+	return &MemWatcher{soft: soft, hard: hard, readMem: readMem, onChange: onChange}
+}
+
+// Sample reads the heap, reclassifies, fires onChange on a transition,
+// and returns the current level.
+func (m *MemWatcher) Sample() Level {
+	if m == nil || m.soft == 0 && m.hard == 0 {
+		return LevelOK
+	}
+	heap := m.readMem()
+	level := LevelOK
+	switch {
+	case m.hard > 0 && heap >= m.hard:
+		level = LevelHard
+	case m.soft > 0 && heap >= m.soft:
+		level = LevelSoft
+	}
+	m.mu.Lock()
+	from := m.level
+	m.level = level
+	m.heap = heap
+	m.mu.Unlock()
+	if level != from && m.onChange != nil {
+		m.onChange(from, level, heap)
+	}
+	return level
+}
+
+// Snapshot returns the last sampled level and heap size without
+// resampling.
+func (m *MemWatcher) Snapshot() (Level, uint64) {
+	if m == nil {
+		return LevelOK, 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.level, m.heap
+}

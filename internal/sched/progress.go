@@ -193,11 +193,8 @@ func (p *Reporter) finish(rep reportCounters) {
 // line renders one progress line; the caller holds p.mu.
 func (p *Reporter) line() string {
 	elapsed := p.now().Sub(p.start).Seconds()
-	if elapsed <= 0 {
-		elapsed = 1e-9
-	}
 	executed := p.done - p.nReplayed - p.cacheHits
-	cellsPerSec := float64(executed) / elapsed
+	cellsPerSec := Rate(executed, elapsed)
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: %d/%d cells", p.name, p.done, p.total)
 	if p.nReplayed > 0 {
@@ -217,7 +214,7 @@ func (p *Reporter) line() string {
 	}
 	fmt.Fprintf(&b, " | %.1f cells/s", cellsPerSec)
 	if p.instances > 0 {
-		fmt.Fprintf(&b, ", %.0f instances/s", float64(p.instances)/elapsed)
+		fmt.Fprintf(&b, ", %.0f instances/s", Rate(p.instances, elapsed))
 	}
 	if p.cacheHits > 0 || p.cacheMisses > 0 || p.cacheCorrupt > 0 {
 		fmt.Fprintf(&b, " | cache %d hit %d miss", p.cacheHits, p.cacheMisses)

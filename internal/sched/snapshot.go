@@ -69,6 +69,19 @@ type Progress struct {
 // Options.ProgressEvery is unset.
 const DefaultProgressEvery = time.Second
 
+// Rate is the shared throughput computation for progress surfaces: n
+// events over elapsed seconds, and 0 when no time has measurably
+// passed. A job finishing entirely from cache or checkpoint replay can
+// complete within one clock granule; dividing by a clamped epsilon
+// there reports an absurd finite rate (n × 1e9), so zero-elapsed
+// yields the only honest answer — no measured throughput.
+func Rate(n int, elapsedSeconds float64) float64 {
+	if elapsedSeconds <= 0 {
+		return 0
+	}
+	return float64(n) / elapsedSeconds
+}
+
 // progressTracker accumulates live counters and drives the OnProgress
 // callback: a ticker goroutine emits periodic snapshots, and finish
 // (called after the campaign settles, with the ticker already stopped)
@@ -155,12 +168,8 @@ func (t *progressTracker) snapshot() Progress {
 		CacheCorrupt: t.cacheBad,
 	}
 	p.ElapsedSeconds = t.now().Sub(t.start).Seconds()
-	elapsed := p.ElapsedSeconds
-	if elapsed <= 0 {
-		elapsed = 1e-9
-	}
-	p.CellsPerSec = float64(t.executed) / elapsed
-	p.InstancesPerSec = float64(t.instances) / elapsed
+	p.CellsPerSec = Rate(t.executed, p.ElapsedSeconds)
+	p.InstancesPerSec = Rate(t.instances, p.ElapsedSeconds)
 	if len(t.deviceBusy) > 0 {
 		p.DeviceBusy = make(map[string]float64, len(t.deviceBusy))
 		for d, busy := range t.deviceBusy {

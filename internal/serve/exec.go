@@ -5,9 +5,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gpu"
+	"repro/internal/guard"
 	"repro/internal/harness"
 	"repro/internal/sched"
 	"repro/internal/tuning"
@@ -30,6 +32,9 @@ type jobPlan struct {
 func (s *Server) plan(js *JobSpec) (*jobPlan, error) {
 	if len(js.Devices) == 0 {
 		return nil, fmt.Errorf("no devices")
+	}
+	if err := s.cfg.Budgets.Validate(js.budget()); err != nil {
+		return nil, err
 	}
 	for _, d := range js.Devices {
 		if _, ok := gpu.ProfileByName(d); !ok {
@@ -112,19 +117,31 @@ func platformsOf(js *JobSpec) []core.Platform {
 	return platforms
 }
 
+// workSpecOf is the shared WorkSpec shape behind distributed
+// descriptors and cache salts. The effective cell timeout rides along
+// because it is an execution parameter that can change reported
+// attempt counts — exactly why the CLI folds -cell-timeout into its
+// WorkSpec — so workers must enforce the submitting side's value and
+// cache entries must not mix timeout regimes. A job with no cell
+// timeout (none requested, no server default) produces the WorkSpec
+// this code always produced.
+func workSpecOf(js *JobSpec, devices []string, cellTimeout time.Duration) core.WorkSpec {
+	return core.WorkSpec{
+		Kind:          js.Kind,
+		Devices:       devices,
+		Envs:          append([]string(nil), js.Envs...),
+		Iters:         js.Iters,
+		Seed:          js.Seed,
+		FenceBug:      js.FenceBug,
+		CellTimeoutMS: cellTimeout.Milliseconds(),
+	}
+}
+
 // distOptions builds a distributed job's per-campaign coordinator
 // options: the hub registration name and the wire descriptor workers
 // rebuild the campaign from.
-func (s *Server) distOptions(js *JobSpec, name string, devices []string) (*core.DistOptions, error) {
-	ws := core.WorkSpec{
-		Kind:     js.Kind,
-		Devices:  devices,
-		Envs:     append([]string(nil), js.Envs...),
-		Iters:    js.Iters,
-		Seed:     js.Seed,
-		FenceBug: js.FenceBug,
-	}
-	desc, err := ws.Descriptor()
+func (s *Server) distOptions(js *JobSpec, name string, devices []string, cellTimeout time.Duration) (*core.DistOptions, error) {
+	desc, err := workSpecOf(js, devices, cellTimeout).Descriptor()
 	if err != nil {
 		return nil, err
 	}
@@ -141,16 +158,8 @@ func (s *Server) distOptions(js *JobSpec, name string, devices []string) (*core.
 // same WorkSpec shape the CLI and distributed descriptors use, so a
 // serve job, the equivalent `mcmutants campaign` invocation and any
 // distributed worker address identical cache entries.
-func cacheSaltFor(js *JobSpec, devices []string) (string, error) {
-	ws := core.WorkSpec{
-		Kind:     js.Kind,
-		Devices:  devices,
-		Envs:     append([]string(nil), js.Envs...),
-		Iters:    js.Iters,
-		Seed:     js.Seed,
-		FenceBug: js.FenceBug,
-	}
-	return ws.CacheSalt()
+func cacheSaltFor(js *JobSpec, devices []string, cellTimeout time.Duration) (string, error) {
+	return workSpecOf(js, devices, cellTimeout).CacheSalt()
 }
 
 // tuneConfigOf builds the tuning config the CLI's tune verb would:
@@ -217,12 +226,8 @@ func (a *progressAggregator) hook() func(sched.Progress) {
 		// Rates must describe the aggregated scope, not the current
 		// campaign's: recompute them from the job totals the same way
 		// the tracker does (cumulative count over elapsed time).
-		elapsed := q.ElapsedSeconds
-		if elapsed <= 0 {
-			elapsed = 1e-9
-		}
-		q.CellsPerSec = float64(q.Executed) / elapsed
-		q.InstancesPerSec = float64(q.Instances) / elapsed
+		q.CellsPerSec = sched.Rate(q.Executed, q.ElapsedSeconds)
+		q.InstancesPerSec = sched.Rate(q.Instances, q.ElapsedSeconds)
 		if len(a.base.DeviceBusy) > 0 {
 			merged := make(map[string]float64, len(a.base.DeviceBusy)+len(p.DeviceBusy))
 			for d, v := range a.base.DeviceBusy {
@@ -255,7 +260,7 @@ func (a *progressAggregator) hook() func(sched.Progress) {
 // ID, and Resume is always on — a fresh checkpoint file falls through
 // to a fresh start, so the same call serves first runs and restart
 // recovery alike.
-func (s *Server) execute(ctx context.Context, job *Job, onProgress func(sched.Progress)) (*execResult, error) {
+func (s *Server) execute(ctx context.Context, job *Job, eff guard.Budget, onProgress func(sched.Progress)) (*execResult, error) {
 	js := job.Spec
 	agg := &progressAggregator{
 		out:       onProgress,
@@ -265,6 +270,7 @@ func (s *Server) execute(ctx context.Context, job *Job, onProgress func(sched.Pr
 	}
 	opts := core.CampaignOptions{
 		Workers:        s.cfg.JobWorkers,
+		CellTimeout:    eff.CellTimeout,
 		CheckpointPath: s.store.checkpointPath(job.ID),
 		Resume:         true,
 		FsyncEvery:     s.cfg.FsyncEvery,
@@ -275,14 +281,14 @@ func (s *Server) execute(ctx context.Context, job *Job, onProgress func(sched.Pr
 	case "conformance":
 		opts.OnProgress = agg.hook()
 		if js.Distributed {
-			d, err := s.distOptions(&js, job.ID, js.Devices)
+			d, err := s.distOptions(&js, job.ID, js.Devices, eff.CellTimeout)
 			if err != nil {
 				return nil, err
 			}
 			opts.Dist = d
 		}
 		if s.cache != nil {
-			salt, err := cacheSaltFor(&js, js.Devices)
+			salt, err := cacheSaltFor(&js, js.Devices, eff.CellTimeout)
 			if err != nil {
 				return nil, err
 			}
@@ -343,7 +349,7 @@ func (s *Server) execute(ctx context.Context, job *Job, onProgress func(sched.Pr
 				// One coordinator per device with a single-device
 				// descriptor, so a worker's locally-planned unit
 				// manifest matches the advertised campaign.
-				d, err := s.distOptions(&js, job.ID+"."+p.Device, []string{p.Device})
+				d, err := s.distOptions(&js, job.ID+"."+p.Device, []string{p.Device}, eff.CellTimeout)
 				if err != nil {
 					return nil, err
 				}
@@ -352,7 +358,7 @@ func (s *Server) execute(ctx context.Context, job *Job, onProgress func(sched.Pr
 			if s.cache != nil {
 				// Per-device salt, matching the single-device descriptor a
 				// distributed worker would salt with.
-				salt, err := cacheSaltFor(&js, []string{p.Device})
+				salt, err := cacheSaltFor(&js, []string{p.Device}, eff.CellTimeout)
 				if err != nil {
 					return nil, err
 				}
@@ -387,6 +393,7 @@ func (s *Server) execute(ctx context.Context, job *Job, onProgress func(sched.Pr
 	case "tune":
 		ropts := tuning.RunOptions{
 			Workers:        s.cfg.JobWorkers,
+			CellTimeout:    eff.CellTimeout,
 			CheckpointPath: opts.CheckpointPath,
 			Resume:         true,
 			FsyncEvery:     s.cfg.FsyncEvery,

@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/guard"
 	"repro/internal/sched"
 )
 
@@ -54,12 +55,33 @@ const (
 	// Completed cells remain checkpointed; resubmitting the same spec
 	// requeues the job and resumes where it stopped.
 	StateCancelled JobState = "cancelled"
+	// StateDeadlineExceeded: the job's wall-clock budget ran out and it
+	// drained gracefully at a cell boundary. Terminal like failed;
+	// resubmission re-queues and resumes from the checkpoint.
+	StateDeadlineExceeded JobState = "deadline_exceeded"
+	// StateStalled: the watchdog saw no counter movement for the job's
+	// stall budget and drained it. Terminal like failed; resubmission
+	// re-queues and resumes from the checkpoint.
+	StateStalled JobState = "stalled"
+	// StatePoisoned: the job was found running at boot recovery more
+	// times than the server's poison cap — each boot means the previous
+	// process died while this job ran, so past the cap it is presumed to
+	// be crashing the server and is quarantined in this dead-letter
+	// state instead of re-queued. It stays listed and inspectable;
+	// resubmitting the same spec gives it a fresh set of boots.
+	StatePoisoned JobState = "poisoned"
+	// StateShed: cancelled by the memory-watermark brownout to relieve
+	// pressure. Not terminal — the job is parked, holding its checkpoint
+	// and its place in the per-client count, and re-queues automatically
+	// when pressure clears (or at the next boot).
+	StateShed JobState = "shed"
 )
 
 // Terminal reports whether the state is an end state.
 func (s JobState) Terminal() bool {
 	switch s {
-	case StateDone, StateDegraded, StateFailed, StateCancelled:
+	case StateDone, StateDegraded, StateFailed, StateCancelled,
+		StateDeadlineExceeded, StateStalled, StatePoisoned:
 		return true
 	}
 	return false
@@ -99,6 +121,57 @@ type JobSpec struct {
 	// distributed mode (Config.EnableDist); not supported for tune.
 	// The artifact is byte-identical to a local run of the same spec.
 	Distributed bool `json:"distributed,omitempty"`
+
+	// WallDeadline, CellTimeout and StallTimeout are the job's requested
+	// execution budgets (duration strings, e.g. "30m"): end-to-end wall
+	// clock, per-cell-attempt bound, and the longest the cumulative
+	// progress counters may sit still. Zero means the server's
+	// configured default; requests are validated against the server's
+	// caps at admission. Budgets are enforcement-only — a run that stays
+	// inside them is byte-identical to an unbudgeted run — and they are
+	// deliberately left out of normalize, so a budget-free spec keeps
+	// the job identity it had before budgets existed.
+	WallDeadline Duration `json:"wall_deadline,omitempty"`
+	CellTimeout  Duration `json:"cell_timeout,omitempty"`
+	StallTimeout Duration `json:"stall_timeout,omitempty"`
+}
+
+// Duration is a time.Duration that travels as a JSON duration string
+// ("90s", "1h30m"); it also accepts a bare number of nanoseconds, the
+// encoding a naive client produces for time.Duration.
+type Duration time.Duration
+
+// MarshalJSON renders the canonical duration string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts a duration string or a number of nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("invalid duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return fmt.Errorf("invalid duration %s", b)
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// budget folds the spec's requested budgets into the guard shape.
+func (js *JobSpec) budget() guard.Budget {
+	return guard.Budget{
+		WallDeadline: time.Duration(js.WallDeadline),
+		CellTimeout:  time.Duration(js.CellTimeout),
+		StallTimeout: time.Duration(js.StallTimeout),
+	}
 }
 
 // normalize fills CLI-equivalent defaults in place. It runs before
@@ -227,6 +300,11 @@ type Job struct {
 	// Resumes counts re-entries into the queue: restart recovery after
 	// a shutdown or crash, and resubmission after failure/cancellation.
 	Resumes int `json:"resumes,omitempty"`
+	// BootIncarnations counts boots that found this job running — each
+	// one means the previous process died mid-run with this job active.
+	// Past the server's poison cap the job is quarantined (StatePoisoned)
+	// instead of re-queued; resubmission resets the count.
+	BootIncarnations int `json:"boot_incarnations,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`

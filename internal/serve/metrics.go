@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/buildinfo"
+	"repro/internal/guard"
 	"repro/internal/sched"
 )
 
@@ -24,6 +26,12 @@ type metrics struct {
 	cacheHits     int64
 	cacheMisses   int64
 	cacheCorrupt  int64
+	// submissionsShed, jobsShed and jobsPoisoned are the guard layer's
+	// counters: submissions refused by brownout, running jobs cancelled
+	// into the shed state, and jobs quarantined at boot recovery.
+	submissionsShed int64
+	jobsShed        int64
+	jobsPoisoned    int64
 	// perJob remembers each live job's last cumulative snapshot so a
 	// new snapshot contributes only its delta to the counters.
 	perJob map[string]cellCounts
@@ -89,6 +97,27 @@ func (m *metrics) jobFinished(state JobState) {
 	m.jobsCompleted[state]++
 }
 
+// guardSubmissionShed counts a submission refused by brownout.
+func (m *metrics) guardSubmissionShed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.submissionsShed++
+}
+
+// guardShed counts a running job cancelled into the shed state.
+func (m *metrics) guardShed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsShed++
+}
+
+// guardPoisoned counts a job quarantined at boot recovery.
+func (m *metrics) guardPoisoned() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsPoisoned++
+}
+
 // gaugeSet carries the scrape-time gauges the server computes from
 // its live state.
 type gaugeSet struct {
@@ -99,16 +128,22 @@ type gaugeSet struct {
 	storageDegraded int
 	cacheDegraded   bool
 	draining        bool
+	brownoutLevel   guard.Level
+	heapBytes       uint64
 }
 
 // jobStates is the fixed label universe, so every scrape exposes
 // every series (absent states read 0, not missing).
 var jobStates = []JobState{
 	StateQueued, StateRunning, StateDone, StateDegraded, StateFailed, StateCancelled,
+	StateDeadlineExceeded, StateStalled, StatePoisoned, StateShed,
 }
 
 // terminalStates is the label universe of jobs_completed_total.
-var terminalStates = []JobState{StateDone, StateDegraded, StateFailed, StateCancelled}
+var terminalStates = []JobState{
+	StateDone, StateDegraded, StateFailed, StateCancelled,
+	StateDeadlineExceeded, StateStalled, StatePoisoned,
+}
 
 // render writes the exposition. Families appear in a fixed order with
 // HELP/TYPE headers; values use Go's shortest-roundtrip float format,
@@ -122,6 +157,7 @@ func (m *metrics) render(w io.Writer, g gaugeSet) {
 	cellsExec, cellsReplayed := m.cellsExec, m.cellsReplayed
 	cellsRetried, cellsQuar := m.cellsRetried, m.cellsQuar
 	cacheHits, cacheMisses, cacheCorrupt := m.cacheHits, m.cacheMisses, m.cacheCorrupt
+	submissionsShed, jobsShed, jobsPoisoned := m.submissionsShed, m.jobsShed, m.jobsPoisoned
 	m.mu.Unlock()
 
 	head := func(name, help, typ string) {
@@ -171,4 +207,18 @@ func (m *metrics) render(w io.Writer, g gaugeSet) {
 		b = 1
 	}
 	fmt.Fprintf(w, "mcmutants_draining %d\n", b)
+	head("mcmutants_guard_brownout_level", "Memory brownout level: 0 ok, 1 soft (drain paused, submissions shed), 2 hard (running jobs shed).", "gauge")
+	fmt.Fprintf(w, "mcmutants_guard_brownout_level %d\n", int(g.brownoutLevel))
+	head("mcmutants_guard_heap_bytes", "Live heap footprint at the last guard sample.", "gauge")
+	fmt.Fprintf(w, "mcmutants_guard_heap_bytes %d\n", g.heapBytes)
+	head("mcmutants_guard_submissions_shed_total", "Submissions refused with 429 by the memory brownout since the server started.", "counter")
+	fmt.Fprintf(w, "mcmutants_guard_submissions_shed_total %d\n", submissionsShed)
+	head("mcmutants_guard_jobs_shed_total", "Running jobs cancelled into the shed state by the hard watermark since the server started.", "counter")
+	fmt.Fprintf(w, "mcmutants_guard_jobs_shed_total %d\n", jobsShed)
+	head("mcmutants_guard_jobs_poisoned_total", "Jobs quarantined as poisoned at boot recovery since the server started.", "counter")
+	fmt.Fprintf(w, "mcmutants_guard_jobs_poisoned_total %d\n", jobsPoisoned)
+	bi := buildinfo.Get()
+	head("mcmutants_build_info", "Build identity of this server; the value is always 1.", "gauge")
+	fmt.Fprintf(w, "mcmutants_build_info{version=%q,revision=%q,goversion=%q} 1\n",
+		bi.Version, bi.Revision, bi.GoVersion)
 }

@@ -13,10 +13,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/diskio"
 	"repro/internal/dist"
 	"repro/internal/gpu"
+	"repro/internal/guard"
 	"repro/internal/resultcache"
 	"repro/internal/sched"
 )
@@ -72,6 +74,34 @@ type Config struct {
 	// Logf, when non-nil, receives one line per server event (job
 	// transitions, boot recovery, drain).
 	Logf func(format string, args ...any)
+
+	// Budgets is the per-job budget policy: defaults applied when a
+	// spec requests nothing and caps a request may not exceed. The zero
+	// value means no defaults and no caps.
+	Budgets guard.Limits
+	// PoisonBoots caps how many boots may find a job running before it
+	// is quarantined as poisoned instead of re-queued — the defense
+	// against a job that crashes the process on every attempt.
+	// Default 3; negative disables quarantine (never recommended).
+	PoisonBoots int
+	// MemSoftBytes and MemHardBytes are the brownout watermarks over
+	// the live heap. At soft the server pauses queue drain and sheds
+	// new submissions (429 + Retry-After); at hard it additionally
+	// cancels the newest running jobs into the shed state. Zero
+	// disables the watcher.
+	MemSoftBytes uint64
+	MemHardBytes uint64
+	// GuardEvery is the supervision cadence: watchdog sweeps and memory
+	// samples. Default 1s. The cadence is wall clock, but every
+	// decision taken at a tick is a function of Clock/ReadMem, so tests
+	// drive ticks directly.
+	GuardEvery time.Duration
+	// Clock feeds the watchdog; nil means the system clock. Tests
+	// inject guard.FakeClock.
+	Clock guard.Clock
+	// ReadMem feeds the memory watcher; nil means runtime heap stats.
+	// Tests script pressure trajectories.
+	ReadMem func() uint64
 }
 
 // errJobCancelled is the cancel cause distinguishing a client DELETE
@@ -99,6 +129,13 @@ type Server struct {
 	cache   *resultcache.Cache // nil unless Config.CacheDir
 	dist    *dist.Hub          // nil unless Config.EnableDist
 	mux     *http.ServeMux
+
+	watchdog *guard.Watchdog
+	mem      *guard.MemWatcher // nil unless a watermark is configured
+	// paused gates queue drain during brownout. Workers re-check it
+	// under qmu in next; transitions go through wakeWorkers so the
+	// lost-wakeup argument there covers unpausing too.
+	paused atomic.Bool
 
 	qmu   sync.Mutex
 	qcond *sync.Cond
@@ -149,6 +186,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.PoisonBoots == 0 {
+		cfg.PoisonBoots = 3
+	}
+	if cfg.GuardEvery <= 0 {
+		cfg.GuardEvery = time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = guard.SystemClock{}
+	}
+	if cfg.MemSoftBytes > 0 && cfg.MemHardBytes > 0 && cfg.MemSoftBytes > cfg.MemHardBytes {
+		return nil, fmt.Errorf("serve: soft watermark %d exceeds hard watermark %d", cfg.MemSoftBytes, cfg.MemHardBytes)
+	}
 	study, err := core.NewStudy()
 	if err != nil {
 		return nil, err
@@ -166,6 +215,10 @@ func New(cfg Config) (*Server, error) {
 		metrics: newMetrics(),
 		running: map[string]*runningJob{},
 		drainCh: make(chan struct{}),
+	}
+	s.watchdog = guard.NewWatchdog(cfg.Clock, s.expireJob)
+	if cfg.MemSoftBytes > 0 || cfg.MemHardBytes > 0 {
+		s.mem = guard.NewMemWatcher(cfg.MemSoftBytes, cfg.MemHardBytes, cfg.ReadMem, s.onMemLevel)
 	}
 	if cfg.EnableDist {
 		s.dist = dist.NewHub()
@@ -189,12 +242,51 @@ func New(cfg Config) (*Server, error) {
 }
 
 // recover re-queues jobs interrupted by the previous process: running
-// jobs crashed mid-campaign, queued jobs never started. Both resume
-// (or start) from whatever their checkpoints hold, oldest first.
+// jobs crashed mid-campaign, queued jobs never started, shed jobs were
+// parked by a brownout that died with the process. All resume (or
+// start) from whatever their checkpoints hold, oldest first — except a
+// job found running at too many consecutive boots. Each such boot
+// means the process died while this job was active; past the poison
+// cap the job is presumed to be what keeps killing the process, and it
+// is quarantined in the poisoned dead-letter state instead of fed back
+// into the crash loop. Graceful drains park jobs as queued, so clean
+// restarts never advance the incarnation count.
 func (s *Server) recover() error {
 	for _, j := range s.store.list() {
 		switch j.State {
 		case StateRunning:
+			if s.cfg.PoisonBoots > 0 && j.BootIncarnations >= s.cfg.PoisonBoots {
+				boots := j.BootIncarnations
+				if _, err := s.store.update(j.ID, func(j *Job) {
+					j.State = StatePoisoned
+					j.Error = fmt.Sprintf(
+						"quarantined: %d consecutive boots found this job running (cap %d); resubmit the spec to retry it",
+						boots+1, s.cfg.PoisonBoots)
+					now := time.Now().UTC()
+					j.FinishedAt = &now
+					j.StartedAt = nil
+				}); err != nil {
+					return err
+				}
+				s.metrics.jobFinished(StatePoisoned)
+				s.metrics.guardPoisoned()
+				s.cfg.Logf("serve: job %s poisoned after %d boot incarnations", j.ID, boots+1)
+				continue
+			}
+			if _, err := s.store.update(j.ID, func(j *Job) {
+				j.State = StateQueued
+				j.Resumes++
+				j.BootIncarnations++
+				j.StartedAt = nil
+			}); err != nil {
+				return err
+			}
+			s.cfg.Logf("serve: recovered running job %s: re-queued for resume (boot incarnation %d)",
+				j.ID, j.BootIncarnations+1)
+			s.enqueue(j.ID)
+		case StateShed:
+			// Shed is a parked state, not a verdict: the pressure that
+			// shed the job died with the old process, so re-queue.
 			if _, err := s.store.update(j.ID, func(j *Job) {
 				j.State = StateQueued
 				j.Resumes++
@@ -202,7 +294,7 @@ func (s *Server) recover() error {
 			}); err != nil {
 				return err
 			}
-			s.cfg.Logf("serve: recovered running job %s: re-queued for resume", j.ID)
+			s.cfg.Logf("serve: recovered shed job %s: re-queued", j.ID)
 			s.enqueue(j.ID)
 		case StateQueued:
 			s.cfg.Logf("serve: recovered queued job %s", j.ID)
@@ -210,6 +302,100 @@ func (s *Server) recover() error {
 		}
 	}
 	return nil
+}
+
+// expireJob is the watchdog's expiry callback: cancel the running job
+// with the typed cause; runJob's classification does the rest.
+func (s *Server) expireJob(id string, cause error) {
+	s.mu.Lock()
+	rj := s.running[id]
+	s.mu.Unlock()
+	if rj != nil {
+		s.cfg.Logf("serve: job %s: %v", id, cause)
+		rj.cancel(cause)
+	}
+}
+
+// onMemLevel reacts to watermark transitions: any pressure pauses
+// queue drain (paused workers park in next; running jobs continue),
+// and a return to OK resumes drain and re-queues shed jobs. Hard-level
+// job shedding happens per guard tick (see guardTick), not here, so
+// sustained pressure keeps shedding one job at a time until it clears.
+func (s *Server) onMemLevel(from, to guard.Level, heap uint64) {
+	s.cfg.Logf("serve: memory watermark %s -> %s (heap %d bytes)", from, to, heap)
+	if to == guard.LevelOK {
+		s.paused.Store(false)
+		s.requeueShed()
+		s.wakeWorkers()
+		return
+	}
+	s.paused.Store(true)
+}
+
+// guardTick is one supervision step: sample memory (shedding the
+// newest running job while the hard watermark is exceeded) and sweep
+// the watchdog. Production runs it on the GuardEvery ticker; tests
+// call it directly after moving the fake clock or pressure script.
+func (s *Server) guardTick() {
+	if s.mem != nil && s.mem.Sample() == guard.LevelHard {
+		s.shedNewestRunning()
+	}
+	s.watchdog.Sweep()
+}
+
+// shedNewestRunning cancels the most recently started running job with
+// the shed cause — newest first, because it has the least sunk work
+// and the freshest checkpoint deficit.
+func (s *Server) shedNewestRunning() {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.running))
+	for id := range s.running {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	var newest string
+	var newestAt time.Time
+	for _, id := range ids {
+		j, ok := s.store.get(id)
+		if !ok || j.State != StateRunning || j.StartedAt == nil {
+			continue
+		}
+		if newest == "" || j.StartedAt.After(newestAt) {
+			newest, newestAt = id, *j.StartedAt
+		}
+	}
+	if newest == "" {
+		return
+	}
+	s.mu.Lock()
+	rj := s.running[newest]
+	s.mu.Unlock()
+	if rj != nil {
+		s.cfg.Logf("serve: shedding job %s under memory pressure", newest)
+		rj.cancel(guard.ErrShed)
+	}
+}
+
+// requeueShed returns every shed job to the queue once pressure
+// clears. submitMu serializes this against cancellation of a shed job
+// and against admissions reading the in-flight count.
+func (s *Server) requeueShed() {
+	s.submitMu.Lock()
+	defer s.submitMu.Unlock()
+	for _, j := range s.store.list() {
+		if j.State != StateShed {
+			continue
+		}
+		if _, err := s.store.update(j.ID, func(j *Job) {
+			j.State = StateQueued
+			j.Resumes++
+		}); err != nil {
+			s.cfg.Logf("serve: job %s: requeue after shed: %v", j.ID, err)
+			continue
+		}
+		s.cfg.Logf("serve: job %s re-queued after brownout", j.ID)
+		s.enqueue(j.ID)
+	}
 }
 
 // fleet is the default device list: every Table 3 profile.
@@ -280,11 +466,13 @@ func (s *Server) dequeue(id string) bool {
 	return false
 }
 
-// next blocks until a job is available or ctx ends.
+// next blocks until a job is available — and drain is not paused by a
+// brownout — or ctx ends. Pausing parks the worker without losing its
+// place; unpausing goes through wakeWorkers.
 func (s *Server) next(ctx context.Context) (string, bool) {
 	s.qmu.Lock()
 	defer s.qmu.Unlock()
-	for len(s.queue) == 0 {
+	for len(s.queue) == 0 || s.paused.Load() {
 		if ctx.Err() != nil {
 			return "", false
 		}
@@ -313,8 +501,14 @@ func (s *Server) worker(ctx context.Context) {
 }
 
 // runJob executes one job end to end: state transitions, progress
-// fan-out, artifact publication and terminal classification.
+// fan-out, budget supervision, artifact publication and terminal
+// classification.
 func (s *Server) runJob(ctx context.Context, id string) {
+	// A queue entry can go stale when its job was cancelled while
+	// parked in the shed state; drop it instead of reviving the job.
+	if j, ok := s.store.get(id); !ok || j.State != StateQueued {
+		return
+	}
 	jctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 	rj := &runningJob{cancel: cancel}
@@ -322,6 +516,7 @@ func (s *Server) runJob(ctx context.Context, id string) {
 	s.running[id] = rj
 	s.mu.Unlock()
 	defer func() {
+		s.watchdog.Forget(id)
 		s.mu.Lock()
 		delete(s.running, id)
 		s.mu.Unlock()
@@ -349,22 +544,32 @@ func (s *Server) runJob(ctx context.Context, id string) {
 	s.cfg.Logf("serve: job %s running (%s, %d cells)", id, job.Spec.Kind, job.Cells)
 	s.publishJobEvent(id, "job", job)
 
+	// The effective budget: the spec's requested values with the
+	// server defaults filled in. The watchdog enforces the wall and
+	// stall budgets against the injected clock; the cell timeout rides
+	// into the campaign options (and, for distributed jobs, into the
+	// descriptor workers execute under).
+	eff := s.cfg.Budgets.Resolve(job.Spec.budget())
+	s.watchdog.Watch(id, eff.WallDeadline, eff.StallTimeout)
+
 	onProgress := func(p sched.Progress) {
 		s.mu.Lock()
 		rj.last = p
 		s.mu.Unlock()
+		s.watchdog.Observe(id, progressMark(p))
 		s.metrics.observe(id, p)
 		if data, err := json.Marshal(p); err == nil {
 			s.hub.publish(id, event{name: "progress", data: data})
 		}
 	}
-	res, execErr := s.execute(jctx, job, onProgress)
+	res, execErr := s.execute(jctx, job, eff, onProgress)
 
 	s.mu.Lock()
 	last := rj.last
 	s.mu.Unlock()
 	summary := summaryOf(last)
 	now := time.Now().UTC()
+	cause := context.Cause(jctx)
 
 	switch {
 	case execErr != nil:
@@ -374,12 +579,39 @@ func (s *Server) runJob(ctx context.Context, id string) {
 			j.FinishedAt = &now
 			j.Summary = summary
 		})
-	case res.interrupted && errors.Is(context.Cause(jctx), errJobCancelled):
+	case res.interrupted && errors.Is(cause, errJobCancelled):
 		s.finishJob(id, func(j *Job) {
 			j.State = StateCancelled
 			j.FinishedAt = &now
 			j.Summary = summary
 		})
+	case res.interrupted && (errors.Is(cause, guard.ErrDeadlineExceeded) || errors.Is(cause, guard.ErrStalled)):
+		state := StateDeadlineExceeded
+		if errors.Is(cause, guard.ErrStalled) {
+			state = StateStalled
+		}
+		s.finishJob(id, func(j *Job) {
+			j.State = state
+			j.Error = cause.Error()
+			j.FinishedAt = &now
+			j.Summary = summary
+		})
+	case res.interrupted && errors.Is(cause, guard.ErrShed):
+		// Parked, not terminal: the job re-queues when pressure clears
+		// (requeueShed) or at the next boot. No terminal SSE event —
+		// subscribers see the state change and keep streaming.
+		shed, err := s.store.update(id, func(j *Job) {
+			j.State = StateShed
+			j.StartedAt = nil
+			j.Summary = summary
+		})
+		if err != nil {
+			s.cfg.Logf("serve: job %s: persist shed: %v", id, err)
+		} else {
+			s.publishJobEvent(id, "job", shed)
+		}
+		s.metrics.guardShed()
+		s.cfg.Logf("serve: job %s shed under memory pressure (%d/%d cells done)", id, last.Done, last.Total)
 	case res.interrupted:
 		// Server shutdown: drain back to queued so the next boot
 		// resumes from the checkpoint. No terminal event — the job is
@@ -414,6 +646,20 @@ func (s *Server) runJob(ctx context.Context, id string) {
 			j.Summary = summary
 		})
 	}
+}
+
+// progressMark folds a cumulative snapshot into the watchdog's
+// monotone progress mark. Every counter here advances exactly when a
+// cell resolves (executes, replays, quarantines, retries, or is served
+// from cache), so a frozen mark means the job is not moving — whether
+// the wedge is a device, a retry livelock, or a distributed
+// coordinator whose workers vanished. Elapsed time and rates are
+// deliberately excluded: they advance on every snapshot.
+func progressMark(p sched.Progress) uint64 {
+	return uint64(p.Done) + uint64(p.Executed) + uint64(p.Replayed) +
+		uint64(p.Failed) + uint64(p.Quarantined) + uint64(p.Retried) +
+		uint64(p.Instances) + uint64(p.CacheHits) + uint64(p.CacheMisses) +
+		uint64(p.CacheCorrupt)
 }
 
 // finishJob applies a terminal transition, bumps the completion
@@ -459,6 +705,22 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	for i := 0; i < s.cfg.Runners; i++ {
 		go s.worker(poolCtx)
 	}
+	// The supervision loop: the ticker provides cadence, guardTick the
+	// decisions (all taken against the injected clock/memory reader).
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		tick := time.NewTicker(s.cfg.GuardEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-poolCtx.Done():
+				return
+			case <-tick.C:
+				s.guardTick()
+			}
+		}
+	}()
 	hsrv := &http.Server{Handler: s.mux}
 	errc := make(chan error, 1)
 	go func() { errc <- hsrv.Serve(ln) }()
@@ -570,9 +832,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	if existing, ok := s.store.get(id); ok {
 		switch existing.State {
-		case StateFailed, StateCancelled:
+		case StateFailed, StateCancelled, StateDeadlineExceeded, StateStalled, StatePoisoned:
 			// Terminal-but-incomplete: resubmission re-queues, resuming
-			// from whatever the checkpoint holds.
+			// from whatever the checkpoint holds. A poisoned job gets a
+			// fresh incarnation budget — resubmission is the explicit
+			// human override of the quarantine.
 			if !s.admit(w, client) {
 				return
 			}
@@ -582,6 +846,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				j.State = StateQueued
 				j.Error = ""
 				j.Resumes++
+				j.BootIncarnations = 0
 				j.StartedAt = nil
 				j.FinishedAt = nil
 			})
@@ -635,6 +900,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) admit(w http.ResponseWriter, client string) bool {
 	if s.draining.Load() {
 		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return false
+	}
+	// Brownout sheds new work before it sheds running work: any
+	// watermark level refuses submissions with a retry hint.
+	if level, _ := s.mem.Snapshot(); level != guard.LevelOK {
+		w.Header().Set("Retry-After", "10")
+		s.metrics.guardSubmissionShed()
+		writeErr(w, http.StatusTooManyRequests,
+			"server is shedding load (memory above the %s watermark)", level)
 		return false
 	}
 	if n := s.store.inFlight(client); n >= s.cfg.PerClient {
@@ -705,6 +979,22 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, j)
 		return
 	}
+	// Shed: parked with no runner and no queue entry, so cancel it
+	// directly. submitMu keeps this from interleaving with requeueShed
+	// putting the job back on the queue.
+	s.submitMu.Lock()
+	if cur, ok := s.store.get(id); ok && cur.State == StateShed {
+		now := time.Now().UTC()
+		s.finishJob(id, func(j *Job) {
+			j.State = StateCancelled
+			j.FinishedAt = &now
+		})
+		s.submitMu.Unlock()
+		j, _ = s.store.get(id)
+		writeJSON(w, http.StatusOK, j)
+		return
+	}
+	s.submitMu.Unlock()
 	s.mu.Lock()
 	rj := s.running[id]
 	s.mu.Unlock()
@@ -805,12 +1095,26 @@ func (s *Server) health() (status string, ready bool, body map[string]any) {
 	s.mu.Unlock()
 	draining := s.draining.Load()
 	cacheDegraded := s.cache != nil && s.cache.Stats().Degraded
+	// Brownout detail is deliberately non-gating: a browned-out server
+	// is refusing new submissions itself (429 + Retry-After carries the
+	// backpressure), and flipping readiness too would make the load
+	// balancer mask the signal clients should see.
+	level, heap := s.mem.Snapshot()
+	counts := s.store.countByState()
+	bi := buildinfo.Get()
 	body = map[string]any{
 		"queued":           s.queueDepth(),
 		"running":          running,
 		"draining":         draining,
 		"storage_degraded": degraded,
 		"cache_degraded":   cacheDegraded,
+		"brownout":         level.String(),
+		"heap_bytes":       heap,
+		"shed":             counts[StateShed],
+		"poisoned":         counts[StatePoisoned],
+		"version":          bi.Version,
+		"revision":         bi.Revision,
+		"go":               bi.GoVersion,
 	}
 	switch {
 	case draining:
@@ -830,6 +1134,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		cellsPerSec += rj.last.CellsPerSec
 	}
 	s.mu.Unlock()
+	level, heap := s.mem.Snapshot()
 	g := gaugeSet{
 		jobsByState:     s.store.countByState(),
 		queueDepth:      s.queueDepth(),
@@ -838,6 +1143,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		storageDegraded: s.store.storageDegradedCount(),
 		cacheDegraded:   s.cache != nil && s.cache.Stats().Degraded,
 		draining:        s.draining.Load(),
+		brownoutLevel:   level,
+		heapBytes:       heap,
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.render(w, g)
